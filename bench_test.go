@@ -1,0 +1,279 @@
+package ser
+
+// Benchmark harness: one testing.B benchmark per paper figure/table,
+// plus the ablation benches called out in DESIGN.md §5. Each benchmark
+// regenerates the corresponding experiment (at CI-friendly parameter
+// scale — cmd/figures runs the full-scale versions) and reports the
+// headline quantity through b.ReportMetric, so `go test -bench=.`
+// doubles as a results table.
+
+import (
+	"testing"
+
+	"repro/internal/aserta"
+	"repro/internal/charlib"
+	"repro/internal/devmodel"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/logicsim"
+	"repro/internal/serrate"
+	"repro/internal/sertopt"
+	"repro/internal/stats"
+)
+
+// BenchmarkFig1GlitchGeneration regenerates Fig. 1: strike-induced
+// glitch width at an inverter output versus size, channel length, VDD
+// and Vth for a 16 fC deposit.
+func BenchmarkFig1GlitchGeneration(b *testing.B) {
+	tech := devmodel.Tech70nm()
+	var width1x float64
+	for i := 0; i < b.N; i++ {
+		curves, err := experiments.Fig1(tech, experiments.Fig1Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		width1x = curves[0].Points[0].Y
+	}
+	b.ReportMetric(width1x/1e-12, "ps-glitch-size1")
+}
+
+// BenchmarkFig2GlitchPropagation regenerates Fig. 2: the width of a
+// 50 ps glitch after an inverter, versus the same four variables.
+func BenchmarkFig2GlitchPropagation(b *testing.B) {
+	tech := devmodel.Tech70nm()
+	var out float64
+	for i := 0; i < b.N; i++ {
+		curves, err := experiments.Fig2(tech, experiments.Fig2Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = curves[0].Points[0].Y
+	}
+	b.ReportMetric(out/1e-12, "ps-out-size1")
+}
+
+// BenchmarkFig3Correlation regenerates Fig. 3: per-gate unreliability
+// from ASERTA versus the transistor-level golden simulator near the
+// POs of c432, reporting the Pearson correlation (paper: 0.96).
+func BenchmarkFig3Correlation(b *testing.B) {
+	c, err := gen.ISCAS85("c432")
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib := charlib.NewLibrary(devmodel.Tech70nm(), charlib.CoarseGrid())
+	var corr float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3(c, lib, experiments.Fig3Config{
+			Depth:    5,
+			Vectors:  4000,
+			Seed:     1,
+			MaxGates: 12, // bench-scale golden budget; cmd/figures uses more
+			Golden:   experiments.GoldenConfig{Vectors: 5, Seed: 2},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		corr = res.Correlation
+	}
+	b.ReportMetric(corr, "correlation")
+}
+
+// BenchmarkTable1Optimization regenerates one Table 1 row (c432 at
+// bench scale): SERTOPT optimization with the paper's VDD/Vth menu,
+// reporting the unreliability decrease (paper: 40% on c432).
+func BenchmarkTable1Optimization(b *testing.B) {
+	lib := charlib.NewLibrary(devmodel.Tech70nm(), charlib.CoarseGrid())
+	var dec float64
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.Table1Run(experiments.Table1Spec{
+			Circuit: "c432",
+			VDDs:    []float64{0.8, 1.0},
+			Vths:    []float64{0.2, 0.3},
+		}, lib, experiments.Table1Config{
+			Options: sertopt.Options{
+				Vectors:    4000,
+				Iterations: 4,
+				MaxBasis:   8,
+				Seed:       3,
+			},
+			GoldenCircuitLimit: 1, // golden column exercised in Fig3 bench
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dec = row.UDecreaseASERTA
+	}
+	b.ReportMetric(100*dec, "%U-decrease")
+}
+
+// BenchmarkAblationSampleWidths sweeps the §3.2 sample-width count
+// (paper default 10): analysis cost and U stability.
+func BenchmarkAblationSampleWidths(b *testing.B) {
+	c, err := gen.ISCAS85("c432")
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib := charlib.NewLibrary(devmodel.Tech70nm(), charlib.CoarseGrid())
+	cells := aserta.NominalAssignment(c, lib, 2)
+	for _, k := range []int{4, 10, 20} {
+		b.Run(benchName("K", k), func(b *testing.B) {
+			var u float64
+			for i := 0; i < b.N; i++ {
+				an, err := aserta.Analyze(c, lib, cells, aserta.Config{
+					Vectors: 4000, Seed: 1, SampleWidths: k,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				u = an.U
+			}
+			b.ReportMetric(u, "U")
+		})
+	}
+}
+
+// BenchmarkAblationPathCap sweeps the topology-matrix path cap
+// (DESIGN.md §5): nullspace size available to the optimizer.
+func BenchmarkAblationPathCap(b *testing.B) {
+	c, err := gen.ISCAS85("c432")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cap := range []int{256, 1024, 4096} {
+		b.Run(benchName("paths", cap), func(b *testing.B) {
+			var dim int
+			for i := 0; i < b.N; i++ {
+				tp, err := sertopt.BuildTopology(c, cap)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dim = len(tp.Nullspace(0))
+			}
+			b.ReportMetric(float64(dim), "nullity")
+		})
+	}
+}
+
+// BenchmarkAblationOptimizer compares the SQP-lite and simulated-
+// annealing searches on the same budget.
+func BenchmarkAblationOptimizer(b *testing.B) {
+	c, err := gen.ISCAS85("c432")
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib := charlib.NewLibrary(devmodel.Tech70nm(), charlib.CoarseGrid())
+	for _, method := range []string{"sqp", "anneal"} {
+		b.Run(method, func(b *testing.B) {
+			var dec float64
+			for i := 0; i < b.N; i++ {
+				res, err := sertopt.Optimize(c, lib, sertopt.Options{
+					Match:      sertopt.MatchConfig{VDDs: []float64{0.8, 1.0}, Vths: []float64{0.2, 0.3}},
+					Vectors:    2000,
+					Iterations: 3,
+					MaxBasis:   6,
+					Seed:       4,
+					Method:     method,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				dec = res.UDecrease()
+			}
+			b.ReportMetric(100*dec, "%U-decrease")
+		})
+	}
+}
+
+// BenchmarkAblationVectors sweeps the random-vector count behind the
+// sensitization probabilities (paper: 10,000).
+func BenchmarkAblationVectors(b *testing.B) {
+	c, err := gen.ISCAS85("c432")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{1000, 10000} {
+		b.Run(benchName("N", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := logicsim.Analyze(c, n, stats.NewRNG(1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkASERTAScaling measures raw ASERTA throughput across the
+// suite (the paper's headline speed claim: orders of magnitude faster
+// than SPICE; MATLAB ASERTA took 15 s on c432 and 200 s on c7552).
+func BenchmarkASERTAScaling(b *testing.B) {
+	lib := charlib.NewLibrary(devmodel.Tech70nm(), charlib.CoarseGrid())
+	for _, name := range []string{"c432", "c1908", "c7552"} {
+		c, err := gen.ISCAS85(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells := aserta.NominalAssignment(c, lib, 2)
+		// Warm the library outside the timed loop.
+		if _, err := aserta.Analyze(c, lib, cells, aserta.Config{Vectors: 100, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := aserta.Analyze(c, lib, cells, aserta.Config{Vectors: 10000, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIntroTrend regenerates the introduction's motivation claim:
+// combinational-logic SER rising ~9 orders of magnitude 1992→2011,
+// crossing unprotected-memory SER (the paper's reference [2]).
+func BenchmarkIntroTrend(b *testing.B) {
+	var orders float64
+	for i := 0; i < b.N; i++ {
+		points := serrate.Trend(serrate.TrendConfig{})
+		orders = serrate.OrdersOfMagnitude(points)
+	}
+	b.ReportMetric(orders, "orders-of-magnitude")
+}
+
+// BenchmarkHardeningComparison quantifies the §1 trade-off argument:
+// TMR vs SERTOPT unreliability reduction per unit area overhead.
+func BenchmarkHardeningComparison(b *testing.B) {
+	lib := charlib.NewLibrary(devmodel.Tech70nm(), charlib.CoarseGrid())
+	var tmrDec float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.HardeningComparison("c432", lib, sertopt.Options{
+			Match:      sertopt.MatchConfig{VDDs: []float64{0.8, 1.0}, Vths: []float64{0.2, 0.3}},
+			Vectors:    2000,
+			Iterations: 2,
+			MaxBasis:   6,
+			Seed:       1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tmrDec = rows[1].UDecrease
+	}
+	b.ReportMetric(100*tmrDec, "%U-decrease-tmr")
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

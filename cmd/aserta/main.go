@@ -1,0 +1,79 @@
+// Command aserta analyzes the soft-error tolerance of a circuit: it
+// runs the paper's ASERTA flow and reports the circuit unreliability U
+// and the highest-contribution ("softest") gates.
+//
+// Usage:
+//
+//	aserta -circuit c432 [-vectors 10000] [-top 10]
+//	aserta -bench path/to/netlist.bench [-libcache lib.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aserta: ")
+	var (
+		circuit  = flag.String("circuit", "", "ISCAS-85 benchmark name (c17, c432, ... c7552)")
+		benchF   = flag.String("bench", "", "path to a .bench netlist (overrides -circuit)")
+		vectors  = flag.Int("vectors", 10000, "random vectors for sensitization probabilities")
+		seed     = flag.Uint64("seed", 1, "RNG seed")
+		top      = flag.Int("top", 10, "number of softest gates to list")
+		coarse   = flag.Bool("coarse", false, "use the coarse characterization grid (faster)")
+		libcache = flag.String("libcache", "", "path to a JSON library cache (loaded if present, saved after)")
+	)
+	flag.Parse()
+
+	var c *ser.Circuit
+	var err error
+	switch {
+	case *benchF != "":
+		c, err = ser.LoadBenchFile(*benchF)
+	case *circuit != "":
+		c, err = ser.Benchmark(*circuit)
+	default:
+		log.Fatalf("need -circuit or -bench (benchmarks: %v)", ser.BenchmarkNames())
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	level := ser.DefaultCharacterization
+	if *coarse {
+		level = ser.CoarseCharacterization
+	}
+	sys := ser.NewSystem(level)
+	if *libcache != "" {
+		if _, statErr := os.Stat(*libcache); statErr == nil {
+			if err := sys.LoadLibrary(*libcache); err != nil {
+				log.Fatalf("load library cache: %v", err)
+			}
+			fmt.Printf("loaded library cache %s\n", *libcache)
+		}
+	}
+
+	fmt.Println(ser.Summary(c))
+	rep, err := sys.Analyze(c, ser.AnalysisOptions{Vectors: *vectors, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("circuit unreliability U = %.2f (Eq. 4; area-weighted expected PO glitch width, ps scale)\n", rep.U)
+	fmt.Printf("%-12s %12s %14s %12s\n", "gate", "U_i", "gen width ps", "delay ps")
+	for _, g := range rep.Softest(*top) {
+		fmt.Printf("%-12s %12.3f %14.2f %12.2f\n", g.Name, g.U, g.GenWidth/1e-12, g.Delay/1e-12)
+	}
+
+	if *libcache != "" {
+		if err := sys.SaveLibrary(*libcache); err != nil {
+			log.Fatalf("save library cache: %v", err)
+		}
+		fmt.Printf("saved library cache %s\n", *libcache)
+	}
+}

@@ -1,0 +1,49 @@
+// Command benchgen emits the repository's benchmark circuits in
+// ISCAS-85 ".bench" format (the genuine c17 or the profile-matched
+// synthetic suite members).
+//
+// Usage:
+//
+//	benchgen -circuit c432 > c432.bench
+//	benchgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgen: ")
+	var (
+		circuit = flag.String("circuit", "", "benchmark name to emit")
+		list    = flag.Bool("list", false, "list available benchmarks with their shapes")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range ser.BenchmarkNames() {
+			c, err := ser.Benchmark(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(ser.Summary(c))
+		}
+		return
+	}
+	if *circuit == "" {
+		log.Fatalf("need -circuit or -list (benchmarks: %v)", ser.BenchmarkNames())
+	}
+	c, err := ser.Benchmark(*circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ser.WriteBench(os.Stdout, c); err != nil {
+		log.Fatal(err)
+	}
+}

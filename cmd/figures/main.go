@@ -1,0 +1,193 @@
+// Command figures regenerates the paper's evaluation artifacts:
+// Fig. 1 (glitch generation), Fig. 2 (glitch propagation), Fig. 3
+// (ASERTA vs golden-simulator correlation) and Table 1 (SERTOPT
+// optimization results). Output is plain text / CSV on stdout.
+//
+// Usage:
+//
+//	figures -fig 1
+//	figures -fig 3 -circuit c432 -golden-vectors 10 -max-gates 30
+//	figures -table 1 -circuits c432,c499 -iters 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/charlib"
+	"repro/internal/devmodel"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/serrate"
+	"repro/internal/sertopt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	var (
+		fig      = flag.Int("fig", 0, "figure to regenerate (1, 2 or 3)")
+		table    = flag.Int("table", 0, "table to regenerate (1)")
+		trend    = flag.Bool("trend", false, "print the intro's 1992-2011 logic-SER scaling trend")
+		hardenC  = flag.String("harden", "", "compare baseline/TMR/SERTOPT on a circuit (e.g. c432)")
+		circuit  = flag.String("circuit", "c432", "circuit for -fig 3")
+		circuits = flag.String("circuits", "", "comma-separated Table 1 circuits (default: the paper's list)")
+		vectors  = flag.Int("vectors", 10000, "ASERTA sensitization vectors")
+		gVecs    = flag.Int("golden-vectors", 10, "golden-simulator random vectors (paper: 50; slow)")
+		maxGates = flag.Int("max-gates", 30, "golden-simulator gate sample cap for -fig 3")
+		iters    = flag.Int("iters", 8, "SERTOPT iterations for -table 1")
+		basisN   = flag.Int("basis", 16, "SERTOPT nullspace basis size")
+		stepPS   = flag.Float64("step", 20, "SERTOPT delay perturbation step (ps)")
+		seed     = flag.Uint64("seed", 1, "RNG seed")
+		coarse   = flag.Bool("coarse", true, "use the coarse characterization grid (set -coarse=false for the full paper-scale grid)")
+	)
+	flag.Parse()
+
+	tech := devmodel.Tech70nm()
+	grid := charlib.DefaultGrid()
+	if *coarse {
+		grid = charlib.CoarseGrid()
+	}
+	lib := charlib.NewLibrary(tech, grid)
+
+	switch {
+	case *fig == 1:
+		curves, err := experiments.Fig1(tech, experiments.Fig1Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("# Fig. 1 — generated glitch width at an inverter output, 16 fC strike")
+		printCurves(curves)
+	case *fig == 2:
+		curves, err := experiments.Fig2(tech, experiments.Fig2Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("# Fig. 2 — propagated width of a 50 ps input glitch through an inverter")
+		printCurves(curves)
+	case *fig == 3:
+		c, err := gen.ISCAS85(*circuit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := experiments.Fig3(c, lib, experiments.Fig3Config{
+			Depth:    5,
+			Vectors:  *vectors,
+			Seed:     *seed,
+			MaxGates: *maxGates,
+			Golden:   experiments.GoldenConfig{Vectors: *gVecs, Seed: *seed + 1},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# Fig. 3 — per-gate unreliability, ASERTA vs golden simulator (%s, <=5 levels from POs)\n", *circuit)
+		fmt.Println("gate,aserta_Ui,golden_Ui")
+		for _, p := range res.Points {
+			fmt.Printf("%s,%.4f,%.4f\n", p.Gate, p.ASERTA, p.Golden)
+		}
+		fmt.Printf("# correlation = %.3f over %d gates (%d golden transients; paper reports 0.96 on c432)\n",
+			res.Correlation, len(res.Points), res.GoldenRuns)
+	case *table == 1:
+		specs := experiments.PaperTable1Specs()
+		if *circuits != "" {
+			var sel []experiments.Table1Spec
+			for _, name := range strings.Split(*circuits, ",") {
+				name = strings.TrimSpace(name)
+				found := false
+				for _, s := range specs {
+					if s.Circuit == name {
+						sel = append(sel, s)
+						found = true
+					}
+				}
+				if !found {
+					// Circuits outside the paper's list run with the
+					// two-voltage menu.
+					sel = append(sel, experiments.Table1Spec{
+						Circuit: name, VDDs: []float64{0.8, 1.0}, Vths: []float64{0.2, 0.3},
+					})
+				}
+			}
+			specs = sel
+		}
+		cfg := experiments.Table1Config{
+			Options: sertopt.Options{
+				Vectors:    *vectors,
+				Iterations: *iters,
+				MaxBasis:   *basisN,
+				Seed:       *seed,
+				StepInit:   *stepPS * 1e-12,
+			},
+			GoldenVectors: *gVecs,
+		}
+		fmt.Println("# Table 1 — SERTOPT optimization results")
+		fmt.Printf("%-8s %-14s %-14s %6s %7s %6s | %8s %8s %8s\n",
+			"circuit", "VDDs", "Vths", "area", "energy", "delay",
+			"dU", "dU(50)", "dU(gold)")
+		for _, spec := range specs {
+			row, err := experiments.Table1Run(spec, lib, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			gold := "-"
+			if row.HasGolden {
+				gold = fmt.Sprintf("%7.1f%%", 100*row.UDecreaseGolden)
+			}
+			fmt.Printf("%-8s %-14s %-14s %5.2fX %6.2fX %5.2fX | %7.1f%% %7.1f%% %8s\n",
+				row.Circuit, floats(row.VDDs), floats(row.Vths),
+				row.AreaRatio, row.EnergyRatio, row.DelayRatio,
+				100*row.UDecreaseASERTA, 100*row.UDecreaseASERTA50, gold)
+		}
+	case *trend:
+		points := serrate.Trend(serrate.TrendConfig{})
+		fmt.Println("# Intro trend — relative SER of combinational logic vs unprotected memory")
+		fmt.Println("year,qcrit_fC,clock_GHz,logic_SER,memory_SER")
+		for _, p := range points {
+			fmt.Printf("%d,%.2f,%.2f,%.3e,%.1f\n", p.Year, p.QcritFC, p.ClockGHz, p.LogicSER, p.MemorySER)
+		}
+		fmt.Printf("# logic SER growth: %.1f orders of magnitude (paper: ~9)\n",
+			serrate.OrdersOfMagnitude(points))
+	case *hardenC != "":
+		rows, err := experiments.HardeningComparison(*hardenC, lib, sertopt.Options{
+			Match:      sertopt.MatchConfig{VDDs: []float64{0.8, 1.0}, Vths: []float64{0.2, 0.3}},
+			Vectors:    *vectors,
+			Iterations: *iters,
+			MaxBasis:   *basisN,
+			Seed:       *seed,
+			StepInit:   *stepPS * 1e-12,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# Hardening comparison on %s\n", *hardenC)
+		fmt.Printf("%-10s %10s %10s %8s %8s %8s %7s\n",
+			"scheme", "U", "decrease", "area", "energy", "delay", "gates")
+		for _, r := range rows {
+			fmt.Printf("%-10s %10.0f %9.1f%% %7.2fX %7.2fX %7.2fX %7d\n",
+				r.Scheme, r.U, 100*r.UDecrease, r.AreaRatio, r.EnergyRatio, r.DelayRatio, r.Gates)
+		}
+	default:
+		log.Fatal("need -fig 1|2|3, -table 1, -trend or -harden <circuit>")
+	}
+}
+
+func printCurves(curves []experiments.Curve) {
+	for _, c := range curves {
+		fmt.Printf("curve,%s\n", c.Label)
+		fmt.Println("x,width_ps")
+		for _, p := range c.Points {
+			fmt.Printf("%g,%.2f\n", p.X, p.Y/1e-12)
+		}
+		fmt.Println()
+	}
+}
+
+func floats(xs []float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%g", x)
+	}
+	return strings.Join(parts, ",")
+}

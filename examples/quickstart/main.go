@@ -1,0 +1,42 @@
+// Quickstart: load a benchmark circuit, run ASERTA, and print the
+// circuit unreliability plus its softest gates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A System bundles the 70 nm technology with a characterized cell
+	// library. Coarse characterization keeps this example fast; use
+	// ser.DefaultCharacterization for paper-scale grids.
+	sys := ser.NewSystem(ser.CoarseCharacterization)
+
+	// The genuine c17 netlist and profile-matched synthetic versions
+	// of the larger ISCAS-85 circuits are built in; ser.LoadBenchFile
+	// reads real .bench netlists.
+	c, err := ser.Benchmark("c432")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ser.Summary(c))
+
+	// ASERTA: estimate every gate's soft-error contribution. U is the
+	// area-weighted expected total glitch width reaching the latches
+	// (paper Eqs. 3-4); bigger means less reliable.
+	rep, err := sys.Analyze(c, ser.AnalysisOptions{Vectors: 10000, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncircuit unreliability U = %.1f\n", rep.U)
+	fmt.Println("\nten softest gates (best hardening candidates):")
+	for _, g := range rep.Softest(10) {
+		fmt.Printf("  %-10s U=%8.2f  generated glitch %5.1f ps, delay %5.1f ps\n",
+			g.Name, g.U, g.GenWidth/1e-12, g.Delay/1e-12)
+	}
+}

@@ -1,0 +1,376 @@
+// Package aserta implements ASERTA, the paper's soft-error tolerance
+// analysis tool (§3). Given a circuit, a characterized cell library
+// and a per-gate cell assignment, it estimates every gate's
+// contribution U_i to circuit "unreliability" — the expected total
+// width of strike-induced glitches reaching the primary outputs — and
+// the circuit total U = Σ U_i (Eqs. 3–4).
+//
+// The estimate combines the paper's three masking models:
+//
+//   - logical masking: sensitization probabilities P_ij from 10,000
+//     random vectors plus the per-successor split π_isj of Eq. 2;
+//   - electrical masking: the Eq. 1 glitch attenuation applied in one
+//     reverse-topological pass over 10 sample glitch widths (§3.2);
+//   - latching-window masking: capture probability proportional to
+//     the glitch width arriving at the PO, scaled by gate area Z_i.
+package aserta
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/charlib"
+	"repro/internal/ckt"
+	"repro/internal/logicsim"
+	"repro/internal/lut"
+	"repro/internal/stats"
+)
+
+// DefaultSampleWidths is the paper's sample-width count (§3.2: "the
+// expected output glitch widths, WSijk, for 10 sample glitch widths").
+const DefaultSampleWidths = 10
+
+// Config controls an ASERTA analysis.
+type Config struct {
+	// Vectors is the random-vector count for sensitization
+	// probabilities (default 10,000, as in the paper).
+	Vectors int
+	// Seed feeds the deterministic RNG.
+	Seed uint64
+	// SampleWidths is the number of sample glitch widths used in the
+	// electrical-masking pass (default 10).
+	SampleWidths int
+	// POLoad is the latch input capacitance on each primary output (F).
+	POLoad float64
+	// WideWidth is the largest sample width, standing in for the
+	// Lemma-1 "very wide glitch". Default 2.56 ns.
+	WideWidth float64
+	// ClockPeriod caps each glitch width's latching contribution: the
+	// paper's latching-window masking makes capture probability
+	// proportional to glitch duration, which saturates at one clock
+	// period (a glitch wider than the cycle is simply certain to be
+	// latched). Default 300 ps; set from the circuit's own clock when
+	// known (SERTOPT uses 1.2x the baseline critical path).
+	ClockPeriod float64
+	// PrecomputedSens, when non-nil, is reused instead of re-running
+	// logic simulation. Sensitization statistics depend only on the
+	// netlist, not on the cell assignment, so SERTOPT computes them
+	// once per circuit and shares them across every cost evaluation.
+	PrecomputedSens *logicsim.Result
+}
+
+// withDefaults fills zero fields.
+func (cfg Config) withDefaults() Config {
+	if cfg.Vectors <= 0 {
+		cfg.Vectors = logicsim.DefaultVectors
+	}
+	if cfg.SampleWidths <= 0 {
+		cfg.SampleWidths = DefaultSampleWidths
+	}
+	if cfg.POLoad <= 0 {
+		cfg.POLoad = 2e-15
+	}
+	if cfg.WideWidth <= 0 {
+		cfg.WideWidth = 2.56e-9
+	}
+	if cfg.ClockPeriod <= 0 {
+		cfg.ClockPeriod = 300e-12
+	}
+	return cfg
+}
+
+// Assignment maps each gate ID to its assigned cell. Entries for
+// primary-input pseudo-gates are ignored.
+type Assignment []charlib.Cell
+
+// NominalAssignment assigns every gate the paper's baseline cell
+// (L=70nm, VDD=1V, Vth=0.2V) at the given relative size.
+func NominalAssignment(c *ckt.Circuit, lib *charlib.Library, size float64) Assignment {
+	cells := make(Assignment, len(c.Gates))
+	for _, g := range c.Gates {
+		if g.Type == ckt.Input {
+			continue
+		}
+		cells[g.ID] = charlib.Cell{Type: g.Type, Fanin: len(g.Fanin)}
+		cells[g.ID].Size = size
+		cells[g.ID].L = lib.Tech.Lmin
+		cells[g.ID].VDD = lib.Tech.VDDnom
+		cells[g.ID].Vth = lib.Tech.Vthnom
+	}
+	return cells
+}
+
+// Analysis is the full ASERTA result.
+type Analysis struct {
+	Circuit *ckt.Circuit
+	Cells   Assignment
+	Config  Config
+
+	// Loads[i] is the capacitive load on gate i's output (F).
+	Loads []float64
+	// Delays[i] is gate i's propagation delay under its load (s).
+	Delays []float64
+	// GenWidth[i] is the strike-induced glitch width w_i at gate i (s).
+	GenWidth []float64
+	// Sens carries static and sensitization probabilities.
+	Sens *logicsim.Result
+	// Wij[i][k] is the expected glitch width at the k-th PO for a
+	// strike at gate i (paper's W_ij).
+	Wij [][]float64
+	// Ui[i] is gate i's unreliability contribution (Eq. 3).
+	Ui []float64
+	// U is the circuit unreliability (Eq. 4).
+	U float64
+
+	// Samples is the sample-width ladder ws_k of the §3.2 pass and WS
+	// the full WS_ijk table (WS[i][j][k]); exposed for the Lemma-1
+	// property test and for ablation experiments.
+	Samples []float64
+	WS      [][][]float64
+}
+
+// Attenuate applies the paper's Equation 1: a glitch of width wi
+// passing a gate of delay d emerges with width 0 (wi < d),
+// 2(wi−d) (d ≤ wi ≤ 2d), or wi (wi > 2d).
+func Attenuate(wi, d float64) float64 {
+	switch {
+	case wi < d:
+		return 0
+	case wi <= 2*d:
+		return 2 * (wi - d)
+	default:
+		return wi
+	}
+}
+
+// GateLoads computes each gate's output load: the input capacitance of
+// every fanout pin plus the PO latch load where applicable.
+func GateLoads(c *ckt.Circuit, lib *charlib.Library, cells Assignment, poLoad float64) ([]float64, error) {
+	loads := make([]float64, len(c.Gates))
+	for _, g := range c.Gates {
+		for _, s := range g.Fanout {
+			cap, err := lib.InputCap(cells[s])
+			if err != nil {
+				return nil, fmt.Errorf("aserta: input cap of gate %s: %v", c.Gates[s].Name, err)
+			}
+			loads[g.ID] += cap
+		}
+		if g.PO {
+			loads[g.ID] += poLoad
+		}
+	}
+	return loads, nil
+}
+
+// Analyze runs the full ASERTA flow.
+func Analyze(c *ckt.Circuit, lib *charlib.Library, cells Assignment, cfg Config) (*Analysis, error) {
+	cfg = cfg.withDefaults()
+	if len(cells) != len(c.Gates) {
+		return nil, fmt.Errorf("aserta: %d cells for %d gates", len(cells), len(c.Gates))
+	}
+	a := &Analysis{Circuit: c, Cells: cells, Config: cfg}
+
+	var err error
+	a.Loads, err = GateLoads(c, lib, cells, cfg.POLoad)
+	if err != nil {
+		return nil, err
+	}
+
+	nGates := len(c.Gates)
+	a.Delays = make([]float64, nGates)
+	a.GenWidth = make([]float64, nGates)
+	for _, g := range c.Gates {
+		if g.Type == ckt.Input {
+			continue
+		}
+		d, err := lib.Delay(cells[g.ID], a.Loads[g.ID])
+		if err != nil {
+			return nil, fmt.Errorf("aserta: delay of %s: %v", g.Name, err)
+		}
+		a.Delays[g.ID] = d
+		w, err := lib.GlitchGen(cells[g.ID], a.Loads[g.ID])
+		if err != nil {
+			return nil, fmt.Errorf("aserta: glitch gen of %s: %v", g.Name, err)
+		}
+		a.GenWidth[g.ID] = w
+	}
+
+	if cfg.PrecomputedSens != nil {
+		a.Sens = cfg.PrecomputedSens
+	} else {
+		a.Sens, err = logicsim.Analyze(c, cfg.Vectors, stats.NewRNG(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if err := a.electricalPass(lib); err != nil {
+		return nil, err
+	}
+
+	// Latching-window masking + flux scaling (Eq. 3) and circuit
+	// total (Eq. 4). Widths are reported in picoseconds so U has the
+	// same order of magnitude as the paper's plots. Each width is
+	// capped at the clock period — capture probability saturates at 1.
+	a.Ui = make([]float64, nGates)
+	for _, g := range c.Gates {
+		if g.Type == ckt.Input {
+			continue
+		}
+		sum := 0.0
+		for _, w := range a.Wij[g.ID] {
+			if w > cfg.ClockPeriod {
+				w = cfg.ClockPeriod
+			}
+			sum += w
+		}
+		z := cells[g.ID].FluxWeight()
+		a.Ui[g.ID] = z * sum / 1e-12
+		a.U += a.Ui[g.ID]
+	}
+	return a, nil
+}
+
+// sampleWidths returns the geometric ladder of sample glitch widths
+// used by the electrical-masking pass, ending at the wide width.
+func (cfg Config) sampleWidths() []float64 {
+	k := cfg.SampleWidths
+	ws := make([]float64, k)
+	// Geometric from 5 ps to WideWidth.
+	lo := 5e-12
+	ratio := 1.0
+	if k > 1 {
+		ratio = math.Pow(cfg.WideWidth/lo, 1/float64(k-1))
+	}
+	w := lo
+	for i := 0; i < k; i++ {
+		ws[i] = w
+		w *= ratio
+	}
+	ws[k-1] = cfg.WideWidth
+	return ws
+}
+
+// RecomputeU reruns the §3.2 electrical pass with an alternative
+// per-gate delay vector, keeping loads, generated widths and
+// sensitization statistics fixed, and returns the resulting circuit
+// unreliability. This is the cheap delay-sensitivity oracle SERTOPT's
+// gradient seeding uses: the full analysis costs a logic simulation,
+// while this costs only the O(V+E) reverse-topological pass.
+func (a *Analysis) RecomputeU(lib *charlib.Library, delays []float64) (float64, error) {
+	saved := a.Delays
+	savedW, savedWS, savedU, savedUi := a.Wij, a.WS, a.U, a.Ui
+	a.Delays = delays
+	defer func() {
+		a.Delays = saved
+		a.Wij, a.WS, a.U, a.Ui = savedW, savedWS, savedU, savedUi
+	}()
+	if err := a.electricalPass(lib); err != nil {
+		return 0, err
+	}
+	clock := a.Config.withDefaults().ClockPeriod
+	u := 0.0
+	for _, g := range a.Circuit.Gates {
+		if g.Type == ckt.Input {
+			continue
+		}
+		sum := 0.0
+		for _, w := range a.Wij[g.ID] {
+			if w > clock {
+				w = clock
+			}
+			sum += w
+		}
+		u += a.Cells[g.ID].FluxWeight() * sum / 1e-12
+	}
+	return u, nil
+}
+
+// electricalPass implements the paper's §3.2 reverse-topological
+// computation of expected output glitch widths.
+func (a *Analysis) electricalPass(lib *charlib.Library) error {
+	c := a.Circuit
+	cfg := a.Config
+	ws := cfg.sampleWidths()
+	K := len(ws)
+	nGates := len(c.Gates)
+	nPOs := len(c.Outputs())
+
+	// WS[i][j][k]: expected width at PO j for sample width ws[k] at
+	// gate i's output.
+	WS := make([][][]float64, nGates)
+	a.Wij = make([][]float64, nGates)
+	for i := range WS {
+		WS[i] = make([][]float64, nPOs)
+		for j := range WS[i] {
+			WS[i][j] = make([]float64, K)
+		}
+		a.Wij[i] = make([]float64, nPOs)
+	}
+
+	order, err := c.ReverseTopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, i := range order {
+		g := c.Gates[i]
+		if g.Type == ckt.Input {
+			continue
+		}
+		if g.PO {
+			// Step (ii): a PO gate presents the glitch directly.
+			j, _ := a.Sens.POColumn(i)
+			for k := 0; k < K; k++ {
+				WS[i][j][k] = ws[k]
+			}
+			a.Wij[i][j] = a.GenWidth[i]
+			// A PO gate may still drive further logic in unusual
+			// netlists; ISCAS-85 POs do not, so the paper stops here
+			// and so do we.
+			continue
+		}
+		// Step (iii): combine successors.
+		// Precompute the π split denominators per PO:
+		//   π_isj = S_is · P_ij / Σ_k S_ik · P_kj.
+		succs := g.Fanout
+		sis := make([]float64, len(succs))
+		for si, s := range succs {
+			sis[si] = logicsim.SideSensitization(c, a.Sens, i, s)
+		}
+		for j := 0; j < nPOs; j++ {
+			pij := a.Sens.Pij[i][j]
+			if pij == 0 {
+				continue
+			}
+			// π_isj = S_is · P_ij / Σ_k S_ik · P_kj  (Eq. 2), which
+			// satisfies the paper's normalization
+			// Σ_s π_isj · P_sj = P_ij.
+			den := 0.0
+			for si, s := range succs {
+				den += sis[si] * a.Sens.Pij[s][j]
+			}
+			if den == 0 {
+				continue
+			}
+			for k := 0; k < K; k++ {
+				acc := 0.0
+				for si, s := range succs {
+					wo := Attenuate(ws[k], a.Delays[s])
+					if wo <= 0 {
+						continue
+					}
+					// WE_sjk: interpolate successor s's table at the
+					// attenuated width wo (§3.2 step iii).
+					acc += sis[si] * lut.Interp1D(ws, WS[s][j], wo)
+				}
+				WS[i][j][k] = pij * acc / den
+			}
+			// Step (iv): expected width for the actual generated
+			// glitch width w_i.
+			a.Wij[i][j] = lut.Interp1D(ws, WS[i][j], a.GenWidth[i])
+		}
+	}
+	a.Samples = ws
+	a.WS = WS
+	return nil
+}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ckt"
+)
+
+const c17Bench = `# c17 — genuine ISCAS-85 netlist
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+
+func TestParseC17(t *testing.T) {
+	c, err := ParseString(c17Bench, "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Summary()
+	if s.PIs != 5 || s.POs != 2 || s.Gates != 6 || s.ByType[ckt.Nand] != 6 {
+		t.Fatalf("c17 summary = %+v", s)
+	}
+}
+
+func TestParseForwardReference(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = AND(m, b)
+m = NOT(a)
+`
+	c, err := ParseString(src, "fwd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 2 {
+		t.Fatalf("gates = %d, want 2", c.NumGates())
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(y)
+m = INV(a)
+y = BUF(m)
+`
+	c, err := ParseString(src, "alias")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := c.GateByName("m")
+	y, _ := c.GateByName("y")
+	if c.Gates[m].Type != ckt.Not || c.Gates[y].Type != ckt.Buf {
+		t.Fatalf("alias types: %v %v", c.Gates[m].Type, c.Gates[y].Type)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		frag string
+	}{
+		{"undefined", "INPUT(a)\nOUTPUT(y)\ny = AND(a, zz)\n", "undefined"},
+		{"badfunc", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = MAJ(a, b)\n", "unknown gate"},
+		{"noassign", "INPUT(a)\nOUTPUT(y)\ny AND(a)\n", "assignment"},
+		{"badparens", "INPUT a\n", "(name)"},
+		{"dup", "INPUT(a)\nINPUT(a)\nOUTPUT(a)\n", "duplicate"},
+		{"emptyoperand", "INPUT(a)\nOUTPUT(y)\ny = AND(a, )\n", "empty operand"},
+		{"undefout", "INPUT(a)\nOUTPUT(q)\nb = NOT(a)\n", "undefined"},
+		{"inputfunc", "INPUT(a)\nOUTPUT(y)\ny = INPUT(a)\n", "INPUT used"},
+		{"cycle", "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = AND(a, y)\n", "cycle"},
+	}
+	for _, tc := range cases {
+		_, err := ParseString(tc.src, tc.name)
+		if err == nil {
+			t.Errorf("%s: parse accepted bad netlist", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.frag)
+		}
+	}
+}
+
+func TestParseCommentsAndBlank(t *testing.T) {
+	src := "# header\n\nINPUT(a) # trailing comment\n# mid\nOUTPUT(y)\ny = NOT(a)\n\n"
+	c, err := ParseString(src, "cmt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 1 {
+		t.Fatalf("gates = %d", c.NumGates())
+	}
+}
+
+// Property: Parse(Format(c)) reproduces an identical circuit.
+func TestRoundTrip(t *testing.T) {
+	c, err := ParseString(c17Bench, "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Format(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ParseString(text, "c17")
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	if c2.NumGates() != c.NumGates() || len(c2.Inputs()) != len(c.Inputs()) || len(c2.Outputs()) != len(c.Outputs()) {
+		t.Fatal("round-trip shape mismatch")
+	}
+	for _, g := range c.Gates {
+		id2, ok := c2.GateByName(g.Name)
+		if !ok {
+			t.Fatalf("gate %q lost in round trip", g.Name)
+		}
+		g2 := c2.Gates[id2]
+		if g2.Type != g.Type || len(g2.Fanin) != len(g.Fanin) || g2.PO != g.PO {
+			t.Fatalf("gate %q changed in round trip", g.Name)
+		}
+		for i, f := range g.Fanin {
+			if c2.Gates[g2.Fanin[i]].Name != c.Gates[f].Name {
+				t.Fatalf("gate %q fanin %d changed", g.Name, i)
+			}
+		}
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	src := "input(a)\noutput(y)\ny = not(a)\n"
+	if _, err := ParseString(src, "lc"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+// Package bench reads and writes the ISCAS-85 ".bench" netlist format:
+//
+//	# comment
+//	INPUT(1)
+//	OUTPUT(22)
+//	22 = NAND(10, 16)
+//
+// Output signals are declared with OUTPUT(name); the named signal is a
+// regular gate (or input) that is additionally latched as a primary
+// output. Forward references are permitted.
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/ckt"
+)
+
+// Parse reads a .bench netlist into a circuit named name.
+func Parse(r io.Reader, name string) (*ckt.Circuit, error) {
+	c := ckt.New(name)
+	type conn struct {
+		dst  string
+		srcs []string
+		line int
+	}
+	var conns []conn
+	var outputs []string
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case hasPrefixFold(line, "INPUT"):
+			arg, err := parens(line[len("INPUT"):], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := c.AddGate(arg, ckt.Input); err != nil {
+				return nil, fmt.Errorf("bench: line %d: %v", lineNo, err)
+			}
+		case hasPrefixFold(line, "OUTPUT"):
+			arg, err := parens(line[len("OUTPUT"):], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			outputs = append(outputs, arg)
+		default:
+			eq := strings.IndexByte(line, '=')
+			if eq < 0 {
+				return nil, fmt.Errorf("bench: line %d: expected assignment, got %q", lineNo, line)
+			}
+			dst := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			op := strings.IndexByte(rhs, '(')
+			cp := strings.LastIndexByte(rhs, ')')
+			if op < 0 || cp < op {
+				return nil, fmt.Errorf("bench: line %d: malformed gate expression %q", lineNo, rhs)
+			}
+			fn := strings.TrimSpace(rhs[:op])
+			gt, err := ckt.ParseGateType(fn)
+			if err != nil {
+				return nil, fmt.Errorf("bench: line %d: %v", lineNo, err)
+			}
+			if gt == ckt.Input {
+				return nil, fmt.Errorf("bench: line %d: INPUT used as gate function", lineNo)
+			}
+			var srcs []string
+			for _, s := range strings.Split(rhs[op+1:cp], ",") {
+				s = strings.TrimSpace(s)
+				if s == "" {
+					return nil, fmt.Errorf("bench: line %d: empty operand in %q", lineNo, rhs)
+				}
+				srcs = append(srcs, s)
+			}
+			if len(srcs) == 0 {
+				return nil, fmt.Errorf("bench: line %d: gate %q has no inputs", lineNo, dst)
+			}
+			if _, err := c.AddGate(dst, gt); err != nil {
+				return nil, fmt.Errorf("bench: line %d: %v", lineNo, err)
+			}
+			conns = append(conns, conn{dst: dst, srcs: srcs, line: lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: read: %v", err)
+	}
+
+	for _, cn := range conns {
+		dstID, _ := c.GateByName(cn.dst)
+		for _, s := range cn.srcs {
+			srcID, ok := c.GateByName(s)
+			if !ok {
+				return nil, fmt.Errorf("bench: line %d: gate %q references undefined signal %q", cn.line, cn.dst, s)
+			}
+			if err := c.Connect(srcID, dstID); err != nil {
+				return nil, fmt.Errorf("bench: line %d: %v", cn.line, err)
+			}
+		}
+	}
+	for _, o := range outputs {
+		id, ok := c.GateByName(o)
+		if !ok {
+			return nil, fmt.Errorf("bench: OUTPUT(%s) references undefined signal", o)
+		}
+		c.MarkPO(id)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ParseString parses a .bench netlist held in a string.
+func ParseString(s, name string) (*ckt.Circuit, error) {
+	return Parse(strings.NewReader(s), name)
+}
+
+func hasPrefixFold(s, prefix string) bool {
+	return len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix)
+}
+
+func parens(s string, line int) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '(' || s[len(s)-1] != ')' {
+		return "", fmt.Errorf("bench: line %d: expected (name), got %q", line, s)
+	}
+	arg := strings.TrimSpace(s[1 : len(s)-1])
+	if arg == "" {
+		return "", fmt.Errorf("bench: line %d: empty name", line)
+	}
+	return arg, nil
+}

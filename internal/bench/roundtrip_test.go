@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// Every generated benchmark must survive Format -> Parse with its full
+// structure intact — this is the contract behind cmd/benchgen and the
+// drop-in .bench workflow.
+func TestSyntheticBenchmarksRoundTrip(t *testing.T) {
+	for _, name := range []string{"c17", "c432", "c499", "c880"} {
+		c, err := gen.ISCAS85(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		text, err := Format(c)
+		if err != nil {
+			t.Fatalf("%s: format: %v", name, err)
+		}
+		c2, err := ParseString(text, name)
+		if err != nil {
+			t.Fatalf("%s: re-parse: %v", name, err)
+		}
+		if c2.NumGates() != c.NumGates() || c2.NumEdges() != c.NumEdges() {
+			t.Fatalf("%s: shape changed: %d/%d gates, %d/%d edges",
+				name, c.NumGates(), c2.NumGates(), c.NumEdges(), c2.NumEdges())
+		}
+		if len(c2.Outputs()) != len(c.Outputs()) || len(c2.Inputs()) != len(c.Inputs()) {
+			t.Fatalf("%s: interface changed", name)
+		}
+		for _, g := range c.Gates {
+			id2, ok := c2.GateByName(g.Name)
+			if !ok {
+				t.Fatalf("%s: gate %q lost", name, g.Name)
+			}
+			g2 := c2.Gates[id2]
+			if g2.Type != g.Type || len(g2.Fanin) != len(g.Fanin) || g2.PO != g.PO {
+				t.Fatalf("%s: gate %q mutated", name, g.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/ckt"
+)
+
+// Write emits the circuit in .bench format: inputs, outputs, then gate
+// assignments in topological order so the file is also readable as a
+// levelized listing.
+func Write(w io.Writer, c *ckt.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates\n", len(c.Inputs()), len(c.Outputs()), c.NumGates())
+	for _, id := range c.Inputs() {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Gates[id].Name)
+	}
+	for _, id := range c.Outputs() {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Gates[id].Name)
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, id := range order {
+		g := c.Gates[id]
+		if g.Type == ckt.Input {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			names[i] = c.Gates[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// Format returns the circuit as a .bench string.
+func Format(c *ckt.Circuit) (string, error) {
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}

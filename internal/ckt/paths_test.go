@@ -1,0 +1,102 @@
+package ckt
+
+import "testing"
+
+func TestCountPathsC17(t *testing.T) {
+	c := buildC17(t)
+	// c17 paths: enumerate by hand.
+	// PI1->10->22; PI3->10->22; PI3->11->16->22; PI3->11->16->23;
+	// PI3->11->19->23; PI6->11->16->22; PI6->11->16->23; PI6->11->19->23;
+	// PI2->16->22; PI2->16->23; PI7->19->23.
+	const want = 11
+	if got := c.CountPaths(); got != want {
+		t.Fatalf("CountPaths = %d, want %d", got, want)
+	}
+}
+
+func TestEnumeratePathsC17(t *testing.T) {
+	c := buildC17(t)
+	paths := c.EnumeratePaths(0)
+	if int64(len(paths)) != c.CountPaths() {
+		t.Fatalf("enumerated %d paths, CountPaths says %d", len(paths), c.CountPaths())
+	}
+	for _, p := range paths {
+		if len(p) == 0 {
+			t.Fatal("empty path")
+		}
+		last := c.Gates[p[len(p)-1]]
+		if !last.PO {
+			t.Fatalf("path does not end at PO: %v", p)
+		}
+		for i := 1; i < len(p); i++ {
+			found := false
+			for _, f := range c.Gates[p[i]].Fanin {
+				if f == p[i-1] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("path edge %d->%d is not a circuit edge", p[i-1], p[i])
+			}
+		}
+		for _, id := range p {
+			if c.Gates[id].Type == Input {
+				t.Fatal("path contains PI pseudo-gate")
+			}
+		}
+	}
+}
+
+func TestEnumeratePathsCapKeepsLongest(t *testing.T) {
+	c := buildC17(t)
+	capped := c.EnumeratePaths(3)
+	if len(capped) != 3 {
+		t.Fatalf("cap 3 returned %d paths", len(capped))
+	}
+	// The longest c17 paths have 3 gates; all kept paths must have 3.
+	for _, p := range capped {
+		if len(p) != 3 {
+			t.Fatalf("capped enumeration kept short path of %d gates", len(p))
+		}
+	}
+}
+
+func TestLongestPathGates(t *testing.T) {
+	c := buildC17(t)
+	if got := c.LongestPathGates(); got != 3 {
+		t.Fatalf("LongestPathGates = %d, want 3", got)
+	}
+}
+
+func TestCountPathsSaturates(t *testing.T) {
+	// Ladder of XOR pairs doubles path count per level; 80 levels
+	// overflows int64 if not saturated.
+	c := New("ladder")
+	a := c.MustAddGate("a", Input)
+	b := c.MustAddGate("b", Input)
+	prev1, prev2 := a, b
+	for i := 0; i < 80; i++ {
+		g1 := c.MustAddGate(name("x", i), Xor)
+		g2 := c.MustAddGate(name("y", i), Xor)
+		c.MustConnect(prev1, g1)
+		c.MustConnect(prev2, g1)
+		c.MustConnect(prev1, g2)
+		c.MustConnect(prev2, g2)
+		prev1, prev2 = g1, g2
+	}
+	c.MarkPO(prev1)
+	if got := c.CountPaths(); got != int64(1)<<62 {
+		t.Fatalf("CountPaths should saturate at 1<<62, got %d", got)
+	}
+}
+
+func BenchmarkTopoOrder(b *testing.B) {
+	c := buildC17(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.TopoOrder(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

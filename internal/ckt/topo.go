@@ -1,0 +1,128 @@
+package ckt
+
+import "fmt"
+
+// TopoOrder returns gate IDs in topological order (fanin before
+// fanout), primary inputs first. It returns an error if the netlist
+// contains a combinational cycle.
+func (c *Circuit) TopoOrder() ([]int, error) {
+	n := len(c.Gates)
+	indeg := make([]int, n)
+	for _, g := range c.Gates {
+		indeg[g.ID] = len(g.Fanin)
+	}
+	order := make([]int, 0, n)
+	queue := make([]int, 0, n)
+	for _, g := range c.Gates {
+		if indeg[g.ID] == 0 {
+			queue = append(queue, g.ID)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, s := range c.Gates[id].Fanout {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("ckt: circuit %q has a combinational cycle (%d of %d gates ordered)", c.Name, len(order), n)
+	}
+	return order, nil
+}
+
+// MustTopoOrder is TopoOrder that panics on cyclic netlists. Use after
+// Validate has succeeded.
+func (c *Circuit) MustTopoOrder() []int {
+	o, err := c.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// ReverseTopoOrder returns gate IDs with every gate before its fanins
+// (POs towards PIs), as required by the ASERTA §3.2 pass and the
+// SERTOPT matching pass.
+func (c *Circuit) ReverseTopoOrder() ([]int, error) {
+	o, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for i, j := 0, len(o)-1; i < j; i, j = i+1, j-1 {
+		o[i], o[j] = o[j], o[i]
+	}
+	return o, nil
+}
+
+// Levels assigns each gate its longest distance (in gates) from a
+// primary input; inputs are level 0. The result is indexed by gate ID.
+func (c *Circuit) Levels() []int {
+	lv := make([]int, len(c.Gates))
+	order, err := c.TopoOrder()
+	if err != nil {
+		// Levels on a cyclic netlist is meaningless; report level 0.
+		return lv
+	}
+	for _, id := range order {
+		g := c.Gates[id]
+		for _, f := range g.Fanin {
+			if lv[f]+1 > lv[id] {
+				lv[id] = lv[f] + 1
+			}
+		}
+	}
+	return lv
+}
+
+// DepthFromPO assigns each gate its shortest distance (in gates) to any
+// primary output; PO gates are depth 0. Gates with no path to a PO get
+// depth -1. Used for the Fig. 3 "at most five levels deep" filter.
+func (c *Circuit) DepthFromPO() []int {
+	n := len(c.Gates)
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	queue := make([]int, 0, n)
+	for _, id := range c.output {
+		depth[id] = 0
+		queue = append(queue, id)
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, f := range c.Gates[id].Fanin {
+			if depth[f] == -1 {
+				depth[f] = depth[id] + 1
+				queue = append(queue, f)
+			}
+		}
+	}
+	return depth
+}
+
+// TransitiveFanoutReach returns, for gate id, the set of PO gate IDs
+// reachable from it (including itself if it is a PO).
+func (c *Circuit) TransitiveFanoutReach(id int) []int {
+	seen := make(map[int]bool)
+	var pos []int
+	stack := []int{id}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		if c.Gates[v].PO {
+			pos = append(pos, v)
+		}
+		stack = append(stack, c.Gates[v].Fanout...)
+	}
+	return pos
+}

@@ -1,0 +1,108 @@
+package devmodel
+
+import "math"
+
+// MOSType distinguishes NMOS from PMOS devices.
+type MOSType uint8
+
+const (
+	NMOS MOSType = iota
+	PMOS
+)
+
+// MOSFET is one transistor instance. Voltages are handled externally;
+// the model provides terminal current given (Vgs, Vds) magnitudes for
+// the device's own polarity convention.
+type MOSFET struct {
+	Type MOSType
+	// W and L are the drawn width and channel length in meters.
+	W, L float64
+	// Vth is the threshold voltage magnitude in volts.
+	Vth float64
+
+	tech *Tech
+}
+
+// NewMOSFET builds a transistor on technology t.
+func NewMOSFET(tech *Tech, typ MOSType, w, l, vth float64) *MOSFET {
+	return &MOSFET{Type: typ, W: w, L: l, Vth: vth, tech: tech}
+}
+
+// leff returns the effective channel length: drawn length with a small
+// fixed offset, floored to 60% of Lmin for numerical safety.
+func (m *MOSFET) leff() float64 {
+	le := m.L - 0.1*m.tech.Lmin
+	if min := 0.6 * m.tech.Lmin; le < min {
+		le = min
+	}
+	return le
+}
+
+// k returns the transconductance coefficient for the device polarity.
+func (m *MOSFET) k() float64 {
+	if m.Type == PMOS {
+		return m.tech.Kp
+	}
+	return m.tech.Kn
+}
+
+// Ids returns the drain current magnitude (A) for gate-source and
+// drain-source voltage magnitudes vgs, vds >= 0 in the device's own
+// convention (for PMOS pass |Vgs|, |Vds|).
+//
+// Regions:
+//   - subthreshold (vgs <= Vth): exponential leakage;
+//   - saturation (vds >= vdsat): alpha-power law with channel-length
+//     modulation;
+//   - triode (vds < vdsat): quadratic interpolation to zero at vds=0,
+//     continuous with saturation at vds=vdsat.
+func (m *MOSFET) Ids(vgs, vds float64) float64 {
+	if vds <= 0 {
+		return 0
+	}
+	wl := m.W / m.leff()
+	t := m.tech
+	// Softplus effective overdrive unifies subthreshold and strong
+	// inversion in one smooth, monotone expression: far above Vth it
+	// approaches vgs−Vth (alpha-power law); far below it decays
+	// exponentially with the subthreshold slope.
+	x := (vgs - m.Vth) / t.SubthresholdSlope
+	var vov float64
+	if x > 40 {
+		vov = vgs - m.Vth
+	} else {
+		vov = t.SubthresholdSlope * math.Log1p(math.Exp(x))
+	}
+	idsat := m.k() * wl * math.Pow(vov, t.Alpha)
+	if vgs <= m.Vth {
+		// Deep subthreshold: drain saturation happens within ~3 vT.
+		sat := 1 - math.Exp(-vds/0.026)
+		return idsat * sat
+	}
+	// Sakurai–Newton vdsat grows sublinearly with overdrive.
+	vdsat := 0.5 * math.Pow(vov, t.Alpha/2)
+	if vdsat > vov {
+		vdsat = vov
+	}
+	if vds >= vdsat {
+		return idsat * (1 + t.LambdaCLM*(vds-vdsat))
+	}
+	r := vds / vdsat
+	return idsat * r * (2 - r)
+}
+
+// OnCurrent returns the saturated on-current at full gate drive vdd.
+func (m *MOSFET) OnCurrent(vdd float64) float64 {
+	return m.Ids(vdd, vdd)
+}
+
+// LeakCurrent returns the off-state (vgs=0) leakage at drain bias vdd.
+func (m *MOSFET) LeakCurrent(vdd float64) float64 {
+	return m.Ids(0, vdd)
+}
+
+// GateCap returns this device's gate capacitance.
+func (m *MOSFET) GateCap() float64 { return m.tech.GateCap(m.W, m.L) }
+
+// JunctionCap returns this device's drain junction capacitance.
+func (m *MOSFET) JunctionCap() float64 { return m.tech.JunctionCap(m.W) }

@@ -1,0 +1,151 @@
+package devmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func nmos() *MOSFET {
+	t := Tech70nm()
+	return NewMOSFET(t, NMOS, t.Wbase, t.Lmin, t.Vthnom)
+}
+
+func TestIdsZeroAtZeroVds(t *testing.T) {
+	m := nmos()
+	if got := m.Ids(1.0, 0); got != 0 {
+		t.Fatalf("Ids(vds=0) = %g, want 0", got)
+	}
+	if got := m.Ids(1.0, -0.1); got != 0 {
+		t.Fatalf("Ids(vds<0) = %g, want 0", got)
+	}
+}
+
+func TestIdsMonotoneInVgs(t *testing.T) {
+	m := nmos()
+	prev := -1.0
+	for vgs := 0.0; vgs <= 1.2; vgs += 0.01 {
+		i := m.Ids(vgs, 1.0)
+		if i < prev {
+			t.Fatalf("Ids not monotone in vgs at %g: %g < %g", vgs, i, prev)
+		}
+		prev = i
+	}
+}
+
+func TestIdsMonotoneInVds(t *testing.T) {
+	m := nmos()
+	prev := 0.0
+	for vds := 0.001; vds <= 1.2; vds += 0.005 {
+		i := m.Ids(1.0, vds)
+		if i+1e-18 < prev {
+			t.Fatalf("Ids not monotone in vds at %g: %g < %g", vds, i, prev)
+		}
+		prev = i
+	}
+}
+
+func TestIdsContinuousAtVdsat(t *testing.T) {
+	m := nmos()
+	vov := 1.0 - m.Vth
+	vdsat := 0.5 * math.Pow(vov, m.tech.Alpha/2)
+	lo := m.Ids(1.0, vdsat-1e-9)
+	hi := m.Ids(1.0, vdsat+1e-9)
+	if math.Abs(lo-hi)/hi > 1e-4 {
+		t.Fatalf("discontinuity at vdsat: %g vs %g", lo, hi)
+	}
+}
+
+func TestSubthresholdContinuity(t *testing.T) {
+	m := nmos()
+	below := m.Ids(m.Vth-1e-6, 0.5)
+	above := m.Ids(m.Vth+1e-6, 0.5)
+	// The two model regions should be within ~2x at the boundary
+	// (exact continuity is not required by the characterization, but a
+	// huge jump would distort delay-vs-Vth trends).
+	if above/below > 3 || below/above > 3 {
+		t.Fatalf("subthreshold/on boundary jump: below=%g above=%g", below, above)
+	}
+}
+
+func TestLeakageIncreasesWithLowerVth(t *testing.T) {
+	tech := Tech70nm()
+	m1 := NewMOSFET(tech, NMOS, tech.Wbase, tech.Lmin, 0.1)
+	m2 := NewMOSFET(tech, NMOS, tech.Wbase, tech.Lmin, 0.3)
+	if m1.LeakCurrent(1.0) <= m2.LeakCurrent(1.0) {
+		t.Fatal("lower Vth should leak more")
+	}
+	ratio := m1.LeakCurrent(1.0) / m2.LeakCurrent(1.0)
+	// 200 mV / 34 mV per e-fold => ~exp(5.9) ~ 350x.
+	if ratio < 50 || ratio > 1e5 {
+		t.Fatalf("leakage ratio for 200mV Vth delta = %g, implausible", ratio)
+	}
+}
+
+func TestOnCurrentScalesWithWidth(t *testing.T) {
+	tech := Tech70nm()
+	m1 := NewMOSFET(tech, NMOS, tech.Wbase, tech.Lmin, tech.Vthnom)
+	m4 := NewMOSFET(tech, NMOS, 4*tech.Wbase, tech.Lmin, tech.Vthnom)
+	r := m4.OnCurrent(1.0) / m1.OnCurrent(1.0)
+	if math.Abs(r-4) > 1e-9 {
+		t.Fatalf("on-current width scaling = %g, want 4", r)
+	}
+}
+
+func TestOnCurrentFallsWithLongerChannel(t *testing.T) {
+	tech := Tech70nm()
+	m70 := NewMOSFET(tech, NMOS, tech.Wbase, 70e-9, tech.Vthnom)
+	m300 := NewMOSFET(tech, NMOS, tech.Wbase, 300e-9, tech.Vthnom)
+	if m300.OnCurrent(1.0) >= m70.OnCurrent(1.0) {
+		t.Fatal("longer channel should reduce on-current")
+	}
+}
+
+func TestPMOSWeakerThanNMOS(t *testing.T) {
+	tech := Tech70nm()
+	n := NewMOSFET(tech, NMOS, tech.Wbase, tech.Lmin, tech.Vthnom)
+	p := NewMOSFET(tech, PMOS, tech.Wbase, tech.Lmin, tech.Vthnom)
+	if p.OnCurrent(1.0) >= n.OnCurrent(1.0) {
+		t.Fatal("PMOS should be weaker than NMOS at equal size")
+	}
+}
+
+func TestOnCurrentPlausibleMagnitude(t *testing.T) {
+	m := nmos()
+	i := m.OnCurrent(1.0)
+	// A 100nm-wide 70nm NMOS at VDD=1V should drive tens of uA.
+	if i < 5e-6 || i > 5e-4 {
+		t.Fatalf("on current = %g A, implausible for 70nm/100nm", i)
+	}
+}
+
+// Property: current is non-negative for any plausible bias.
+func TestIdsNonNegative(t *testing.T) {
+	m := nmos()
+	f := func(a, b uint16) bool {
+		vgs := float64(a) / 65535.0 * 1.5
+		vds := float64(b)/65535.0*3.0 - 1.0
+		return m.Ids(vgs, vds) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCapacitanceModels(t *testing.T) {
+	tech := Tech70nm()
+	cg := tech.GateCap(tech.Wbase, tech.Lmin)
+	if cg <= 0 || cg > 1e-15 {
+		t.Fatalf("gate cap = %g F, implausible (want ~0.1 fF)", cg)
+	}
+	cj := tech.JunctionCap(tech.Wbase)
+	if cj <= 0 || cj > 1e-15 {
+		t.Fatalf("junction cap = %g F, implausible", cj)
+	}
+	if tech.GateCap(2*tech.Wbase, tech.Lmin) <= cg {
+		t.Fatal("gate cap must grow with width")
+	}
+	if tech.GateCap(tech.Wbase, 2*tech.Lmin) <= cg {
+		t.Fatal("gate cap must grow with length")
+	}
+}

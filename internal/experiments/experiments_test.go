@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/charlib"
+	"repro/internal/devmodel"
+	"repro/internal/gen"
+	"repro/internal/sertopt"
+)
+
+var (
+	libOnce sync.Once
+	testLib *charlib.Library
+)
+
+func lib() *charlib.Library {
+	libOnce.Do(func() {
+		testLib = charlib.NewLibrary(devmodel.Tech70nm(), charlib.CoarseGrid())
+	})
+	return testLib
+}
+
+// monotone tolerates half a simulator timestep of measurement jitter.
+func monotone(points []SweepPoint, increasing bool) bool {
+	const eps = 0.5e-12
+	for i := 1; i < len(points); i++ {
+		if increasing && points[i].Y < points[i-1].Y-eps {
+			return false
+		}
+		if !increasing && points[i].Y > points[i-1].Y+eps {
+			return false
+		}
+	}
+	return true
+}
+
+func curveByLabel(t *testing.T, curves []Curve, label string) Curve {
+	t.Helper()
+	for _, c := range curves {
+		if c.Label == label {
+			return c
+		}
+	}
+	t.Fatalf("curve %q missing", label)
+	return Curve{}
+}
+
+// Fig. 1 shape: generated glitch width falls with size and VDD, grows
+// with channel length and Vth.
+func TestFig1Trends(t *testing.T) {
+	curves, err := Fig1(devmodel.Tech70nm(), Fig1Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 4 {
+		t.Fatalf("Fig1 has %d curves, want 4", len(curves))
+	}
+	if c := curveByLabel(t, curves, "size"); !monotone(c.Points, false) {
+		t.Errorf("generated width should fall with size: %+v", c.Points)
+	}
+	if c := curveByLabel(t, curves, "length"); !monotone(c.Points, true) {
+		t.Errorf("generated width should grow with channel length: %+v", c.Points)
+	}
+	if c := curveByLabel(t, curves, "vdd"); !monotone(c.Points, false) {
+		t.Errorf("generated width should fall with VDD: %+v", c.Points)
+	}
+	if c := curveByLabel(t, curves, "vth"); !monotone(c.Points, true) {
+		t.Errorf("generated width should grow with Vth: %+v", c.Points)
+	}
+	// The weak end of every sweep must show a real glitch (a strong
+	// enough gate absorbing the strike entirely — zero width at large
+	// sizes — is physical and the paper's point).
+	for _, c := range curves {
+		weak := c.Points[0]
+		if c.Label == "length" || c.Label == "vth" {
+			weak = c.Points[len(c.Points)-1]
+		}
+		if weak.Y <= 0 {
+			t.Fatalf("curve %s has no glitch even at its weakest corner", c.Label)
+		}
+	}
+}
+
+// Fig. 2 shape: the opposite tension — propagated width grows with
+// size and VDD (less attenuation by a faster gate), falls with length
+// and Vth.
+func TestFig2Trends(t *testing.T) {
+	curves, err := Fig2(devmodel.Tech70nm(), Fig2Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := curveByLabel(t, curves, "size"); !monotone(c.Points, true) {
+		t.Errorf("propagated width should grow with size: %+v", c.Points)
+	}
+	if c := curveByLabel(t, curves, "length"); !monotone(c.Points, false) {
+		t.Errorf("propagated width should fall with channel length: %+v", c.Points)
+	}
+	if c := curveByLabel(t, curves, "vdd"); !monotone(c.Points, true) {
+		t.Errorf("propagated width should grow with VDD: %+v", c.Points)
+	}
+	if c := curveByLabel(t, curves, "vth"); !monotone(c.Points, false) {
+		t.Errorf("propagated width should fall with Vth: %+v", c.Points)
+	}
+}
+
+func TestGoldenUnreliabilityC17(t *testing.T) {
+	c := gen.C17()
+	cells, err := sertopt.InitialSizing(c, lib(), 0, 2e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GoldenUnreliability(devmodel.Tech70nm(), c, cells, GoldenConfig{
+		Vectors: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 4*6 {
+		t.Fatalf("runs = %d, want 24 (4 vectors x 6 gates)", res.Runs)
+	}
+	anyPositive := false
+	for _, u := range res.Ui {
+		if u < 0 {
+			t.Fatal("negative golden Ui")
+		}
+		if u > 0 {
+			anyPositive = true
+		}
+	}
+	if !anyPositive {
+		t.Fatal("no gate produced any PO glitch; golden path is broken")
+	}
+}
+
+func TestGatesWithinLevels(t *testing.T) {
+	c := gen.C17()
+	// Depth 0: only the PO gates (22, 23).
+	if got := GatesWithinLevels(c, 0); len(got) != 2 {
+		t.Fatalf("depth 0 gates = %d, want 2", len(got))
+	}
+	// Depth 5 covers all 6 gates.
+	if got := GatesWithinLevels(c, 5); len(got) != 6 {
+		t.Fatalf("depth 5 gates = %d, want 6", len(got))
+	}
+}
+
+// Fig. 3 on c17: ASERTA and the golden simulator must correlate
+// positively (the paper reports 0.96 on c432 and 0.9 suite average;
+// the tiny c17 with few gates is a smoke-level check of the pipeline).
+func TestFig3C17Correlation(t *testing.T) {
+	c := gen.C17()
+	res, err := Fig3(c, lib(), Fig3Config{
+		Depth:   5,
+		Vectors: 4000,
+		Seed:    2,
+		Golden:  GoldenConfig{Vectors: 8, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 6 {
+		t.Fatalf("points = %d, want 6", len(res.Points))
+	}
+	if math.IsNaN(res.Correlation) {
+		t.Fatal("correlation is NaN")
+	}
+	t.Logf("c17 ASERTA/golden correlation = %.3f (%d golden runs)", res.Correlation, res.GoldenRuns)
+	if res.Correlation < 0.3 {
+		t.Fatalf("correlation %.3f too low; estimators disagree badly", res.Correlation)
+	}
+}
+
+func TestTable1SingleRowC17(t *testing.T) {
+	// Full Table 1 rows use ISCAS profiles; c17 exercises the whole
+	// row pipeline (optimize + ASERTA-50 + golden) quickly.
+	row, err := Table1Run(Table1Spec{
+		Circuit: "c17",
+		VDDs:    []float64{0.8, 1.0},
+		Vths:    []float64{0.2, 0.3},
+	}, lib(), Table1Config{
+		Options: sertopt.Options{
+			Vectors:    2000,
+			Iterations: 2,
+			MaxBasis:   4,
+			Seed:       4,
+			Match:      sertopt.MatchConfig{POLoad: 2e-15},
+		},
+		GoldenVectors: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Circuit != "c17" || !row.HasGolden {
+		t.Fatalf("row = %+v", row)
+	}
+	if row.AreaRatio <= 0 || row.EnergyRatio <= 0 || row.DelayRatio <= 0 {
+		t.Fatalf("ratios = %+v", row)
+	}
+	if math.Abs(row.UDecreaseASERTA) > 1 {
+		t.Fatalf("U decrease out of range: %g", row.UDecreaseASERTA)
+	}
+	t.Logf("c17 row: dU=%.1f%% dU50=%.1f%% dUgold=%.1f%% A=%.2f E=%.2f T=%.2f",
+		100*row.UDecreaseASERTA, 100*row.UDecreaseASERTA50, 100*row.UDecreaseGolden,
+		row.AreaRatio, row.EnergyRatio, row.DelayRatio)
+}

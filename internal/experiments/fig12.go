@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/ckt"
+	"repro/internal/devmodel"
+	"repro/internal/spice"
+)
+
+// SweepPoint is one (x, y) sample of a figure curve.
+type SweepPoint struct {
+	X float64
+	Y float64 // seconds (glitch width)
+}
+
+// Curve is one labelled series of a figure.
+type Curve struct {
+	Label  string
+	Points []SweepPoint
+}
+
+// Fig1Config parameterizes the glitch-generation sweep (Fig. 1:
+// "Glitch generation characteristics for an inverter for an injected
+// charge of 16fC").
+type Fig1Config struct {
+	QInj float64 // default 16 fC
+	Load float64 // fanout load on the inverter
+}
+
+// Fig1 sweeps size, channel length, VDD and Vth for an inverter and
+// measures the strike-generated glitch width with the transient
+// simulator, reproducing the four curves of Fig. 1.
+func Fig1(tech *devmodel.Tech, cfg Fig1Config) ([]Curve, error) {
+	if cfg.QInj == 0 {
+		cfg.QInj = 16e-15
+	}
+	if cfg.Load == 0 {
+		cfg.Load = 0.4e-15
+	}
+	base := spice.Params{Size: 2, L: tech.Lmin, VDD: tech.VDDnom, Vth: tech.Vthnom}
+	measure := func(p spice.Params) (float64, error) {
+		return generatedGlitchWidth(tech, p, cfg.Load, cfg.QInj)
+	}
+	return sweepFour(base, measure)
+}
+
+// Fig2Config parameterizes the glitch-propagation sweep (Fig. 2:
+// "Glitch propagation characteristics of an inverter for an input
+// glitch of duration 50ps").
+type Fig2Config struct {
+	InWidth float64 // default 50 ps
+	Load    float64
+}
+
+// Fig2 sweeps the same four variables and measures the width of a
+// 50 ps input glitch after passing through the inverter.
+func Fig2(tech *devmodel.Tech, cfg Fig2Config) ([]Curve, error) {
+	if cfg.InWidth == 0 {
+		cfg.InWidth = 50e-12
+	}
+	if cfg.Load == 0 {
+		// Attenuation only bites when the gate delay is comparable to
+		// the glitch width (Eq. 1), so the Fig. 2 fixture is a
+		// minimum-size inverter under a heavy load — the same regime
+		// the paper's Fig. 2 explores from the slow end of each sweep.
+		cfg.Load = 6e-15
+	}
+	base := spice.Params{Size: 1, L: tech.Lmin, VDD: tech.VDDnom, Vth: tech.Vthnom}
+	measure := func(p spice.Params) (float64, error) {
+		return propagatedGlitchWidth(tech, p, cfg.Load, cfg.InWidth)
+	}
+	return sweepFour(base, measure)
+}
+
+// sweepFour runs the four per-variable sweeps the paper plots: size,
+// channel length, VDD, Vth, each around the base point.
+func sweepFour(base spice.Params, measure func(spice.Params) (float64, error)) ([]Curve, error) {
+	sizes := []float64{1, 2, 3, 4, 6, 8}
+	lengths := []float64{70e-9, 100e-9, 150e-9, 250e-9, 300e-9}
+	vdds := []float64{0.7, 0.8, 0.9, 1.0, 1.1, 1.2}
+	vths := []float64{0.1, 0.15, 0.2, 0.25, 0.3, 0.35}
+
+	curves := make([]Curve, 0, 4)
+	mk := func(label string, xs []float64, set func(*spice.Params, float64)) error {
+		cv := Curve{Label: label}
+		for _, x := range xs {
+			p := base
+			set(&p, x)
+			y, err := measure(p)
+			if err != nil {
+				return fmt.Errorf("experiments: %s sweep at %g: %v", label, x, err)
+			}
+			cv.Points = append(cv.Points, SweepPoint{X: x, Y: y})
+		}
+		curves = append(curves, cv)
+		return nil
+	}
+	if err := mk("size", sizes, func(p *spice.Params, x float64) { p.Size = x }); err != nil {
+		return nil, err
+	}
+	if err := mk("length", lengths, func(p *spice.Params, x float64) { p.L = x }); err != nil {
+		return nil, err
+	}
+	if err := mk("vdd", vdds, func(p *spice.Params, x float64) { p.VDD = x }); err != nil {
+		return nil, err
+	}
+	if err := mk("vth", vths, func(p *spice.Params, x float64) { p.Vth = x }); err != nil {
+		return nil, err
+	}
+	return curves, nil
+}
+
+// generatedGlitchWidth builds a single inverter fixture, strikes its
+// output and returns the glitch width at the half-VDD level.
+func generatedGlitchWidth(tech *devmodel.Tech, p spice.Params, load, qInj float64) (float64, error) {
+	c := ckt.New("fig1-inv")
+	a := c.MustAddGate("a", ckt.Input)
+	y := c.MustAddGate("y", ckt.Not)
+	c.MustConnect(a, y)
+	c.MarkPO(y)
+	params := []spice.Params{{}, p}
+	sim, err := spice.FromCircuit(tech, c, params, load)
+	if err != nil {
+		return 0, err
+	}
+	sim.SetInput(0, spice.DC(0)) // output sits high; strike removes charge
+	sim.Settle()
+	node := sim.GateNode(y)
+	sim.AddInjection(&spice.Injection{Node: node, Q: -qInj, T0: 20e-12})
+	waves := sim.Run(2e-9, 1e-12, []int{node})
+	return spice.GlitchWidth(waves[0], 1e-12, p.VDD), nil
+}
+
+// propagatedGlitchWidth drives an inverter with a trapezoidal glitch
+// of the given width and returns the output glitch width.
+func propagatedGlitchWidth(tech *devmodel.Tech, p spice.Params, load, inWidth float64) (float64, error) {
+	c := ckt.New("fig2-inv")
+	a := c.MustAddGate("a", ckt.Input)
+	y := c.MustAddGate("y", ckt.Not)
+	c.MustConnect(a, y)
+	c.MarkPO(y)
+	params := []spice.Params{{}, p}
+	sim, err := spice.FromCircuit(tech, c, params, load)
+	if err != nil {
+		return 0, err
+	}
+	sim.SetInput(0, spice.Pulse{Base: 0, Peak: p.VDD, T0: 100e-12, W: inWidth, TEdge: 10e-12})
+	sim.Settle()
+	node := sim.GateNode(y)
+	waves := sim.Run(1e-9, 1e-12, []int{node})
+	return spice.GlitchWidth(waves[0], 1e-12, p.VDD), nil
+}

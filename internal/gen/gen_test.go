@@ -1,0 +1,150 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/ckt"
+)
+
+func TestC17Genuine(t *testing.T) {
+	c := C17()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Summary()
+	if s.PIs != 5 || s.POs != 2 || s.Gates != 6 || s.ByType[ckt.Nand] != 6 {
+		t.Fatalf("c17 = %+v", s)
+	}
+}
+
+func TestISCAS85Profiles(t *testing.T) {
+	for _, name := range Names() {
+		c, err := ISCAS85(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", name, err)
+		}
+		if name == "c17" {
+			continue
+		}
+		p := iscasProfiles[name]
+		s := c.Summary()
+		if s.PIs != p.PIs {
+			t.Errorf("%s: PIs = %d, want %d", name, s.PIs, p.PIs)
+		}
+		if s.POs < p.POs {
+			t.Errorf("%s: POs = %d, want >= %d", name, s.POs, p.POs)
+		}
+		// Gate count should match the published profile within the
+		// small slack used to absorb unused PIs.
+		if s.Gates < p.Gates || s.Gates > p.Gates+p.PIs {
+			t.Errorf("%s: gates = %d, want ~%d", name, s.Gates, p.Gates)
+		}
+		if s.Levels < p.Depth/2 {
+			t.Errorf("%s: depth = %d, want >= %d", name, s.Levels, p.Depth/2)
+		}
+		// POs must be terminal: ASERTA's §3.2 pass (like the paper)
+		// stops glitch propagation at PO gates.
+		for _, po := range c.Outputs() {
+			if len(c.Gates[po].Fanout) != 0 {
+				t.Errorf("%s: PO %s has fanout", name, c.Gates[po].Name)
+			}
+		}
+		// No dead logic: every non-PO gate must have fanout.
+		for _, g := range c.Gates {
+			if g.Type == ckt.Input {
+				if len(g.Fanout) == 0 {
+					t.Errorf("%s: unused PI %s", name, g.Name)
+				}
+				continue
+			}
+			if !g.PO && len(g.Fanout) == 0 {
+				t.Errorf("%s: dead gate %s", name, g.Name)
+			}
+		}
+	}
+}
+
+func TestISCAS85Unknown(t *testing.T) {
+	if _, err := ISCAS85("c9999"); err == nil {
+		t.Fatal("unknown circuit accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := iscasProfiles["c432"]
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Gates) != len(b.Gates) {
+		t.Fatal("generation not deterministic in size")
+	}
+	for i := range a.Gates {
+		ga, gb := a.Gates[i], b.Gates[i]
+		if ga.Type != gb.Type || len(ga.Fanin) != len(gb.Fanin) {
+			t.Fatal("generation not deterministic in structure")
+		}
+		for k := range ga.Fanin {
+			if ga.Fanin[k] != gb.Fanin[k] {
+				t.Fatal("generation not deterministic in wiring")
+			}
+		}
+	}
+}
+
+func TestGenerateReconvergence(t *testing.T) {
+	// The generator must create reconvergent fanout (gates whose
+	// fanout cones re-join): without it the logical-masking model is
+	// not stressed. Count gates with >= 2 fanouts.
+	c, err := ISCAS85("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := 0
+	for _, g := range c.Gates {
+		if len(g.Fanout) >= 2 {
+			multi++
+		}
+	}
+	if multi < 10 {
+		t.Fatalf("only %d multi-fanout nodes; no meaningful reconvergence", multi)
+	}
+}
+
+func TestGenerateXorHeavyC499(t *testing.T) {
+	c, err := ISCAS85("c499")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Summary()
+	xors := s.ByType[ckt.Xor] + s.ByType[ckt.Xnor]
+	if float64(xors) < 0.3*float64(s.Gates) {
+		t.Fatalf("c499 profile should be XOR-heavy: %d of %d", xors, s.Gates)
+	}
+}
+
+func TestGenerateDegenerateProfiles(t *testing.T) {
+	if _, err := Generate(Profile{Name: "bad", PIs: 1, POs: 1, Gates: 5}); err == nil {
+		t.Error("PIs=1 accepted")
+	}
+	if _, err := Generate(Profile{Name: "bad", PIs: 4, POs: 0, Gates: 5}); err == nil {
+		t.Error("POs=0 accepted")
+	}
+	if _, err := Generate(Profile{Name: "bad", PIs: 4, POs: 9, Gates: 5}); err == nil {
+		t.Error("Gates < POs accepted")
+	}
+}
+
+func TestNamesOrdered(t *testing.T) {
+	names := Names()
+	if names[0] != "c17" || names[len(names)-1] != "c7552" {
+		t.Fatalf("Names() = %v", names)
+	}
+}

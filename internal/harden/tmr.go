@@ -1,0 +1,154 @@
+// Package harden implements the classical structural soft-error
+// defenses the paper argues against for commodity parts (§1:
+// duplication/triplication "have too high delay, area and power
+// overheads"): triple modular redundancy with majority voters. It
+// exists as the comparison baseline for SERTOPT — the experiments
+// quantify the paper's claim that TMR buys large unreliability
+// reductions at multiples of the area/energy budget, while SERTOPT
+// trades single-digit overheads for its reduction.
+package harden
+
+import (
+	"fmt"
+
+	"repro/internal/ckt"
+)
+
+// TMRResult carries the transformed circuit and bookkeeping maps.
+type TMRResult struct {
+	Circuit *ckt.Circuit
+	// CopyOf[newGateID] = original gate ID (or -1 for voter gates and
+	// PIs).
+	CopyOf []int
+	// VoterGates lists the IDs of all inserted voter gates.
+	VoterGates []int
+}
+
+// TMR triplicates the combinational logic of c (primary inputs are
+// shared, as in standard flip-flop-less combinational TMR) and inserts
+// a 2-level AND-OR majority voter at every primary output. The voter
+// computes MAJ(a,b,c) = (a∧b) ∨ (b∧c) ∨ (a∧c).
+func TMR(c *ckt.Circuit) (*TMRResult, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("harden: input circuit invalid: %v", err)
+	}
+	nc := ckt.New(c.Name + "-tmr")
+	res := &TMRResult{Circuit: nc}
+	copyOf := func(orig int) { res.CopyOf = append(res.CopyOf, orig) }
+
+	// Shared PIs.
+	piMap := make(map[int]int)
+	for _, pi := range c.Inputs() {
+		id := nc.MustAddGate(c.Gates[pi].Name, ckt.Input)
+		piMap[pi] = id
+		copyOf(-1)
+	}
+
+	// Three copies of the logic.
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	gateMap := make([][]int, 3) // gateMap[k][origID] = new ID
+	for k := 0; k < 3; k++ {
+		gateMap[k] = make([]int, len(c.Gates))
+		for i := range gateMap[k] {
+			gateMap[k][i] = -1
+		}
+		for _, id := range order {
+			g := c.Gates[id]
+			if g.Type == ckt.Input {
+				gateMap[k][id] = piMap[id]
+				continue
+			}
+			nid := nc.MustAddGate(fmt.Sprintf("%s_r%d", g.Name, k), g.Type)
+			copyOf(id)
+			gateMap[k][id] = nid
+			for _, f := range g.Fanin {
+				nc.MustConnect(gateMap[k][f], nid)
+			}
+		}
+	}
+
+	// Majority voter per original PO.
+	for _, po := range c.Outputs() {
+		a := gateMap[0][po]
+		b := gateMap[1][po]
+		d := gateMap[2][po]
+		name := c.Gates[po].Name
+		and := func(suffix string, x, y int) int {
+			id := nc.MustAddGate(fmt.Sprintf("%s_v%s", name, suffix), ckt.And)
+			copyOf(-1)
+			nc.MustConnect(x, id)
+			nc.MustConnect(y, id)
+			res.VoterGates = append(res.VoterGates, id)
+			return id
+		}
+		ab := and("ab", a, b)
+		bd := and("bc", b, d)
+		ad := and("ac", a, d)
+		or := nc.MustAddGate(name+"_vmaj", ckt.Or)
+		copyOf(-1)
+		for _, x := range []int{ab, bd, ad} {
+			nc.MustConnect(x, or)
+		}
+		res.VoterGates = append(res.VoterGates, or)
+		nc.MarkPO(or)
+	}
+	if err := nc.Validate(); err != nil {
+		return nil, fmt.Errorf("harden: TMR circuit invalid: %v", err)
+	}
+	return res, nil
+}
+
+// Duplicate builds the duplication-with-comparison variant (DWC): two
+// copies plus an XOR comparator per PO flagging disagreement. Unlike
+// TMR it detects rather than corrects; it exists to quantify the
+// cheaper end of the classical spectrum. The comparator outputs are
+// added as extra POs named "<po>_err" while the first copy's outputs
+// remain the functional POs.
+func Duplicate(c *ckt.Circuit) (*ckt.Circuit, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("harden: input circuit invalid: %v", err)
+	}
+	nc := ckt.New(c.Name + "-dwc")
+	piMap := make(map[int]int)
+	for _, pi := range c.Inputs() {
+		piMap[pi] = nc.MustAddGate(c.Gates[pi].Name, ckt.Input)
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	gateMap := make([][]int, 2)
+	for k := 0; k < 2; k++ {
+		gateMap[k] = make([]int, len(c.Gates))
+		for _, id := range order {
+			g := c.Gates[id]
+			if g.Type == ckt.Input {
+				gateMap[k][id] = piMap[id]
+				continue
+			}
+			nid := nc.MustAddGate(fmt.Sprintf("%s_d%d", g.Name, k), g.Type)
+			gateMap[k][id] = nid
+			for _, f := range g.Fanin {
+				nc.MustConnect(gateMap[k][f], nid)
+			}
+		}
+	}
+	for _, po := range c.Outputs() {
+		// Functional output: buffer of copy 0 (keeps the PO terminal).
+		name := c.Gates[po].Name
+		buf := nc.MustAddGate(name+"_out", ckt.Buf)
+		nc.MustConnect(gateMap[0][po], buf)
+		nc.MarkPO(buf)
+		cmp := nc.MustAddGate(name+"_err", ckt.Xor)
+		nc.MustConnect(gateMap[0][po], cmp)
+		nc.MustConnect(gateMap[1][po], cmp)
+		nc.MarkPO(cmp)
+	}
+	if err := nc.Validate(); err != nil {
+		return nil, err
+	}
+	return nc, nil
+}

@@ -1,0 +1,295 @@
+// Package logicsim performs zero-delay logic simulation of a circuit:
+// 64-way bit-parallel random-vector evaluation, static signal
+// probabilities, and the sensitization probabilities P_ij ("the
+// probability that there is at least one path sensitized from output
+// of gate i to primary output j") that ASERTA's logical-masking model
+// needs. The paper estimates P_ij with zero-delay simulation of 10,000
+// random inputs; this package reproduces that with exact bit-parallel
+// fault simulation of each gate's fanout cone.
+package logicsim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/ckt"
+	"repro/internal/stats"
+)
+
+// DefaultVectors is the paper's random-vector count for estimating
+// sensitization probabilities.
+const DefaultVectors = 10000
+
+// Evaluate computes all gate values for one input vector (indexed by
+// ckt.Circuit.Inputs order). The result is indexed by gate ID.
+func Evaluate(c *ckt.Circuit, inputs []bool) ([]bool, error) {
+	if len(inputs) != len(c.Inputs()) {
+		return nil, fmt.Errorf("logicsim: %d inputs for %d PIs", len(inputs), len(c.Inputs()))
+	}
+	val := make([]bool, len(c.Gates))
+	for i, id := range c.Inputs() {
+		val[id] = inputs[i]
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	in := make([]bool, 0, 8)
+	for _, id := range order {
+		g := c.Gates[id]
+		if g.Type == ckt.Input {
+			continue
+		}
+		in = in[:0]
+		for _, f := range g.Fanin {
+			in = append(in, val[f])
+		}
+		val[id] = g.Type.Eval(in)
+	}
+	return val, nil
+}
+
+// Result holds the statistics ASERTA consumes.
+type Result struct {
+	// N is the number of random vectors simulated.
+	N int
+	// P1[id] is the static probability of gate id's output being 1.
+	P1 []float64
+	// Activity[id] is the per-cycle toggle probability 2·p·(1−p)
+	// (random consecutive vectors are independent).
+	Activity []float64
+	// Pij[id][k] is the probability that at least one path from gate
+	// id is sensitized to the k-th primary output (k indexes
+	// Circuit.Outputs()). For a PO gate itself, P_jj = 1 per the paper.
+	Pij [][]float64
+
+	poCol map[int]int
+}
+
+// POColumn returns the Pij column index of a PO gate ID.
+func (r *Result) POColumn(poGate int) (int, bool) {
+	k, ok := r.poCol[poGate]
+	return k, ok
+}
+
+// Analyze runs nVectors random vectors (PI probability 0.5, as in the
+// paper) and estimates static probabilities and sensitization
+// probabilities for every gate.
+func Analyze(c *ckt.Circuit, nVectors int, rng *stats.RNG) (*Result, error) {
+	if nVectors <= 0 {
+		nVectors = DefaultVectors
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	nGates := len(c.Gates)
+	nWords := (nVectors + 63) / 64
+	lastMask := ^uint64(0)
+	if r := nVectors % 64; r != 0 {
+		lastMask = (uint64(1) << uint(r)) - 1
+	}
+
+	// Base simulation.
+	base := make([][]uint64, nGates)
+	for _, id := range c.Inputs() {
+		w := make([]uint64, nWords)
+		for k := range w {
+			w[k] = rng.Uint64()
+		}
+		w[nWords-1] &= lastMask
+		base[id] = w
+	}
+	scratchIn := make([]uint64, 0, 16)
+	evalGate := func(g *ckt.Gate, src func(int) []uint64, k int) uint64 {
+		in := scratchIn[:0]
+		for _, f := range g.Fanin {
+			in = append(in, src(f)[k])
+		}
+		return g.Type.EvalWord(in)
+	}
+	for _, id := range order {
+		g := c.Gates[id]
+		if g.Type == ckt.Input {
+			continue
+		}
+		w := make([]uint64, nWords)
+		for k := 0; k < nWords; k++ {
+			w[k] = evalGate(g, func(f int) []uint64 { return base[f] }, k)
+		}
+		w[nWords-1] &= lastMask
+		base[id] = w
+	}
+
+	res := &Result{
+		N:        nVectors,
+		P1:       make([]float64, nGates),
+		Activity: make([]float64, nGates),
+		Pij:      make([][]float64, nGates),
+		poCol:    make(map[int]int),
+	}
+	pos := c.Outputs()
+	for k, id := range pos {
+		res.poCol[id] = k
+	}
+	for id := 0; id < nGates; id++ {
+		ones := 0
+		for _, w := range base[id] {
+			ones += popcount(w)
+		}
+		p := float64(ones) / float64(nVectors)
+		res.P1[id] = p
+		res.Activity[id] = 2 * p * (1 - p)
+		res.Pij[id] = make([]float64, len(pos))
+	}
+
+	// Bit-parallel path-sensitization analysis. The paper defines
+	// P_ij as "the probability that there is at least one path
+	// sensitized from output of gate i to primary output j": a path is
+	// sensitized under a vector when every side input along it carries
+	// a non-controlling value. Per vector this is a boolean DP over
+	// the fanout cone:
+	//
+	//	sens(i)    = 1
+	//	sens(g)    = OR over fanins f of sens(f) AND sideOK(g, f)
+	//	sideOK(g,f)= all inputs of g other than f non-controlling
+	//
+	// and P_ij = Pr[sens(j)]. (Flip-based fault simulation would also
+	// count multi-path cancellation effects, under which the paper's
+	// Lemma 1 does not hold; path sensitization is the paper's model.)
+	//
+	// sideOK depends only on base values, so it is precomputed per
+	// fanin edge.
+	posIdx := make([]int, nGates)
+	for i, id := range order {
+		posIdx[id] = i
+	}
+	sideOK := make([][][]uint64, nGates)
+	for _, id := range order {
+		g := c.Gates[id]
+		if g.Type == ckt.Input {
+			continue
+		}
+		sideOK[id] = make([][]uint64, len(g.Fanin))
+		cv, hasCV := g.Type.ControllingValue()
+		for fi := range g.Fanin {
+			w := make([]uint64, nWords)
+			for k := range w {
+				ok := ^uint64(0)
+				if hasCV {
+					for oi, f := range g.Fanin {
+						if oi == fi {
+							continue
+						}
+						if cv {
+							// Controlling value 1: others must be 0.
+							ok &= ^base[f][k]
+						} else {
+							ok &= base[f][k]
+						}
+					}
+				}
+				w[k] = ok
+			}
+			w[nWords-1] &= lastMask
+			sideOK[id][fi] = w
+		}
+	}
+	sens := make([][]uint64, nGates)
+	mark := make([]int, nGates) // epoch marker
+	for i := range sens {
+		sens[i] = make([]uint64, nWords)
+		mark[i] = -1
+	}
+	epoch := 0
+	for _, fid := range order {
+		fg := c.Gates[fid]
+		if fg.Type == ckt.Input {
+			continue // the paper injects at gate outputs only
+		}
+		epoch++
+		for k := 0; k < nWords; k++ {
+			sens[fid][k] = ^uint64(0)
+		}
+		sens[fid][nWords-1] &= lastMask
+		mark[fid] = epoch
+		for oi := posIdx[fid] + 1; oi < len(order); oi++ {
+			id := order[oi]
+			g := c.Gates[id]
+			if g.Type == ckt.Input {
+				continue
+			}
+			inCone := false
+			for _, f := range g.Fanin {
+				if mark[f] == epoch {
+					inCone = true
+					break
+				}
+			}
+			if !inCone {
+				continue
+			}
+			any := uint64(0)
+			for k := 0; k < nWords; k++ {
+				v := uint64(0)
+				for fi, f := range g.Fanin {
+					if mark[f] == epoch {
+						v |= sens[f][k] & sideOK[id][fi][k]
+					}
+				}
+				sens[id][k] = v
+				any |= v
+			}
+			if any != 0 {
+				mark[id] = epoch
+			}
+		}
+		for k2, poID := range pos {
+			if poID == fid {
+				// Paper: "For primary output j, Pjj is 1."
+				res.Pij[fid][k2] = 1
+				continue
+			}
+			if mark[poID] != epoch {
+				continue
+			}
+			cnt := 0
+			for k := 0; k < nWords; k++ {
+				cnt += popcount(sens[poID][k])
+			}
+			res.Pij[fid][k2] = float64(cnt) / float64(nVectors)
+		}
+	}
+	return res, nil
+}
+
+func popcount(x uint64) int { return bits.OnesCount64(x) }
+
+// SideSensitization returns S_is: the probability that gate s is
+// sensitized to its input from gate i, i.e. all *other* inputs of s
+// carry non-controlling values, using the static probabilities in res.
+// Gates without a controlling value (XOR/XNOR/NOT/BUF) are always
+// sensitized (S=1), as a value change on any input always changes the
+// output for fixed other inputs.
+func SideSensitization(c *ckt.Circuit, res *Result, i, s int) float64 {
+	g := c.Gates[s]
+	cv, has := g.Type.ControllingValue()
+	if !has {
+		return 1
+	}
+	p := 1.0
+	for _, f := range g.Fanin {
+		if f == i {
+			continue
+		}
+		pf := res.P1[f]
+		if cv {
+			// Controlling value is 1: others must be 0.
+			p *= 1 - pf
+		} else {
+			// Controlling value is 0: others must be 1.
+			p *= pf
+		}
+	}
+	return p
+}

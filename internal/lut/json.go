@@ -1,0 +1,36 @@
+package lut
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// tableJSON is the serialized form of a Table.
+type tableJSON struct {
+	Axes [][]float64 `json:"axes"`
+	Data []float64   `json:"data"`
+}
+
+// MarshalJSON implements json.Marshaler so characterized libraries can
+// be cached on disk and reloaded without re-running the simulator.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tableJSON{Axes: t.axes, Data: t.data})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *Table) UnmarshalJSON(b []byte) error {
+	var tj tableJSON
+	if err := json.Unmarshal(b, &tj); err != nil {
+		return err
+	}
+	nt, err := New(tj.Axes...)
+	if err != nil {
+		return err
+	}
+	if len(tj.Data) != len(nt.data) {
+		return fmt.Errorf("lut: data length %d does not match grid size %d", len(tj.Data), len(nt.data))
+	}
+	copy(nt.data, tj.Data)
+	*t = *nt
+	return nil
+}

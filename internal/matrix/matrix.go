@@ -1,0 +1,266 @@
+// Package matrix provides the small dense linear-algebra kernel
+// SERTOPT needs: matrix/vector arithmetic, reduced row echelon form,
+// nullspace bases (for the delay-assignment variation Δ with T·Δ = 0)
+// and least squares.
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense allocates a rows×cols zero matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: invalid shape %dx%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices (all equal length).
+func FromRows(rows [][]float64) (*Dense, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("matrix: empty input")
+	}
+	m := NewDense(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			return nil, fmt.Errorf("matrix: ragged row %d (%d vs %d)", i, len(r), m.cols)
+		}
+		copy(m.data[i*m.cols:], r)
+	}
+	return m, nil
+}
+
+// Rows returns the row count.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Clone deep-copies the matrix.
+func (m *Dense) Clone() *Dense {
+	n := NewDense(m.rows, m.cols)
+	copy(n.data, m.data)
+	return n
+}
+
+// MulVec returns m · x.
+func (m *Dense) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.cols {
+		return nil, fmt.Errorf("matrix: MulVec dim %d vs %d cols", len(x), m.cols)
+	}
+	y := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y, nil
+}
+
+// rref reduces the matrix in place to reduced row echelon form and
+// returns the pivot column of each pivot row.
+func (m *Dense) rref(eps float64) []int {
+	var pivots []int
+	r := 0
+	for c := 0; c < m.cols && r < m.rows; c++ {
+		// Partial pivoting.
+		best, bestAbs := -1, eps
+		for i := r; i < m.rows; i++ {
+			if a := math.Abs(m.At(i, c)); a > bestAbs {
+				best, bestAbs = i, a
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		m.swapRows(r, best)
+		// Normalize pivot row.
+		pv := m.At(r, c)
+		for j := c; j < m.cols; j++ {
+			m.Set(r, j, m.At(r, j)/pv)
+		}
+		// Eliminate column c from all other rows.
+		for i := 0; i < m.rows; i++ {
+			if i == r {
+				continue
+			}
+			f := m.At(i, c)
+			if f == 0 {
+				continue
+			}
+			for j := c; j < m.cols; j++ {
+				m.Set(i, j, m.At(i, j)-f*m.At(r, j))
+			}
+		}
+		pivots = append(pivots, c)
+		r++
+	}
+	return pivots
+}
+
+func (m *Dense) swapRows(a, b int) {
+	if a == b {
+		return
+	}
+	ra := m.data[a*m.cols : (a+1)*m.cols]
+	rb := m.data[b*m.cols : (b+1)*m.cols]
+	for j := range ra {
+		ra[j], rb[j] = rb[j], ra[j]
+	}
+}
+
+// Nullspace returns an orthonormal-ish basis (columns are unit-norm
+// but not mutually orthogonalized) of {x : m·x = 0}, computed from the
+// RREF free variables. The result has one []float64 per basis vector,
+// each of length Cols(). An empty result means the nullspace is {0}.
+func (m *Dense) Nullspace() [][]float64 {
+	const eps = 1e-10
+	r := m.Clone()
+	pivots := r.rref(eps)
+	isPivot := make(map[int]int) // col -> pivot row
+	for row, c := range pivots {
+		isPivot[c] = row
+	}
+	var basis [][]float64
+	for c := 0; c < m.cols; c++ {
+		if _, ok := isPivot[c]; ok {
+			continue
+		}
+		v := make([]float64, m.cols)
+		v[c] = 1
+		for pc, row := range isPivot {
+			v[pc] = -r.At(row, c)
+		}
+		// Normalize for numerical hygiene.
+		norm := 0.0
+		for _, x := range v {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		if norm > 0 {
+			for i := range v {
+				v[i] /= norm
+			}
+		}
+		basis = append(basis, v)
+	}
+	return basis
+}
+
+// Rank returns the numerical rank at tolerance 1e-10.
+func (m *Dense) Rank() int {
+	r := m.Clone()
+	return len(r.rref(1e-10))
+}
+
+// LeastSquares solves min ‖A·x − b‖₂ via normal equations with
+// Tikhonov damping (A is assumed reasonably conditioned; damping
+// stabilizes rank-deficient systems).
+func LeastSquares(a *Dense, b []float64, damp float64) ([]float64, error) {
+	if len(b) != a.rows {
+		return nil, fmt.Errorf("matrix: LeastSquares rhs dim %d vs %d rows", len(b), a.rows)
+	}
+	n := a.cols
+	// ata = AᵀA + damp·I ; atb = Aᵀb.
+	ata := NewDense(n, n)
+	atb := make([]float64, n)
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		for j := 0; j < n; j++ {
+			if row[j] == 0 {
+				continue
+			}
+			atb[j] += row[j] * b[i]
+			for k := 0; k < n; k++ {
+				ata.data[j*n+k] += row[j] * row[k]
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		ata.data[j*n+j] += damp
+	}
+	return SolveSPD(ata, atb)
+}
+
+// SolveSPD solves a symmetric positive-definite system via Cholesky.
+func SolveSPD(a *Dense, b []float64) ([]float64, error) {
+	n := a.rows
+	if a.cols != n || len(b) != n {
+		return nil, fmt.Errorf("matrix: SolveSPD shape mismatch")
+	}
+	// Cholesky factorization a = L·Lᵀ.
+	l := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, fmt.Errorf("matrix: not positive definite at %d (%g)", i, s)
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	// Forward substitution L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back substitution Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// Dot returns the inner product of two vectors.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// AddScaled computes dst += f·src in place.
+func AddScaled(dst []float64, f float64, src []float64) {
+	for i := range dst {
+		dst[i] += f * src[i]
+	}
+}
+
+// Norm2 returns the Euclidean norm.
+func Norm2(a []float64) float64 {
+	return math.Sqrt(Dot(a, a))
+}

@@ -1,0 +1,195 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestFromRowsErrors(t *testing.T) {
+	if _, err := FromRows(nil); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	y, err := m.MulVec([]float64{1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, -1, -1}
+	for i := range want {
+		if math.Abs(y[i]-want[i]) > 1e-12 {
+			t.Fatalf("MulVec = %v, want %v", y, want)
+		}
+	}
+	if _, err := m.MulVec([]float64{1}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestNullspaceSimple(t *testing.T) {
+	// x + y = 0 has nullspace span{(1,-1)}.
+	m, _ := FromRows([][]float64{{1, 1}})
+	ns := m.Nullspace()
+	if len(ns) != 1 {
+		t.Fatalf("nullspace dim = %d, want 1", len(ns))
+	}
+	v := ns[0]
+	if math.Abs(v[0]+v[1]) > 1e-10 {
+		t.Fatalf("basis vector %v not in nullspace", v)
+	}
+}
+
+func TestNullspaceFullRank(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 0}, {0, 1}})
+	if ns := m.Nullspace(); len(ns) != 0 {
+		t.Fatalf("identity should have trivial nullspace, got %d vectors", len(ns))
+	}
+}
+
+func TestRank(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {2, 4, 6}, {1, 0, 1}})
+	if r := m.Rank(); r != 2 {
+		t.Fatalf("rank = %d, want 2", r)
+	}
+}
+
+// Property: every nullspace basis vector satisfies T·v ≈ 0 and is unit
+// norm; the basis size is cols − rank.
+func TestNullspaceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		rows := 1 + rng.Intn(6)
+		cols := rows + 1 + rng.Intn(6)
+		m := NewDense(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				// 0/1 matrix like a topology matrix.
+				if rng.Float64() < 0.5 {
+					m.Set(i, j, 1)
+				}
+			}
+		}
+		ns := m.Nullspace()
+		if len(ns) != cols-m.Rank() {
+			return false
+		}
+		for _, v := range ns {
+			y, err := m.MulVec(v)
+			if err != nil {
+				return false
+			}
+			for _, x := range y {
+				if math.Abs(x) > 1e-8 {
+					return false
+				}
+			}
+			if math.Abs(Norm2(v)-1) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 2}, {2, 3}})
+	x, err := SolveSPD(a, []float64{10, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4x+2y=10, 2x+3y=8 -> x=1.75, y=1.5.
+	if math.Abs(x[0]-1.75) > 1e-10 || math.Abs(x[1]-1.5) > 1e-10 {
+		t.Fatalf("SolveSPD = %v", x)
+	}
+}
+
+func TestSolveSPDNotPD(t *testing.T) {
+	a, _ := FromRows([][]float64{{0, 0}, {0, 0}})
+	if _, err := SolveSPD(a, []float64{1, 1}); err == nil {
+		t.Fatal("singular matrix accepted")
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Overdetermined consistent system.
+	a, _ := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	b := []float64{2, 3, 5}
+	x, err := LeastSquares(a, b, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-5 || math.Abs(x[1]-3) > 1e-5 {
+		t.Fatalf("LeastSquares = %v, want [2 3]", x)
+	}
+}
+
+// Property: the least-squares residual is orthogonal to the column
+// space (within damping tolerance).
+func TestLeastSquaresResidualOrthogonal(t *testing.T) {
+	rng := stats.NewRNG(12345)
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 8, 3
+		a := NewDense(rows, cols)
+		b := make([]float64, rows)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			b[i] = rng.NormFloat64()
+		}
+		x, err := LeastSquares(a, b, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ax, _ := a.MulVec(x)
+		res := make([]float64, rows)
+		for i := range res {
+			res[i] = b[i] - ax[i]
+		}
+		// Aᵀ·res ≈ 0.
+		for j := 0; j < cols; j++ {
+			col := make([]float64, rows)
+			for i := 0; i < rows; i++ {
+				col[i] = a.At(i, j)
+			}
+			if math.Abs(Dot(col, res)) > 1e-6 {
+				t.Fatalf("trial %d: residual not orthogonal (dot=%g)", trial, Dot(col, res))
+			}
+		}
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	a := []float64{3, 4}
+	if Norm2(a) != 5 {
+		t.Errorf("Norm2 = %g", Norm2(a))
+	}
+	if Dot(a, []float64{1, 1}) != 7 {
+		t.Error("Dot wrong")
+	}
+	dst := []float64{1, 1}
+	AddScaled(dst, 2, []float64{10, 20})
+	if dst[0] != 21 || dst[1] != 41 {
+		t.Errorf("AddScaled = %v", dst)
+	}
+}
+
+func TestNewDensePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid shape should panic")
+		}
+	}()
+	NewDense(0, 3)
+}

@@ -1,0 +1,150 @@
+// Package serrate converts ASERTA's abstract "unreliability" into
+// soft-error rates (FIT) and models the technology-scaling trend the
+// paper's introduction builds its motivation on: combinational-logic
+// SER rising roughly nine orders of magnitude between 1992 and 2011,
+// reaching the SER of unprotected memory (Shivakumar et al., the
+// paper's reference [2]).
+//
+// The trend model composes exactly the mechanisms the introduction
+// enumerates per process generation: clock frequency doubles, node
+// capacitance drops 30%, supply voltage drops 30% (shrinking the
+// critical charge Q_crit = C·V), pipeline stages lose logic depth
+// (weakening electrical and logical masking), and the latching window
+// widens relative to the cycle.
+package serrate
+
+import "math"
+
+// FIT converts a circuit unreliability U (ASERTA's area-weighted
+// expected latched glitch width, in picosecond units) into failures
+// per 10^9 device-hours:
+//
+//	FIT = flux · (U·1ps / Tclk) · 10^9 h
+//
+// where flux is the particle strike rate per flux-weight unit per
+// hour and U·1ps/Tclk is the per-strike latch-capture probability
+// aggregated over the circuit.
+func FIT(u, tclk, fluxPerHour float64) float64 {
+	if tclk <= 0 {
+		return 0
+	}
+	p := u * 1e-12 / tclk
+	return fluxPerHour * p * 1e9
+}
+
+// TrendPoint is one technology generation of the intro's SER model.
+type TrendPoint struct {
+	Year int
+	// QcritFC is the critical charge in femtocoulombs.
+	QcritFC float64
+	// ClockGHz is the nominal clock.
+	ClockGHz float64
+	// LogicSER and MemorySER are relative soft-error rates
+	// (arbitrary units; MemorySER of the unprotected SRAM cell is the
+	// paper's reference level).
+	LogicSER  float64
+	MemorySER float64
+}
+
+// TrendConfig parameterizes the scaling model; zero values take the
+// intro's numbers.
+type TrendConfig struct {
+	StartYear, EndYear int
+	YearsPerGeneration float64
+	// CapShrink and VddShrink are per-generation factors (0.7 = −30%).
+	CapShrink, VddShrink float64
+	// ClockGrowth is the per-generation clock multiplier (2 = double).
+	ClockGrowth float64
+	// Q0FC is the exponential charge-spectrum scale (fC).
+	Q0FC float64
+	// StagesShrink models super-pipelining: per-generation factor on
+	// logic depth per stage (masking gates between strike and latch).
+	StagesShrink float64
+	// MaskingPerGate is the per-masking-gate survival factor of a
+	// glitch at the start year (electrical + logical masking).
+	MaskingPerGate float64
+}
+
+func (c TrendConfig) withDefaults() TrendConfig {
+	if c.StartYear == 0 {
+		c.StartYear = 1992
+	}
+	if c.EndYear == 0 {
+		c.EndYear = 2011
+	}
+	if c.YearsPerGeneration == 0 {
+		c.YearsPerGeneration = 3
+	}
+	if c.CapShrink == 0 {
+		c.CapShrink = 0.7
+	}
+	if c.VddShrink == 0 {
+		c.VddShrink = 0.7
+	}
+	if c.ClockGrowth == 0 {
+		c.ClockGrowth = 2
+	}
+	if c.Q0FC == 0 {
+		c.Q0FC = 15
+	}
+	if c.StagesShrink == 0 {
+		c.StagesShrink = 0.75
+	}
+	if c.MaskingPerGate == 0 {
+		c.MaskingPerGate = 0.55
+	}
+	return c
+}
+
+// Trend evaluates the scaling model year by year. The logic SER is
+//
+//	SER ∝ exp(−Qcrit/Q0)        (strike must deposit > Qcrit)
+//	    · f/f0                  (latching-window probability ∝ clock)
+//	    · m^−(gates)            (masking survival through the stage)
+//
+// normalized so that logic SER equals the (flat, unprotected) memory
+// SER at the end year — the paper's 2011 crossover.
+func Trend(cfg TrendConfig) []TrendPoint {
+	cfg = cfg.withDefaults()
+	gens := func(year int) float64 {
+		return float64(year-cfg.StartYear) / cfg.YearsPerGeneration
+	}
+	// 1992 starting point: ~0.5 pF·V-scale critical charge and a few
+	// hundred MHz clock, 16 masking gates per stage.
+	const (
+		qcrit0  = 150.0 // fC
+		clock0  = 0.15  // GHz
+		stages0 = 16.0
+	)
+	raw := func(year int) (float64, float64, float64) {
+		g := gens(year)
+		qcrit := qcrit0 * math.Pow(cfg.CapShrink*cfg.VddShrink, g)
+		clock := clock0 * math.Pow(cfg.ClockGrowth, g)
+		gates := stages0 * math.Pow(cfg.StagesShrink, g)
+		ser := math.Exp(-qcrit/cfg.Q0FC) * (clock / clock0) *
+			math.Pow(cfg.MaskingPerGate, gates-1)
+		return ser, qcrit, clock
+	}
+	endSER, _, _ := raw(cfg.EndYear)
+	var points []TrendPoint
+	for y := cfg.StartYear; y <= cfg.EndYear; y++ {
+		ser, qcrit, clock := raw(y)
+		points = append(points, TrendPoint{
+			Year:      y,
+			QcritFC:   qcrit,
+			ClockGHz:  clock,
+			LogicSER:  ser / endSER, // memory-SER units
+			MemorySER: 1,            // unprotected SRAM reference, flat
+		})
+	}
+	return points
+}
+
+// OrdersOfMagnitude returns log10(last/first) of the logic SER across
+// the trend.
+func OrdersOfMagnitude(points []TrendPoint) float64 {
+	if len(points) < 2 || points[0].LogicSER <= 0 {
+		return 0
+	}
+	return math.Log10(points[len(points)-1].LogicSER / points[0].LogicSER)
+}

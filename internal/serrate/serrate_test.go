@@ -1,0 +1,83 @@
+package serrate
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFIT(t *testing.T) {
+	// U = 1000 ps, 1 GHz clock -> per-strike capture probability 1e-9
+	// ... × flux 1e6/h × 1e9 h = 1000 FIT... arithmetic check:
+	// 1000e-12/1e-9 = 1.0 probability; × 1e-6/h flux × 1e9 = 1000.
+	got := FIT(1000, 1e-9, 1e-6)
+	if math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("FIT = %g, want 1000", got)
+	}
+	if FIT(100, 0, 1) != 0 {
+		t.Fatal("zero clock should yield 0")
+	}
+	// FIT scales linearly in U and flux, inversely in Tclk.
+	if FIT(2000, 1e-9, 1e-6) != 2*got {
+		t.Fatal("FIT not linear in U")
+	}
+	if FIT(1000, 2e-9, 1e-6) != got/2 {
+		t.Fatal("FIT not inverse in Tclk")
+	}
+}
+
+func TestTrendShape(t *testing.T) {
+	points := Trend(TrendConfig{})
+	if len(points) != 20 {
+		t.Fatalf("trend has %d points, want 20 (1992..2011)", len(points))
+	}
+	if points[0].Year != 1992 || points[len(points)-1].Year != 2011 {
+		t.Fatalf("trend years %d..%d", points[0].Year, points[len(points)-1].Year)
+	}
+	// Logic SER grows monotonically.
+	for i := 1; i < len(points); i++ {
+		if points[i].LogicSER <= points[i-1].LogicSER {
+			t.Fatalf("logic SER not increasing at %d", points[i].Year)
+		}
+	}
+	// The paper's headline: ~9 orders of magnitude growth; allow 7–12
+	// for the first-order model.
+	orders := OrdersOfMagnitude(points)
+	if orders < 7 || orders > 12 {
+		t.Fatalf("logic SER growth = %.1f orders, want ~9", orders)
+	}
+	// Crossover at the end year: logic SER equals unprotected memory.
+	last := points[len(points)-1]
+	if math.Abs(last.LogicSER-last.MemorySER) > 1e-9 {
+		t.Fatalf("2011 logic SER = %g memory-units, want 1 (crossover)", last.LogicSER)
+	}
+	// In 1992 logic is vastly more reliable than memory.
+	if points[0].LogicSER > 1e-6 {
+		t.Fatalf("1992 logic SER = %g, should be negligible vs memory", points[0].LogicSER)
+	}
+}
+
+func TestTrendPhysicalColumns(t *testing.T) {
+	points := Trend(TrendConfig{})
+	// Critical charge shrinks ~0.49x per 3-year generation.
+	first, last := points[0], points[len(points)-1]
+	if last.QcritFC >= first.QcritFC {
+		t.Fatal("Qcrit must shrink")
+	}
+	wantQ := first.QcritFC * math.Pow(0.49, float64(2011-1992)/3)
+	if math.Abs(last.QcritFC-wantQ)/wantQ > 0.05 {
+		t.Fatalf("2011 Qcrit = %g, want ~%g", last.QcritFC, wantQ)
+	}
+	// Clock doubles per generation.
+	if last.ClockGHz <= first.ClockGHz*50 {
+		t.Fatalf("clock growth too small: %g -> %g", first.ClockGHz, last.ClockGHz)
+	}
+}
+
+func TestOrdersOfMagnitudeDegenerate(t *testing.T) {
+	if OrdersOfMagnitude(nil) != 0 {
+		t.Fatal("empty trend should give 0")
+	}
+	if OrdersOfMagnitude([]TrendPoint{{LogicSER: 0}, {LogicSER: 1}}) != 0 {
+		t.Fatal("zero first point should give 0")
+	}
+}

@@ -1,0 +1,117 @@
+package sertopt
+
+import (
+	"fmt"
+
+	"repro/internal/aserta"
+	"repro/internal/charlib"
+	"repro/internal/ckt"
+)
+
+// MatchConfig bounds the discrete cell search during delay matching.
+type MatchConfig struct {
+	// VDDs and Vths are the designer-chosen menus (paper Table 1,
+	// columns 2–3).
+	VDDs []float64
+	Vths []float64
+	// MaxSize caps gate sizes ("the maximum gate size used was the
+	// same as that for the baseline circuits").
+	MaxSize float64
+	// POLoad is the latch load on primary outputs.
+	POLoad float64
+	// Hints optionally supplies per-gate anchor cells (typically the
+	// baseline assignment). A hint is considered first and kept on
+	// ties, so a zero delay perturbation reproduces the baseline
+	// circuit exactly instead of drifting through menu quantization.
+	Hints aserta.Assignment
+}
+
+// MatchDelays implements the paper's §4 parameter determination: "To
+// find the circuit parameters ... SERTOPT traverses the circuit from
+// POs to PIs in reverse topological order. The capacitive loads of the
+// gates at the POs are known ... the best matching sizes, lengths,
+// VDDs, Vths available in the SPICE library that yield delays closest
+// to the assigned delays are found ... The only constraint is that
+// only VDD values greater than or equal to successor VDD values are
+// allowed" (avoiding level shifters).
+//
+// desired is indexed by gate ID (PI entries ignored). The gate type
+// and fanin of each cell are fixed by the netlist; only the four
+// design variables change.
+func MatchDelays(c *ckt.Circuit, lib *charlib.Library, desired []float64, cfg MatchConfig) (aserta.Assignment, error) {
+	if len(desired) != len(c.Gates) {
+		return nil, fmt.Errorf("sertopt: %d desired delays for %d gates", len(desired), len(c.Gates))
+	}
+	if len(cfg.VDDs) == 0 {
+		cfg.VDDs = []float64{lib.Tech.VDDnom}
+	}
+	if len(cfg.Vths) == 0 {
+		cfg.Vths = []float64{lib.Tech.Vthnom}
+	}
+	order, err := c.ReverseTopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	cells := make(aserta.Assignment, len(c.Gates))
+	assigned := make([]bool, len(c.Gates))
+	for _, id := range order {
+		g := c.Gates[id]
+		if g.Type == ckt.Input {
+			continue
+		}
+		// Load: every fanout gate is later in topological order, hence
+		// already assigned in this reverse walk.
+		load := 0.0
+		minSuccVDD := 0.0
+		for _, s := range g.Fanout {
+			if !assigned[s] {
+				return nil, fmt.Errorf("sertopt: fanout %s of %s not yet assigned (netlist not a DAG?)", c.Gates[s].Name, g.Name)
+			}
+			cap, err := lib.InputCap(cells[s])
+			if err != nil {
+				return nil, err
+			}
+			load += cap
+			if cells[s].VDD > minSuccVDD {
+				minSuccVDD = cells[s].VDD
+			}
+		}
+		if g.PO {
+			load += cfg.POLoad
+		}
+		menu := lib.Menu(charlib.Class{Type: g.Type, Fanin: len(g.Fanin)}, cfg.VDDs, cfg.Vths, cfg.MaxSize)
+		var best charlib.Cell
+		bestErr := -1.0
+		consider := func(cell charlib.Cell) error {
+			if cell.VDD < minSuccVDD {
+				return nil // no low-VDD gate may drive a high-VDD gate
+			}
+			d, err := lib.Delay(cell, load)
+			if err != nil {
+				return err
+			}
+			e := absf(d - desired[id])
+			if bestErr < 0 || e < bestErr {
+				bestErr = e
+				best = cell
+			}
+			return nil
+		}
+		if cfg.Hints != nil && cfg.Hints[id].Size > 0 {
+			if err := consider(cfg.Hints[id]); err != nil {
+				return nil, err
+			}
+		}
+		for _, cell := range menu {
+			if err := consider(cell); err != nil {
+				return nil, err
+			}
+		}
+		if bestErr < 0 {
+			return nil, fmt.Errorf("sertopt: no feasible cell for gate %s (succ VDD %g exceeds menu)", g.Name, minSuccVDD)
+		}
+		cells[id] = best
+		assigned[id] = true
+	}
+	return cells, nil
+}

@@ -1,0 +1,159 @@
+package sertopt
+
+import (
+	"fmt"
+
+	"repro/internal/aserta"
+	"repro/internal/charlib"
+	"repro/internal/ckt"
+	"repro/internal/logicsim"
+)
+
+// Metrics are the circuit-level figures entering the Eq. 5 cost
+// alongside unreliability.
+type Metrics struct {
+	// Delay is the critical-path delay (s) under the assignment.
+	Delay float64
+	// Energy is the per-cycle energy (J): activity-weighted dynamic
+	// CV² energy plus leakage energy over one clock period.
+	Energy float64
+	// Area is the summed cell-area metric.
+	Area float64
+}
+
+// ClockPeriodFactor sets the clock period used for leakage energy as a
+// multiple of the critical-path delay.
+const ClockPeriodFactor = 1.2
+
+// EvaluateMetrics computes delay/energy/area for a cell assignment.
+// act supplies per-gate toggle activities (from logicsim); sens may be
+// nil, in which case activity 0.2 is assumed for every gate.
+func EvaluateMetrics(c *ckt.Circuit, lib *charlib.Library, cells aserta.Assignment, sens *logicsim.Result, poLoad float64) (Metrics, error) {
+	var m Metrics
+	loads, err := aserta.GateLoads(c, lib, cells, poLoad)
+	if err != nil {
+		return m, err
+	}
+	// Critical path: longest arrival over the DAG.
+	arrival := make([]float64, len(c.Gates))
+	order, err := c.TopoOrder()
+	if err != nil {
+		return m, err
+	}
+	for _, id := range order {
+		g := c.Gates[id]
+		if g.Type == ckt.Input {
+			continue
+		}
+		d, err := lib.Delay(cells[id], loads[id])
+		if err != nil {
+			return m, fmt.Errorf("sertopt: delay of %s: %v", g.Name, err)
+		}
+		in := 0.0
+		for _, f := range g.Fanin {
+			if arrival[f] > in {
+				in = arrival[f]
+			}
+		}
+		arrival[id] = in + d
+		if g.PO && arrival[id] > m.Delay {
+			m.Delay = arrival[id]
+		}
+	}
+	// Energy and area.
+	period := ClockPeriodFactor * m.Delay
+	var dyn, leakP float64
+	for _, g := range c.Gates {
+		if g.Type == ckt.Input {
+			continue
+		}
+		act := 0.2
+		if sens != nil {
+			act = sens.Activity[g.ID]
+		}
+		e, err := lib.DynEnergyPerTransition(cells[g.ID], loads[g.ID])
+		if err != nil {
+			return m, err
+		}
+		dyn += act * e
+		p, err := lib.StaticPower(cells[g.ID])
+		if err != nil {
+			return m, err
+		}
+		leakP += p
+		m.Area += lib.Area(cells[g.ID])
+	}
+	m.Energy = dyn + leakP*period
+	return m, nil
+}
+
+// GateDelays returns the per-gate delay vector (indexed by gate ID)
+// under the assignment's own loads.
+func GateDelays(c *ckt.Circuit, lib *charlib.Library, cells aserta.Assignment, poLoad float64) ([]float64, error) {
+	loads, err := aserta.GateLoads(c, lib, cells, poLoad)
+	if err != nil {
+		return nil, err
+	}
+	d := make([]float64, len(c.Gates))
+	for _, g := range c.Gates {
+		if g.Type == ckt.Input {
+			continue
+		}
+		dd, err := lib.Delay(cells[g.ID], loads[g.ID])
+		if err != nil {
+			return nil, err
+		}
+		d[g.ID] = dd
+	}
+	return d, nil
+}
+
+// InitialSizing produces the baseline "optimized for speed" assignment
+// standing in for the paper's Synopsys Design Compiler run: nominal
+// L/VDD/Vth cells sized by fanout-load pressure (a logical-effort
+// flavored heuristic), iterated until sizes settle.
+func InitialSizing(c *ckt.Circuit, lib *charlib.Library, maxSize, poLoad float64) (aserta.Assignment, error) {
+	cells := aserta.NominalAssignment(c, lib, 1)
+	sizes := lib.Grid.Sizes
+	if maxSize <= 0 {
+		maxSize = sizes[len(sizes)-1]
+	}
+	for pass := 0; pass < 3; pass++ {
+		loads, err := aserta.GateLoads(c, lib, cells, poLoad)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range c.Gates {
+			if g.Type == ckt.Input {
+				continue
+			}
+			unit := cells[g.ID]
+			unit.Size = 1
+			cin, err := lib.InputCap(unit)
+			if err != nil {
+				return nil, err
+			}
+			// Target electrical fanout of ~3 unit input caps per size
+			// step, snapped to the library's size grid.
+			want := loads[g.ID] / (3 * cin)
+			best := sizes[0]
+			for _, s := range sizes {
+				if s > maxSize {
+					break
+				}
+				if absf(s-want) < absf(best-want) {
+					best = s
+				}
+			}
+			cells[g.ID].Size = best
+		}
+	}
+	return cells, nil
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

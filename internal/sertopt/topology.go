@@ -1,0 +1,107 @@
+// Package sertopt implements SERTOPT, the paper's soft-error tolerance
+// optimizer (§4). It searches over gate delay assignments constrained
+// to the nullspace of the path topology matrix T (so path delays — and
+// hence the timing constraint — are preserved in the continuous
+// model), matches each delay assignment to discrete library cells
+// (sizes, channel lengths, VDDs, Vths) in one reverse-topological
+// pass, and minimizes the Eq. 5 cost
+//
+//	C = W1·U/U0 + W2·T/T0 + W3·E/E0 + W4·A/A0
+//
+// with a projected-gradient SQP-lite search (a simulated-annealing
+// alternative is provided, as the paper notes any optimizer works).
+package sertopt
+
+import (
+	"fmt"
+
+	"repro/internal/ckt"
+	"repro/internal/matrix"
+)
+
+// DefaultMaxPaths caps topology-matrix path enumeration. Path counts
+// grow exponentially; the longest paths are kept because they carry
+// the timing wall (see DESIGN.md §5 and the path-cap ablation bench).
+const DefaultMaxPaths = 4096
+
+// Topology holds the binary path topology matrix T of the paper:
+// T[j][col] = 1 iff gate (column col) lies on path j, together with
+// the gate-ID ↔ column mapping (primary-input pseudo-gates have no
+// column).
+type Topology struct {
+	T *matrix.Dense
+	// Col maps gate ID -> column (or -1).
+	Col []int
+	// GateOf maps column -> gate ID.
+	GateOf []int
+	// Paths are the enumerated paths behind T.
+	Paths []ckt.Path
+}
+
+// BuildTopology enumerates up to maxPaths PI→PO paths (0 = the
+// package default) and assembles T.
+func BuildTopology(c *ckt.Circuit, maxPaths int) (*Topology, error) {
+	if maxPaths == 0 {
+		maxPaths = DefaultMaxPaths
+	}
+	paths := c.EnumeratePaths(maxPaths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("sertopt: circuit %q has no PI->PO paths", c.Name)
+	}
+	tp := &Topology{
+		Col:   make([]int, len(c.Gates)),
+		Paths: paths,
+	}
+	for i := range tp.Col {
+		tp.Col[i] = -1
+	}
+	for _, g := range c.Gates {
+		if g.Type == ckt.Input {
+			continue
+		}
+		tp.Col[g.ID] = len(tp.GateOf)
+		tp.GateOf = append(tp.GateOf, g.ID)
+	}
+	tp.T = matrix.NewDense(len(paths), len(tp.GateOf))
+	for j, p := range paths {
+		for _, id := range p {
+			tp.T.Set(j, tp.Col[id], 1)
+		}
+	}
+	return tp, nil
+}
+
+// Nullspace returns a basis of delay perturbations Δ with T·Δ = 0,
+// truncated to at most maxBasis vectors (0 = no cap). Each vector is
+// indexed by column (use Col/GateOf to translate).
+func (tp *Topology) Nullspace(maxBasis int) [][]float64 {
+	basis := tp.T.Nullspace()
+	if maxBasis > 0 && len(basis) > maxBasis {
+		basis = basis[:maxBasis]
+	}
+	return basis
+}
+
+// PathDelays returns T·d for a per-column delay vector.
+func (tp *Topology) PathDelays(d []float64) ([]float64, error) {
+	return tp.T.MulVec(d)
+}
+
+// ColumnDelays converts a per-gate-ID slice into the column order of T.
+func (tp *Topology) ColumnDelays(perGate []float64) []float64 {
+	out := make([]float64, len(tp.GateOf))
+	for col, id := range tp.GateOf {
+		out[col] = perGate[id]
+	}
+	return out
+}
+
+// PerGate converts a per-column vector back to gate-ID indexing
+// (entries for PIs are zero).
+func (tp *Topology) PerGate(cols []float64, nGates int) []float64 {
+	out := make([]float64, nGates)
+	for col, id := range tp.GateOf {
+		out[id] = cols[col]
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package spice
+
+import (
+	"repro/internal/ckt"
+	"repro/internal/devmodel"
+)
+
+// CellInputCap returns the gate capacitance presented by one input pin
+// of a gate of the given type/fanin with parameters p. For multi-stage
+// decompositions the pin load is the first stage's input capacitance
+// (later stages load internal nodes only).
+func CellInputCap(tech *devmodel.Tech, t ckt.GateType, nIn int, p Params) (float64, error) {
+	kinds, err := decompose(t, nIn)
+	if err != nil {
+		return 0, err
+	}
+	first := kinds[0]
+	n := nIn
+	if first == stXor2 || first == stXnor2 {
+		n = 2
+	}
+	if first == stInv {
+		n = 1
+	}
+	st, err := newStage(tech, first, n, p)
+	if err != nil {
+		return 0, err
+	}
+	return st.inputCap(), nil
+}
+
+// CellLeakage returns an estimate of the cell's average off-state
+// leakage current (A): for each stage, the mean of the pull-up and
+// pull-down network leakage at full rail bias, summed over stages.
+func CellLeakage(tech *devmodel.Tech, t ckt.GateType, nIn int, p Params) (float64, error) {
+	kinds, err := decompose(t, nIn)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for si, kind := range kinds {
+		n := stageFanin(kind, nIn, si)
+		st, err := newStage(tech, kind, n, p)
+		if err != nil {
+			return 0, err
+		}
+		// Average leakage of the two networks when off.
+		total += (st.nmos.LeakCurrent(p.VDD) + st.pmos.LeakCurrent(p.VDD)) / 2
+	}
+	return total, nil
+}
+
+// CellSelfCap returns the diffusion capacitance at the cell's output
+// node (the last stage's junction capacitance).
+func CellSelfCap(tech *devmodel.Tech, t ckt.GateType, nIn int, p Params) (float64, error) {
+	kinds, err := decompose(t, nIn)
+	if err != nil {
+		return 0, err
+	}
+	last := kinds[len(kinds)-1]
+	n := stageFanin(last, nIn, len(kinds)-1)
+	st, err := newStage(tech, last, n, p)
+	if err != nil {
+		return 0, err
+	}
+	return st.selfCap(), nil
+}
+
+// stageFanin returns the input count of stage index si in a gate
+// decomposition of overall fanin nIn.
+func stageFanin(kind stageKind, nIn, si int) int {
+	switch kind {
+	case stInv:
+		return 1
+	case stXor2, stXnor2:
+		return 2
+	default:
+		if si == 0 {
+			return nIn
+		}
+		return 1
+	}
+}

@@ -1,0 +1,143 @@
+package spice
+
+// Measurement helpers over recorded waveforms. Waveforms are uniform
+// samplings with step dt starting at t=0.
+
+// crossings returns the interpolated times at which the waveform
+// crosses level in the given direction (rising: from below to at/above).
+func crossings(wave []float64, dt, level float64, rising bool) []float64 {
+	var ts []float64
+	for i := 1; i < len(wave); i++ {
+		a, b := wave[i-1], wave[i]
+		var hit bool
+		if rising {
+			hit = a < level && b >= level
+		} else {
+			hit = a > level && b <= level
+		}
+		if hit {
+			frac := 0.0
+			if b != a {
+				frac = (level - a) / (b - a)
+			}
+			ts = append(ts, (float64(i-1)+frac)*dt)
+		}
+	}
+	return ts
+}
+
+// FirstCrossing returns the first crossing time of level in the given
+// direction, or -1 if none.
+func FirstCrossing(wave []float64, dt, level float64, rising bool) float64 {
+	ts := crossings(wave, dt, level, rising)
+	if len(ts) == 0 {
+		return -1
+	}
+	return ts[0]
+}
+
+// GlitchWidth measures the total time the waveform spends beyond the
+// 50%-VDD level away from its initial rail. For a node initially low
+// it is the time spent above vdd/2; for a node initially high, the
+// time below vdd/2. This matches the paper's glitch-duration metric
+// (a glitch wide at the half-rail level is what a latch can capture).
+func GlitchWidth(wave []float64, dt, vdd float64) float64 {
+	if len(wave) == 0 {
+		return 0
+	}
+	level := vdd / 2
+	initialHigh := wave[0] > level
+	w := 0.0
+	for i := 1; i < len(wave); i++ {
+		a, b := wave[i-1], wave[i]
+		// Fraction of this interval spent on the glitch side.
+		w += dt * fracBeyond(a, b, level, initialHigh)
+	}
+	return w
+}
+
+// fracBeyond returns the fraction of the linear segment a->b that lies
+// on the glitch side of level (below it when initialHigh, above it
+// otherwise).
+func fracBeyond(a, b, level float64, initialHigh bool) float64 {
+	beyond := func(v float64) bool {
+		if initialHigh {
+			return v < level
+		}
+		return v > level
+	}
+	ba, bb := beyond(a), beyond(b)
+	switch {
+	case ba && bb:
+		return 1
+	case !ba && !bb:
+		return 0
+	default:
+		frac := 0.0
+		if b != a {
+			frac = (level - a) / (b - a)
+		}
+		if ba {
+			return frac // started beyond, crossed back at frac
+		}
+		return 1 - frac
+	}
+}
+
+// PropagationDelay returns the 50%-to-50% delay between an input
+// transition and the resulting output transition. in/out share dt.
+// Returns -1 if either waveform has no transition.
+func PropagationDelay(in, out []float64, dt, vddIn, vddOut float64) float64 {
+	tin := midCross(in, dt, vddIn)
+	tout := midCross(out, dt, vddOut)
+	if tin < 0 || tout < 0 {
+		return -1
+	}
+	return tout - tin
+}
+
+func midCross(w []float64, dt, vdd float64) float64 {
+	rising := w[0] < vdd/2
+	return FirstCrossing(w, dt, vdd/2, rising)
+}
+
+// TransitionTime returns the 10%–90% rise (or 90%–10% fall) time of
+// the first full swing in the waveform, or -1 if the waveform never
+// completes a swing.
+func TransitionTime(w []float64, dt, vdd float64) float64 {
+	rising := w[0] < vdd/2
+	if rising {
+		t10 := FirstCrossing(w, dt, 0.1*vdd, true)
+		t90 := FirstCrossing(w, dt, 0.9*vdd, true)
+		if t10 < 0 || t90 < 0 {
+			return -1
+		}
+		return t90 - t10
+	}
+	t90 := FirstCrossing(w, dt, 0.9*vdd, false)
+	t10 := FirstCrossing(w, dt, 0.1*vdd, false)
+	if t10 < 0 || t90 < 0 {
+		return -1
+	}
+	return t10 - t90
+}
+
+// PeakDeviation returns the maximum excursion of the waveform away
+// from its initial value.
+func PeakDeviation(w []float64) float64 {
+	if len(w) == 0 {
+		return 0
+	}
+	base := w[0]
+	max := 0.0
+	for _, v := range w {
+		d := v - base
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

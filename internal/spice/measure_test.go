@@ -1,0 +1,125 @@
+package spice
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWaveformSources(t *testing.T) {
+	if DC(0.7).V(123) != 0.7 {
+		t.Error("DC source wrong")
+	}
+	r := Ramp{V0: 0, V1: 1, T0: 10, TRise: 10}
+	if r.V(5) != 0 || r.V(25) != 1 {
+		t.Error("ramp endpoints wrong")
+	}
+	if math.Abs(r.V(15)-0.5) > 1e-12 {
+		t.Errorf("ramp midpoint = %g", r.V(15))
+	}
+	p := Pulse{Base: 0, Peak: 1, T0: 100, W: 50, TEdge: 10}
+	if p.V(0) != 0 {
+		t.Error("pulse should start at base")
+	}
+	if math.Abs(p.V(100)-0.5) > 1e-9 {
+		t.Errorf("pulse at T0 = %g, want 0.5 (50%% level)", p.V(100))
+	}
+	if math.Abs(p.V(150)-0.5) > 1e-9 {
+		t.Errorf("pulse at T0+W = %g, want 0.5", p.V(150))
+	}
+	if p.V(125) != 1 {
+		t.Errorf("pulse plateau = %g", p.V(125))
+	}
+	if p.V(300) != 0 {
+		t.Error("pulse should return to base")
+	}
+}
+
+func TestInjectionChargeIntegral(t *testing.T) {
+	inj := &Injection{Node: 0, Q: 16e-15, T0: 10e-12}
+	dt := 0.05e-12
+	q := 0.0
+	for ts := 0.0; ts < 500e-12; ts += dt {
+		q += inj.current(ts) * dt
+	}
+	if math.Abs(q-16e-15)/16e-15 > 0.01 {
+		t.Fatalf("injected charge = %g, want 16fC within 1%%", q)
+	}
+	if inj.current(5e-12) != 0 {
+		t.Error("injection before T0 should be zero")
+	}
+}
+
+func TestGlitchWidthSyntheticPulse(t *testing.T) {
+	// 50%-width of a synthetic trapezoid must equal its nominal W.
+	dt := 1e-12
+	p := Pulse{Base: 0, Peak: 1, T0: 100e-12, W: 60e-12, TEdge: 20e-12}
+	var w []float64
+	for i := 0; i < 400; i++ {
+		w = append(w, p.V(float64(i)*dt))
+	}
+	got := GlitchWidth(w, dt, 1.0)
+	if math.Abs(got-60e-12) > 2*dt {
+		t.Fatalf("GlitchWidth = %g, want 60ps", got)
+	}
+}
+
+func TestGlitchWidthInitiallyHigh(t *testing.T) {
+	dt := 1e-12
+	var w []float64
+	for i := 0; i < 300; i++ {
+		ts := float64(i) * dt
+		v := 1.0
+		if ts > 100e-12 && ts < 140e-12 {
+			v = 0.0 // 40ps low glitch on a high node
+		}
+		w = append(w, v)
+	}
+	got := GlitchWidth(w, dt, 1.0)
+	if math.Abs(got-40e-12) > 2*dt {
+		t.Fatalf("GlitchWidth = %g, want 40ps", got)
+	}
+}
+
+func TestGlitchWidthNoGlitch(t *testing.T) {
+	w := make([]float64, 100)
+	if GlitchWidth(w, 1e-12, 1.0) != 0 {
+		t.Error("flat waveform should have zero glitch width")
+	}
+}
+
+func TestFirstCrossing(t *testing.T) {
+	w := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+	got := FirstCrossing(w, 1.0, 0.5, true)
+	if math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("FirstCrossing = %g, want 2.5", got)
+	}
+	if FirstCrossing(w, 1.0, 0.5, false) != -1 {
+		t.Error("no falling crossing expected")
+	}
+}
+
+func TestTransitionTime(t *testing.T) {
+	// Linear ramp 0->1 over 10 units: 10-90 time = 8.
+	var w []float64
+	for i := 0; i <= 20; i++ {
+		v := float64(i) / 10
+		if v > 1 {
+			v = 1
+		}
+		w = append(w, v)
+	}
+	got := TransitionTime(w, 1.0, 1.0)
+	if math.Abs(got-8) > 0.01 {
+		t.Fatalf("TransitionTime = %g, want 8", got)
+	}
+}
+
+func TestPeakDeviation(t *testing.T) {
+	w := []float64{1, 1, 0.3, 0.9, 1}
+	if got := PeakDeviation(w); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("PeakDeviation = %g, want 0.7", got)
+	}
+	if PeakDeviation(nil) != 0 {
+		t.Error("empty waveform deviation should be 0")
+	}
+}

@@ -1,0 +1,129 @@
+// Package spice is a small transistor-level transient simulator used
+// as the "SPICE" golden reference of the reproduction and as the
+// engine behind lookup-table characterization (internal/charlib).
+//
+// Gates are decomposed into static CMOS stages (INV, NAND, NOR, XOR2,
+// XNOR2); each stage has a series/parallel pull-up and pull-down
+// transistor network evaluated with the alpha-power-law device model
+// (internal/devmodel). The transient engine integrates node voltages
+// with backward-Euler steps solved by scalar Newton iteration in
+// topological (Gauss-Seidel) order, which is stable at picosecond
+// steps. Particle strikes are injected as double-exponential current
+// pulses, exactly as the paper models them ("a current source
+// injecting (or removing) a fixed amount of charge").
+package spice
+
+import "repro/internal/devmodel"
+
+// netKind discriminates network tree nodes.
+type netKind uint8
+
+const (
+	netDevice netKind = iota
+	netSeries
+	netParallel
+)
+
+// network is a series/parallel composition of transistors. A device
+// leaf is driven by stage input `input`; if negated, the device sees
+// the complemented input voltage (used by the XOR/XNOR stages, which
+// in silicon receive both signal polarities).
+type network struct {
+	kind     netKind
+	input    int
+	negated  bool
+	children []*network
+}
+
+func dev(input int, negated bool) *network {
+	return &network{kind: netDevice, input: input, negated: negated}
+}
+
+func series(ch ...*network) *network {
+	return &network{kind: netSeries, children: ch}
+}
+
+func parallel(ch ...*network) *network {
+	return &network{kind: netParallel, children: ch}
+}
+
+// countDevices returns the number of transistor leaves.
+func (n *network) countDevices() int {
+	if n.kind == netDevice {
+		return 1
+	}
+	c := 0
+	for _, ch := range n.children {
+		c += ch.countDevices()
+	}
+	return c
+}
+
+// stackDepth returns the maximum series stack height.
+func (n *network) stackDepth() int {
+	switch n.kind {
+	case netDevice:
+		return 1
+	case netSeries:
+		d := 0
+		for _, ch := range n.children {
+			d += ch.stackDepth()
+		}
+		return d
+	default:
+		d := 0
+		for _, ch := range n.children {
+			if s := ch.stackDepth(); s > d {
+				d = s
+			}
+		}
+		return d
+	}
+}
+
+// current evaluates the network's drain current for the given stage
+// input gate voltages vin, the voltage across the network vds (>= 0 in
+// the network's own polarity), the device template m, and the stage
+// supply vdd (needed to complement inputs and, for PMOS, to convert
+// node voltages to device polarity). pullUp selects PMOS polarity.
+//
+// Composition rules: parallel branches add; series branches combine
+// harmonically (1/I = Σ 1/I_i), which reproduces the 1/k current of a
+// k-high stack of identical on-devices and lets any off-device cut the
+// branch. A tiny floor keeps the harmonic mean finite.
+func (n *network) current(vin []float64, vds float64, m *devmodel.MOSFET, vdd float64, pullUp bool) float64 {
+	const iFloor = 1e-15
+	switch n.kind {
+	case netDevice:
+		v := vin[n.input]
+		if n.negated {
+			v = vdd - v
+		}
+		var vgs float64
+		if pullUp {
+			vgs = vdd - v // |Vgs| for PMOS with source at VDD
+		} else {
+			vgs = v
+		}
+		if vgs < 0 {
+			vgs = 0
+		}
+		return m.Ids(vgs, vds)
+	case netParallel:
+		sum := 0.0
+		for _, ch := range n.children {
+			sum += ch.current(vin, vds, m, vdd, pullUp)
+		}
+		return sum
+	default: // series
+		inv := 0.0
+		for _, ch := range n.children {
+			i := ch.current(vin, vds, m, vdd, pullUp)
+			if i < iFloor {
+				i = iFloor
+			}
+			inv += 1 / i
+		}
+		return 1 / inv
+	}
+}

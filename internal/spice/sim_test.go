@@ -1,0 +1,290 @@
+package spice
+
+import (
+	"testing"
+
+	"repro/internal/ckt"
+	"repro/internal/devmodel"
+)
+
+// invCircuit builds a single inverter driving loadInv identical
+// inverters (fanout load).
+func invCircuit(t testing.TB, loadInv int) *ckt.Circuit {
+	t.Helper()
+	c := ckt.New("inv")
+	a := c.MustAddGate("a", ckt.Input)
+	g := c.MustAddGate("y", ckt.Not)
+	c.MustConnect(a, g)
+	prev := g
+	for i := 0; i < loadInv; i++ {
+		l := c.MustAddGate("l"+string(rune('0'+i)), ckt.Not)
+		c.MustConnect(g, l)
+		prev = l
+	}
+	c.MarkPO(prev)
+	if loadInv == 0 {
+		c.MarkPO(g)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func nominalParams(tech *devmodel.Tech, c *ckt.Circuit, size float64) []Params {
+	ps := make([]Params, len(c.Gates))
+	for i := range ps {
+		ps[i] = Nominal(tech, size)
+	}
+	return ps
+}
+
+func TestInverterSwitches(t *testing.T) {
+	tech := devmodel.Tech70nm()
+	c := invCircuit(t, 1)
+	sim, err := FromCircuit(tech, c, nominalParams(tech, c, 2), 1e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetInput(0, Ramp{V0: 0, V1: 1.0, T0: 50e-12, TRise: 20e-12})
+	sim.Settle()
+	y, _ := c.GateByName("y")
+	node := sim.GateNode(y)
+	waves := sim.Run(400e-12, 0.5e-12, []int{sim.GateNode(c.Inputs()[0]), node})
+	out := waves[1]
+	if out[0] < 0.9 {
+		t.Fatalf("inverter output should start high, got %g", out[0])
+	}
+	if out[len(out)-1] > 0.1 {
+		t.Fatalf("inverter output should end low, got %g", out[len(out)-1])
+	}
+	d := PropagationDelay(waves[0], out, 0.5e-12, 1.0, 1.0)
+	if d <= 0 || d > 100e-12 {
+		t.Fatalf("inverter delay = %g, implausible (want ~1-50ps)", d)
+	}
+}
+
+func TestInverterDelayTrends(t *testing.T) {
+	tech := devmodel.Tech70nm()
+	delay := func(p Params) float64 {
+		c := invCircuit(t, 2)
+		ps := make([]Params, len(c.Gates))
+		for i := range ps {
+			ps[i] = p
+		}
+		sim, err := FromCircuit(tech, c, ps, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.SetInput(0, Ramp{V0: 0, V1: p.VDD, T0: 50e-12, TRise: 20e-12})
+		sim.Settle()
+		y, _ := c.GateByName("y")
+		waves := sim.Run(600e-12, 0.5e-12, []int{sim.GateNode(c.Inputs()[0]), sim.GateNode(y)})
+		d := PropagationDelay(waves[0], waves[1], 0.5e-12, p.VDD, p.VDD)
+		if d <= 0 {
+			t.Fatalf("no transition for params %+v", p)
+		}
+		return d
+	}
+	base := Params{Size: 2, L: tech.Lmin, VDD: 1.0, Vth: 0.2}
+	dBase := delay(base)
+
+	small := base
+	small.Size = 1
+	if delay(small) <= dBase {
+		t.Error("smaller gate driving fixed load should be slower")
+	}
+	long := base
+	long.L = 150e-9
+	if delay(long) <= dBase {
+		t.Error("longer channel should be slower")
+	}
+	lowV := base
+	lowV.VDD = 0.8
+	if delay(lowV) <= dBase {
+		t.Error("lower VDD should be slower")
+	}
+	hiVth := base
+	hiVth.Vth = 0.3
+	if delay(hiVth) <= dBase {
+		t.Error("higher Vth should be slower")
+	}
+}
+
+func TestStrikeCreatesGlitch(t *testing.T) {
+	tech := devmodel.Tech70nm()
+	c := invCircuit(t, 1)
+	sim, err := FromCircuit(tech, c, nominalParams(tech, c, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Input low -> inverter output high; strike removes charge.
+	sim.SetInput(0, DC(0))
+	sim.Settle()
+	y, _ := c.GateByName("y")
+	node := sim.GateNode(y)
+	sim.AddInjection(&Injection{Node: node, Q: -16e-15, T0: 50e-12})
+	waves := sim.Run(500e-12, 0.5e-12, []int{node})
+	w := GlitchWidth(waves[0], 0.5e-12, 1.0)
+	if w <= 0 {
+		t.Fatal("16fC strike should produce a measurable glitch")
+	}
+	if w > 300e-12 {
+		t.Fatalf("glitch width %g implausibly wide", w)
+	}
+	// Node must recover to high.
+	if waves[0][len(waves[0])-1] < 0.9 {
+		t.Fatalf("node did not recover, final V = %g", waves[0][len(waves[0])-1])
+	}
+}
+
+func TestStrikeOnLowNodeInjectsPositive(t *testing.T) {
+	tech := devmodel.Tech70nm()
+	c := invCircuit(t, 1)
+	sim, err := FromCircuit(tech, c, nominalParams(tech, c, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetInput(0, DC(1.0)) // output low
+	sim.Settle()
+	y, _ := c.GateByName("y")
+	node := sim.GateNode(y)
+	sim.AddInjection(&Injection{Node: node, Q: 16e-15, T0: 50e-12})
+	waves := sim.Run(500e-12, 0.5e-12, []int{node})
+	if w := GlitchWidth(waves[0], 0.5e-12, 1.0); w <= 0 {
+		t.Fatal("positive strike on low node should glitch high")
+	}
+}
+
+func TestGlitchGenerationWiderForWeakerGate(t *testing.T) {
+	tech := devmodel.Tech70nm()
+	width := func(size float64) float64 {
+		c := invCircuit(t, 1)
+		sim, err := FromCircuit(tech, c, nominalParams(tech, c, size), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.SetInput(0, DC(0))
+		sim.Settle()
+		y, _ := c.GateByName("y")
+		node := sim.GateNode(y)
+		sim.AddInjection(&Injection{Node: node, Q: -16e-15, T0: 50e-12})
+		waves := sim.Run(800e-12, 0.5e-12, []int{node})
+		return GlitchWidth(waves[0], 0.5e-12, 1.0)
+	}
+	w1, w4 := width(1), width(4)
+	if w1 <= w4 {
+		t.Fatalf("size-1 glitch (%g) should be wider than size-4 (%g)", w1, w4)
+	}
+}
+
+func TestNandLogicLevels(t *testing.T) {
+	tech := devmodel.Tech70nm()
+	c := ckt.New("nand")
+	a := c.MustAddGate("a", ckt.Input)
+	b := c.MustAddGate("b", ckt.Input)
+	g := c.MustAddGate("y", ckt.Nand)
+	c.MustConnect(a, g)
+	c.MustConnect(b, g)
+	c.MarkPO(g)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		a, b bool
+		want float64
+	}{
+		{false, false, 1}, {true, false, 1}, {false, true, 1}, {true, true, 0},
+	} {
+		sim, err := FromCircuit(tech, c, nominalParams(tech, c, 2), 1e-15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.SetInputsLogic([]bool{tc.a, tc.b}, 1.0)
+		sim.Settle()
+		y, _ := c.GateByName("y")
+		waves := sim.Run(100e-12, 1e-12, []int{sim.GateNode(y)})
+		final := waves[0][len(waves[0])-1]
+		if tc.want == 1 && final < 0.9 || tc.want == 0 && final > 0.1 {
+			t.Errorf("NAND(%v,%v) settles at %g, want %g", tc.a, tc.b, final, tc.want)
+		}
+	}
+}
+
+func TestXorStages(t *testing.T) {
+	tech := devmodel.Tech70nm()
+	c := ckt.New("xor")
+	a := c.MustAddGate("a", ckt.Input)
+	b := c.MustAddGate("b", ckt.Input)
+	g := c.MustAddGate("y", ckt.Xor)
+	c.MustConnect(a, g)
+	c.MustConnect(b, g)
+	c.MarkPO(g)
+	for _, tc := range []struct {
+		a, b bool
+		want float64
+	}{
+		{false, false, 0}, {true, false, 1}, {false, true, 1}, {true, true, 0},
+	} {
+		sim, err := FromCircuit(tech, c, nominalParams(tech, c, 2), 1e-15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.SetInputsLogic([]bool{tc.a, tc.b}, 1.0)
+		sim.Settle()
+		y, _ := c.GateByName("y")
+		waves := sim.Run(100e-12, 1e-12, []int{sim.GateNode(y)})
+		final := waves[0][len(waves[0])-1]
+		if tc.want == 1 && final < 0.9 || tc.want == 0 && final > 0.1 {
+			t.Errorf("XOR(%v,%v) settles at %g, want %g", tc.a, tc.b, final, tc.want)
+		}
+	}
+}
+
+func TestFromCircuitParamMismatch(t *testing.T) {
+	tech := devmodel.Tech70nm()
+	c := invCircuit(t, 0)
+	if _, err := FromCircuit(tech, c, nil, 0); err == nil {
+		t.Fatal("param length mismatch accepted")
+	}
+}
+
+func TestGlitchPropagationAttenuation(t *testing.T) {
+	// A chain of inverters must attenuate a narrow glitch and pass a
+	// wide one — the paper's Equation 1 behaviour.
+	tech := devmodel.Tech70nm()
+	build := func() (*ckt.Circuit, []int) {
+		c := ckt.New("chain")
+		a := c.MustAddGate("a", ckt.Input)
+		prev := a
+		ids := []int{}
+		for i := 0; i < 4; i++ {
+			g := c.MustAddGate("g"+string(rune('0'+i)), ckt.Not)
+			c.MustConnect(prev, g)
+			prev = g
+			ids = append(ids, g)
+		}
+		c.MarkPO(prev)
+		return c, ids
+	}
+	propagated := func(inWidth float64) float64 {
+		c, ids := build()
+		sim, err := FromCircuit(tech, c, nominalParams(tech, c, 1), 1e-15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.SetInput(0, Pulse{Base: 0, Peak: 1.0, T0: 100e-12, W: inWidth, TEdge: 10e-12})
+		sim.Settle()
+		last := ids[len(ids)-1]
+		waves := sim.Run(800e-12, 0.5e-12, []int{sim.GateNode(last)})
+		return GlitchWidth(waves[0], 0.5e-12, 1.0)
+	}
+	narrow := propagated(8e-12)
+	wide := propagated(120e-12)
+	if wide < 80e-12 {
+		t.Fatalf("wide glitch should survive the chain, got %g", wide)
+	}
+	if narrow > wide/3 {
+		t.Fatalf("narrow glitch should be strongly attenuated: narrow=%g wide=%g", narrow, wide)
+	}
+}

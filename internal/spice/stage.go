@@ -1,0 +1,227 @@
+package spice
+
+import (
+	"fmt"
+
+	"repro/internal/ckt"
+	"repro/internal/devmodel"
+)
+
+// Params are the four per-gate design variables the paper optimizes:
+// relative size (1 = 100 nm width), channel length (m), supply voltage
+// (V) and threshold voltage magnitude (V).
+type Params struct {
+	Size float64
+	L    float64
+	VDD  float64
+	Vth  float64
+}
+
+// Nominal returns the paper's baseline assignment: L = 70 nm,
+// VDD = 1 V, Vth = 0.2 V at the given size.
+func Nominal(tech *devmodel.Tech, size float64) Params {
+	return Params{Size: size, L: tech.Lmin, VDD: tech.VDDnom, Vth: tech.Vthnom}
+}
+
+// stageKind enumerates the primitive static-CMOS stages gates are
+// decomposed into.
+type stageKind uint8
+
+const (
+	stInv stageKind = iota
+	stNand
+	stNor
+	stXor2
+	stXnor2
+)
+
+// Stage is one static CMOS stage: a pull-up PMOS network from VDD and
+// a complementary pull-down NMOS network to ground driving one output
+// node.
+type Stage struct {
+	kind stageKind
+	// in are simulator node indices of the stage inputs; out is the
+	// output node index.
+	in  []int
+	out int
+
+	pdn, pun *network
+	nmos     *devmodel.MOSFET
+	pmos     *devmodel.MOSFET
+	vdd      float64
+
+	// vinScratch is reused across evaluation calls.
+	vinScratch []float64
+}
+
+// newStage builds a stage of the given kind with nIn inputs using
+// parameters p. Device widths follow standard practice: the PMOS is
+// upsized by the mobility ratio; series stacks are upsized by the
+// stack height so the stage's drive matches an inverter of the same
+// size.
+func newStage(tech *devmodel.Tech, kind stageKind, nIn int, p Params) (*Stage, error) {
+	s := &Stage{kind: kind, vdd: p.VDD}
+	w := p.Size * tech.Wbase
+	const betaRatio = 2.0 // PMOS/NMOS width ratio
+	var nW, pW float64
+	switch kind {
+	case stInv:
+		if nIn != 1 {
+			return nil, fmt.Errorf("spice: INV stage with %d inputs", nIn)
+		}
+		s.pdn = dev(0, false)
+		s.pun = dev(0, false)
+		nW, pW = w, betaRatio*w
+	case stNand:
+		if nIn < 2 {
+			return nil, fmt.Errorf("spice: NAND stage with %d inputs", nIn)
+		}
+		sN := make([]*network, nIn)
+		pP := make([]*network, nIn)
+		for i := 0; i < nIn; i++ {
+			sN[i] = dev(i, false)
+			pP[i] = dev(i, false)
+		}
+		s.pdn = series(sN...)
+		s.pun = parallel(pP...)
+		nW, pW = float64(nIn)*w, betaRatio*w
+	case stNor:
+		if nIn < 2 {
+			return nil, fmt.Errorf("spice: NOR stage with %d inputs", nIn)
+		}
+		pN := make([]*network, nIn)
+		sP := make([]*network, nIn)
+		for i := 0; i < nIn; i++ {
+			pN[i] = dev(i, false)
+			sP[i] = dev(i, false)
+		}
+		s.pdn = parallel(pN...)
+		s.pun = series(sP...)
+		nW, pW = w, float64(nIn)*betaRatio*w
+	case stXor2, stXnor2:
+		if nIn != 2 {
+			return nil, fmt.Errorf("spice: XOR2 stage with %d inputs", nIn)
+		}
+		// Complementary pass-style XOR: the PDN conducts when the
+		// output must be LOW — for XOR that is a == b — and the PUN is
+		// its complement. Negated devices model the internally
+		// generated complement signals. PUN devices see complemented
+		// logic because PMOS conducts on low gate voltage: the PUN for
+		// XOR must conduct when a != b, i.e. its PMOS pairs are driven
+		// by (a, b̄) and (ā, b) being low together.
+		eq := func(neg bool) *network {
+			return parallel(
+				series(dev(0, neg), dev(1, neg)),
+				series(dev(0, !neg), dev(1, !neg)),
+			)
+		}
+		ne := func(neg bool) *network {
+			return parallel(
+				series(dev(0, neg), dev(1, !neg)),
+				series(dev(0, !neg), dev(1, neg)),
+			)
+		}
+		if kind == stXor2 {
+			s.pdn = eq(false) // pull low when a == b
+			// PMOS conducts when its (possibly negated) input is low;
+			// to conduct when a != b we gate the pairs on (a, b̄).
+			s.pun = ne(false)
+		} else {
+			s.pdn = ne(false) // XNOR pulls low when a != b
+			s.pun = eq(false)
+		}
+		nW, pW = 2*w, 2*betaRatio*w
+	default:
+		return nil, fmt.Errorf("spice: unknown stage kind %d", kind)
+	}
+	s.nmos = devmodel.NewMOSFET(tech, devmodel.NMOS, nW, p.L, p.Vth)
+	s.pmos = devmodel.NewMOSFET(tech, devmodel.PMOS, pW, p.L, p.Vth)
+	s.vinScratch = make([]float64, nIn)
+	return s, nil
+}
+
+// outputCurrent returns the net current charging the stage output node
+// (positive pulls the node up) for input node voltages vin and output
+// voltage vout.
+func (s *Stage) outputCurrent(vin []float64, vout float64) float64 {
+	up := 0.0
+	if vdsUp := s.vdd - vout; vdsUp > 0 {
+		up = s.pun.current(vin, vdsUp, s.pmos, s.vdd, true)
+	}
+	dn := 0.0
+	if vout > 0 {
+		dn = s.pdn.current(vin, vout, s.nmos, s.vdd, false)
+	}
+	return up - dn
+}
+
+// selfCap returns the diffusion capacitance the stage contributes to
+// its own output node.
+func (s *Stage) selfCap() float64 {
+	return s.nmos.JunctionCap() + s.pmos.JunctionCap()
+}
+
+// inputCap returns the gate capacitance one stage input presents.
+func (s *Stage) inputCap() float64 {
+	return s.nmos.GateCap() + s.pmos.GateCap()
+}
+
+// logicValue evaluates the stage's boolean function.
+func (s *Stage) logicValue(in []bool) bool {
+	switch s.kind {
+	case stInv:
+		return !in[0]
+	case stNand:
+		v := true
+		for _, x := range in {
+			v = v && x
+		}
+		return !v
+	case stNor:
+		v := false
+		for _, x := range in {
+			v = v || x
+		}
+		return !v
+	case stXor2:
+		return in[0] != in[1]
+	default: // stXnor2
+		return in[0] == in[1]
+	}
+}
+
+// decompose maps a gate type of the given fanin to a chain of stage
+// kinds. Multi-input XOR/XNOR become cascades of 2-input stages; the
+// bool slice reports, for each stage after the first, whether it takes
+// the previous stage's output plus the next gate input (true) or is a
+// pure inverter on the previous output (false).
+func decompose(t ckt.GateType, nIn int) ([]stageKind, error) {
+	switch t {
+	case ckt.Not:
+		return []stageKind{stInv}, nil
+	case ckt.Buf:
+		return []stageKind{stInv, stInv}, nil
+	case ckt.Nand:
+		return []stageKind{stNand}, nil
+	case ckt.Nor:
+		return []stageKind{stNor}, nil
+	case ckt.And:
+		return []stageKind{stNand, stInv}, nil
+	case ckt.Or:
+		return []stageKind{stNor, stInv}, nil
+	case ckt.Xor:
+		ks := make([]stageKind, nIn-1)
+		for i := range ks {
+			ks[i] = stXor2
+		}
+		return ks, nil
+	case ckt.Xnor:
+		ks := make([]stageKind, nIn-1)
+		for i := range ks {
+			ks[i] = stXor2
+		}
+		ks[len(ks)-1] = stXnor2
+		return ks, nil
+	}
+	return nil, fmt.Errorf("spice: cannot decompose gate type %v", t)
+}

@@ -1,0 +1,138 @@
+package spice
+
+import (
+	"testing"
+
+	"repro/internal/ckt"
+	"repro/internal/devmodel"
+)
+
+// chain builds a linear inverter chain plus a disjoint side inverter
+// to exercise cone masking.
+func chainWithSide(t testing.TB) (*ckt.Circuit, []int, int) {
+	t.Helper()
+	c := ckt.New("chain-side")
+	a := c.MustAddGate("a", ckt.Input)
+	b := c.MustAddGate("b", ckt.Input)
+	var ids []int
+	prev := a
+	for i := 0; i < 3; i++ {
+		g := c.MustAddGate("g"+string(rune('0'+i)), ckt.Not)
+		c.MustConnect(prev, g)
+		prev = g
+		ids = append(ids, g)
+	}
+	c.MarkPO(prev)
+	side := c.MustAddGate("side", ckt.Not)
+	c.MustConnect(b, side)
+	c.MarkPO(side)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c, ids, side
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	tech := devmodel.Tech70nm()
+	c, ids, _ := chainWithSide(t)
+	sim, err := FromCircuit(tech, c, nominalParams(tech, c, 1), 1e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetInputsLogic([]bool{false, false}, 1.0)
+	sim.Settle()
+	snap := sim.Snapshot()
+
+	// Perturb with a strike, then restore; a subsequent run without
+	// injection must stay quiescent.
+	node := sim.GateNode(ids[0])
+	sim.AddInjection(&Injection{Node: node, Q: -16e-15, T0: 10e-12})
+	_ = sim.Run(200e-12, 1e-12, []int{node})
+	sim.ClearInjections()
+	sim.Restore(snap)
+	waves := sim.Run(100e-12, 1e-12, []int{node})
+	if PeakDeviation(waves[0]) > 0.05 {
+		t.Fatalf("restored state drifted by %g V", PeakDeviation(waves[0]))
+	}
+}
+
+func TestActiveConeOf(t *testing.T) {
+	tech := devmodel.Tech70nm()
+	c, ids, side := chainWithSide(t)
+	sim, err := FromCircuit(tech, c, nominalParams(tech, c, 1), 1e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := sim.ActiveConeOf(c, ids[1])
+	// The cone of the middle chain inverter covers itself and the next
+	// stage, but never the side inverter.
+	nActive := 0
+	for _, a := range active {
+		if a {
+			nActive++
+		}
+	}
+	if nActive != 2 {
+		t.Fatalf("cone of middle inverter has %d stages, want 2", nActive)
+	}
+	sideActive := sim.ActiveConeOf(c, side)
+	n := 0
+	for _, a := range sideActive {
+		if a {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("side cone has %d stages, want 1", n)
+	}
+}
+
+// Cone-limited strike runs must agree with full runs at the POs.
+func TestRunActiveMatchesFullRun(t *testing.T) {
+	tech := devmodel.Tech70nm()
+	c, ids, _ := chainWithSide(t)
+	mk := func() *Sim {
+		sim, err := FromCircuit(tech, c, nominalParams(tech, c, 1), 1e-15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.SetInputsLogic([]bool{false, false}, 1.0)
+		sim.Settle()
+		return sim
+	}
+	target := ids[0]
+	po := ids[len(ids)-1]
+
+	full := mk()
+	fullNode := full.GateNode(po)
+	full.AddInjection(&Injection{Node: full.GateNode(target), Q: -16e-15, T0: 20e-12})
+	wFull := full.Run(400e-12, 1e-12, []int{fullNode})
+
+	cone := mk()
+	cone.AddInjection(&Injection{Node: cone.GateNode(target), Q: -16e-15, T0: 20e-12})
+	active := cone.ActiveConeOf(c, target)
+	wCone := cone.RunActive(400e-12, 1e-12, []int{cone.GateNode(po)}, active)
+
+	gFull := GlitchWidth(wFull[0], 1e-12, 1.0)
+	gCone := GlitchWidth(wCone[0], 1e-12, 1.0)
+	if diff := gFull - gCone; diff > 2e-12 || diff < -2e-12 {
+		t.Fatalf("cone-limited glitch %g differs from full %g", gCone, gFull)
+	}
+}
+
+func TestGateVDDAndNodeCap(t *testing.T) {
+	tech := devmodel.Tech70nm()
+	c, ids, _ := chainWithSide(t)
+	ps := nominalParams(tech, c, 1)
+	ps[ids[0]].VDD = 0.8
+	sim, err := FromCircuit(tech, c, ps, 1e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.GateVDD(ids[0]) != 0.8 {
+		t.Fatalf("GateVDD = %g", sim.GateVDD(ids[0]))
+	}
+	if sim.NodeCap(sim.GateNode(ids[0])) <= 0 {
+		t.Fatal("node capacitance must be positive")
+	}
+}

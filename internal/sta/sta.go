@@ -1,0 +1,168 @@
+// Package sta is a small static timing analyzer over the gate-level
+// netlist: arrival times, required times and slacks under a per-gate
+// delay vector. SERTOPT's nullspace formulation pins every enumerated
+// path exactly; STA exposes the complementary view — how much real
+// slack each gate has against a clock constraint — used by the
+// slack-report tooling and the timing assertions in the experiments.
+package sta
+
+import (
+	"fmt"
+
+	"repro/internal/ckt"
+)
+
+// Timing holds one STA result.
+type Timing struct {
+	// Arrival[id] is the latest output arrival time of gate id (PIs
+	// arrive at 0).
+	Arrival []float64
+	// Required[id] is the latest allowed arrival to meet the clock.
+	Required []float64
+	// Slack[id] = Required − Arrival.
+	Slack []float64
+	// CriticalPath is one maximal-delay PI→PO path (gate IDs).
+	CriticalPath []int
+	// Tmax is the critical-path delay.
+	Tmax float64
+}
+
+// Analyze runs STA with per-gate delays (indexed by gate ID; PI
+// entries must be 0). clock <= 0 means "use Tmax as the constraint"
+// (zero-slack critical path).
+func Analyze(c *ckt.Circuit, delays []float64, clock float64) (*Timing, error) {
+	if len(delays) != len(c.Gates) {
+		return nil, fmt.Errorf("sta: %d delays for %d gates", len(delays), len(c.Gates))
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := len(c.Gates)
+	t := &Timing{
+		Arrival:  make([]float64, n),
+		Required: make([]float64, n),
+		Slack:    make([]float64, n),
+	}
+	// Forward pass: arrivals.
+	worstPO := -1
+	for _, id := range order {
+		g := c.Gates[id]
+		if g.Type == ckt.Input {
+			continue
+		}
+		in := 0.0
+		for _, f := range g.Fanin {
+			if t.Arrival[f] > in {
+				in = t.Arrival[f]
+			}
+		}
+		t.Arrival[id] = in + delays[id]
+		if g.PO && t.Arrival[id] > t.Tmax {
+			t.Tmax = t.Arrival[id]
+			worstPO = id
+		}
+	}
+	if clock <= 0 {
+		clock = t.Tmax
+	}
+	// Backward pass: required times.
+	for i := range t.Required {
+		t.Required[i] = clock
+	}
+	rev, err := c.ReverseTopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range rev {
+		g := c.Gates[id]
+		req := clock
+		for _, s := range g.Fanout {
+			r := t.Required[s] - delays[s]
+			if r < req {
+				req = r
+			}
+		}
+		t.Required[id] = req
+	}
+	for i := range t.Slack {
+		t.Slack[i] = t.Required[i] - t.Arrival[i]
+	}
+	// Trace one critical path back from the worst PO.
+	if worstPO >= 0 {
+		id := worstPO
+		for {
+			t.CriticalPath = append([]int{id}, t.CriticalPath...)
+			g := c.Gates[id]
+			next := -1
+			for _, f := range g.Fanin {
+				// The critical fanin realizes the arrival.
+				if c.Gates[f].Type == ckt.Input {
+					if t.Arrival[id]-delays[id] == 0 && next == -1 {
+						next = -1 // reached a PI
+					}
+					continue
+				}
+				if approxEq(t.Arrival[f]+delays[id], t.Arrival[id]) {
+					next = f
+					break
+				}
+			}
+			if next == -1 {
+				break
+			}
+			id = next
+		}
+	}
+	return t, nil
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := b
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1e-15 {
+		scale = 1e-15
+	}
+	return d/scale < 1e-9
+}
+
+// WorstSlack returns the minimum slack over all gates.
+func (t *Timing) WorstSlack() float64 {
+	if len(t.Slack) == 0 {
+		return 0
+	}
+	min := t.Slack[0]
+	for _, s := range t.Slack[1:] {
+		if s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// SlackHistogram buckets gate slacks into n equal bins over
+// [0, clock]; negative slacks land in bin 0.
+func (t *Timing) SlackHistogram(clock float64, n int) []int {
+	if n <= 0 {
+		n = 10
+	}
+	h := make([]int, n)
+	for i, s := range t.Slack {
+		_ = i
+		b := int(s / clock * float64(n))
+		if b < 0 {
+			b = 0
+		}
+		if b >= n {
+			b = n - 1
+		}
+		h[b]++
+	}
+	return h
+}

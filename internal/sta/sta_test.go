@@ -1,0 +1,164 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ckt"
+	"repro/internal/gen"
+)
+
+// c17 with unit delays: levels 1..3, Tmax = 3.
+func unitDelays(c *ckt.Circuit) []float64 {
+	d := make([]float64, len(c.Gates))
+	for _, g := range c.Gates {
+		if g.Type != ckt.Input {
+			d[g.ID] = 1
+		}
+	}
+	return d
+}
+
+func TestAnalyzeC17UnitDelays(t *testing.T) {
+	c := gen.C17()
+	tm, err := Analyze(c, unitDelays(c), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Tmax != 3 {
+		t.Fatalf("Tmax = %g, want 3", tm.Tmax)
+	}
+	id22, _ := c.GateByName("22")
+	if tm.Arrival[id22] != 3 {
+		t.Fatalf("arrival(22) = %g, want 3", tm.Arrival[id22])
+	}
+	// Gate 10 feeds only 22 (arrival 3); its required time is 2,
+	// arrival 1 -> slack 1.
+	id10, _ := c.GateByName("10")
+	if tm.Slack[id10] != 1 {
+		t.Fatalf("slack(10) = %g, want 1", tm.Slack[id10])
+	}
+	// Gates on the critical path (11 -> 16 -> 22/23) have zero slack.
+	for _, name := range []string{"11", "16", "22"} {
+		id, _ := c.GateByName(name)
+		if tm.Slack[id] != 0 {
+			t.Errorf("slack(%s) = %g, want 0", name, tm.Slack[id])
+		}
+	}
+	if tm.WorstSlack() != 0 {
+		t.Fatalf("worst slack = %g, want 0", tm.WorstSlack())
+	}
+}
+
+func TestCriticalPathTrace(t *testing.T) {
+	c := gen.C17()
+	tm, err := Analyze(c, unitDelays(c), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tm.CriticalPath) != 3 {
+		t.Fatalf("critical path %v, want 3 gates", tm.CriticalPath)
+	}
+	// Consecutive entries must be connected and slacks must be zero.
+	for i, id := range tm.CriticalPath {
+		if tm.Slack[id] != 0 {
+			t.Errorf("critical gate %d has slack %g", id, tm.Slack[id])
+		}
+		if i > 0 {
+			found := false
+			for _, f := range c.Gates[id].Fanin {
+				if f == tm.CriticalPath[i-1] {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("critical path edge %d->%d missing", tm.CriticalPath[i-1], id)
+			}
+		}
+	}
+}
+
+func TestRelaxedClockGivesUniformSlack(t *testing.T) {
+	c := gen.C17()
+	tm, err := Analyze(c, unitDelays(c), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With clock 10 and Tmax 3, every gate gains 7 of slack versus the
+	// zero-slack analysis.
+	id16, _ := c.GateByName("16")
+	if tm.Slack[id16] != 7 {
+		t.Fatalf("slack(16) under clock 10 = %g, want 7", tm.Slack[id16])
+	}
+	if tm.WorstSlack() != 7 {
+		t.Fatalf("worst slack = %g, want 7", tm.WorstSlack())
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	c := gen.C17()
+	if _, err := Analyze(c, nil, 0); err == nil {
+		t.Fatal("delay length mismatch accepted")
+	}
+}
+
+// Property over random DAGs: slack is non-negative when the clock is
+// Tmax, and arrival(po) <= Tmax for every PO.
+func TestSlackNonNegativeAtOwnTmax(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		c, err := gen.Generate(gen.Profile{
+			Name: "r", PIs: 6, POs: 3, Gates: 40, Depth: 7, Seed: seed, InvFrac: 0.2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := make([]float64, len(c.Gates))
+		for _, g := range c.Gates {
+			if g.Type != ckt.Input {
+				d[g.ID] = 1 + float64(g.ID%5)
+			}
+		}
+		tm, err := Analyze(c, d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id, s := range tm.Slack {
+			if s < -1e-9 {
+				t.Fatalf("seed %d: negative slack %g at gate %d under own Tmax", seed, s, id)
+			}
+		}
+		for _, po := range c.Outputs() {
+			if tm.Arrival[po] > tm.Tmax+1e-9 {
+				t.Fatalf("seed %d: PO arrival beyond Tmax", seed)
+			}
+		}
+	}
+}
+
+func TestSlackHistogram(t *testing.T) {
+	c := gen.C17()
+	tm, _ := Analyze(c, unitDelays(c), 0)
+	h := tm.SlackHistogram(3, 3)
+	total := 0
+	for _, n := range h {
+		total += n
+	}
+	if total != len(c.Gates) {
+		t.Fatalf("histogram covers %d gates, want %d", total, len(c.Gates))
+	}
+	if got := tm.SlackHistogram(3, 0); len(got) != 10 {
+		t.Fatalf("default bins = %d, want 10", len(got))
+	}
+}
+
+func TestApproxEq(t *testing.T) {
+	if !approxEq(1.0, 1.0+1e-12) {
+		t.Error("approxEq too strict")
+	}
+	if approxEq(1.0, 1.1) {
+		t.Error("approxEq too loose")
+	}
+	if !approxEq(0, math.Copysign(0, -1)) {
+		t.Error("approxEq on zeros")
+	}
+}

@@ -1,0 +1,333 @@
+// Package ser is the public API of this reproduction of "Soft-Error
+// Tolerance Analysis and Optimization of Nanometer Circuits" (Dhillon,
+// Diril, Chatterjee — DATE 2005).
+//
+// It wraps the two tools the paper presents —
+//
+//   - ASERTA: fast lookup-table-driven soft-error tolerance analysis
+//     ("unreliability" U = expected total strike-induced glitch width
+//     reaching the latches, Eqs. 1–4), and
+//   - SERTOPT: delay-assignment-variation optimization of gate sizes,
+//     channel lengths, supply voltages and threshold voltages under a
+//     path-delay constraint (nullspace of the topology matrix, Eq. 5
+//     cost)
+//
+// — together with every substrate they need: a 70 nm alpha-power-law
+// device model, a transistor-level transient simulator used for both
+// table characterization and golden-reference validation, ISCAS-85
+// netlist parsing and profile-matched synthetic benchmarks, logic
+// simulation, and the experiment drivers regenerating each figure and
+// table of the paper.
+//
+// Quickstart:
+//
+//	sys := ser.NewSystem(ser.CoarseCharacterization)
+//	c, _ := ser.Benchmark("c432")
+//	rep, _ := sys.Analyze(c, ser.AnalysisOptions{})
+//	fmt.Printf("U = %.1f, softest gate %s\n", rep.U, rep.Softest(1)[0].Name)
+package ser
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/aserta"
+	"repro/internal/bench"
+	"repro/internal/charlib"
+	"repro/internal/ckt"
+	"repro/internal/devmodel"
+	"repro/internal/gen"
+	"repro/internal/sertopt"
+)
+
+// Circuit is the public alias for the gate-level netlist type.
+type Circuit = ckt.Circuit
+
+// CharacterizationLevel selects how densely the cell library is
+// characterized (transient simulations per gate class).
+type CharacterizationLevel int
+
+const (
+	// DefaultCharacterization uses the paper-scale grid (sizes 1–8,
+	// five channel lengths, three VDDs, three Vths, four loads).
+	DefaultCharacterization CharacterizationLevel = iota
+	// CoarseCharacterization uses a small grid for quick runs and CI.
+	CoarseCharacterization
+)
+
+// System bundles a technology and a characterized cell library.
+type System struct {
+	Tech *devmodel.Tech
+	Lib  *charlib.Library
+}
+
+// NewSystem creates a 70 nm system with a lazily characterized
+// library.
+func NewSystem(level CharacterizationLevel) *System {
+	tech := devmodel.Tech70nm()
+	grid := charlib.DefaultGrid()
+	if level == CoarseCharacterization {
+		grid = charlib.CoarseGrid()
+	}
+	return &System{Tech: tech, Lib: charlib.NewLibrary(tech, grid)}
+}
+
+// NewSystemWithCharges creates a system whose glitch-generation tables
+// carry an injected-charge axis (the paper's stated future work),
+// enabling Report.SpectrumU. charges lists the characterization points
+// in coulombs, e.g. []float64{4e-15, 8e-15, 16e-15, 32e-15}.
+func NewSystemWithCharges(level CharacterizationLevel, charges []float64) *System {
+	s := NewSystem(level)
+	grid := s.Lib.Grid
+	grid.Charges = charges
+	s.Lib = charlib.NewLibrary(s.Tech, grid)
+	return s
+}
+
+// ChargeWeight pairs an injected charge with its flux weight in a
+// strike spectrum.
+type ChargeWeight = aserta.ChargeWeight
+
+// ExponentialSpectrum discretizes the standard exponential
+// charge-deposition spectrum: n points spanning [qMin, qMax]
+// geometrically with weights ∝ exp(−Q/Q0), normalized to 1.
+func ExponentialSpectrum(qMin, qMax, q0 float64, n int) []ChargeWeight {
+	return aserta.ExponentialSpectrum(qMin, qMax, q0, n)
+}
+
+// SaveLibrary caches the characterized tables (JSON) so later runs
+// skip re-characterization.
+func (s *System) SaveLibrary(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Lib.Save(f)
+}
+
+// LoadLibrary restores tables cached by SaveLibrary.
+func (s *System) LoadLibrary(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	lib, err := charlib.Load(f, s.Tech)
+	if err != nil {
+		return err
+	}
+	s.Lib = lib
+	return nil
+}
+
+// Benchmark returns an ISCAS-85 circuit: the genuine c17 netlist or a
+// profile-matched synthetic circuit for the larger suite members (see
+// DESIGN.md §2 for the substitution rationale).
+func Benchmark(name string) (*Circuit, error) { return gen.ISCAS85(name) }
+
+// BenchmarkNames lists available benchmark circuits.
+func BenchmarkNames() []string { return gen.Names() }
+
+// ParseBench reads an ISCAS-85 ".bench" netlist.
+func ParseBench(r io.Reader, name string) (*Circuit, error) { return bench.Parse(r, name) }
+
+// LoadBenchFile reads a ".bench" netlist from disk.
+func LoadBenchFile(path string) (*Circuit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return bench.Parse(f, trimExt(path))
+}
+
+// WriteBench emits a circuit in ".bench" format.
+func WriteBench(w io.Writer, c *Circuit) error { return bench.Write(w, c) }
+
+func trimExt(p string) string {
+	base := p
+	if i := lastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if i := lastIndexByte(base, '.'); i > 0 {
+		base = base[:i]
+	}
+	return base
+}
+
+func lastIndexByte(s string, b byte) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// AnalysisOptions tune an ASERTA run.
+type AnalysisOptions struct {
+	// Vectors is the random-vector count for sensitization statistics
+	// (default 10,000, as in the paper).
+	Vectors int
+	Seed    uint64
+	// POLoad is the latch capacitance at each primary output (F).
+	POLoad float64
+	// Size sizes every gate uniformly when Cells is nil (default:
+	// speed-driven baseline sizing).
+	Cells aserta.Assignment
+}
+
+// GateReport is one gate's analysis summary.
+type GateReport struct {
+	Name string
+	// U is the gate's unreliability contribution (Eq. 3).
+	U float64
+	// GenWidth is the strike-induced glitch width at the gate (s).
+	GenWidth float64
+	// Delay is the gate's propagation delay under its load (s).
+	Delay float64
+}
+
+// Report is the public ASERTA result.
+type Report struct {
+	// U is the circuit unreliability (Eq. 4).
+	U float64
+	// Gates lists per-gate results in netlist order.
+	Gates []GateReport
+
+	analysis *aserta.Analysis
+}
+
+// Softest returns the n highest-contribution gates, most unreliable
+// first.
+func (r *Report) Softest(n int) []GateReport {
+	out := append([]GateReport(nil), r.Gates...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].U > out[j].U })
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Raw exposes the underlying analysis for advanced use (sample tables,
+// sensitization probabilities).
+func (r *Report) Raw() *aserta.Analysis { return r.analysis }
+
+// SpectrumU re-evaluates the circuit unreliability under a charge
+// spectrum instead of the fixed 16 fC strike. The system must have
+// been built with NewSystemWithCharges. It returns the weighted total
+// and the per-charge unreliability values.
+func (r *Report) SpectrumU(sys *System, spectrum []ChargeWeight) (float64, []float64, error) {
+	return r.analysis.SpectrumU(sys.Lib, spectrum)
+}
+
+// Analyze runs ASERTA on the circuit with a speed-sized baseline
+// assignment (or opts.Cells when provided).
+func (s *System) Analyze(c *Circuit, opts AnalysisOptions) (*Report, error) {
+	if opts.POLoad == 0 {
+		opts.POLoad = 2e-15
+	}
+	cells := opts.Cells
+	if cells == nil {
+		var err error
+		cells, err = sertopt.InitialSizing(c, s.Lib, 0, opts.POLoad)
+		if err != nil {
+			return nil, err
+		}
+	}
+	an, err := aserta.Analyze(c, s.Lib, cells, aserta.Config{
+		Vectors: opts.Vectors,
+		Seed:    opts.Seed,
+		POLoad:  opts.POLoad,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{U: an.U, analysis: an}
+	for _, g := range c.Gates {
+		if g.Type == ckt.Input {
+			continue
+		}
+		rep.Gates = append(rep.Gates, GateReport{
+			Name:     g.Name,
+			U:        an.Ui[g.ID],
+			GenWidth: an.GenWidth[g.ID],
+			Delay:    an.Delays[g.ID],
+		})
+	}
+	return rep, nil
+}
+
+// OptimizeOptions tune a SERTOPT run.
+type OptimizeOptions struct {
+	// VDDs and Vths are the designer's voltage menus (paper Table 1).
+	VDDs []float64
+	Vths []float64
+	// Iterations, MaxBasis and Vectors trade quality for runtime.
+	Iterations int
+	MaxBasis   int
+	Vectors    int
+	Seed       uint64
+	// Method is "sqp" (default) or "anneal".
+	Method string
+	// Weights override the Eq. 5 cost weights.
+	Weights *sertopt.Weights
+}
+
+// OptimizeResult is the public SERTOPT outcome.
+type OptimizeResult struct {
+	// UDecrease is the fractional unreliability reduction (Table 1).
+	UDecrease float64
+	// AreaRatio, EnergyRatio, DelayRatio compare optimized/baseline.
+	AreaRatio, EnergyRatio, DelayRatio float64
+	// BaselineU and OptimizedU are the absolute unreliability values.
+	BaselineU, OptimizedU float64
+
+	raw *sertopt.Result
+}
+
+// Raw exposes the full optimizer result (assignments, history).
+func (r *OptimizeResult) Raw() *sertopt.Result { return r.raw }
+
+// Optimize runs SERTOPT on the circuit.
+func (s *System) Optimize(c *Circuit, opts OptimizeOptions) (*OptimizeResult, error) {
+	if len(opts.VDDs) == 0 {
+		opts.VDDs = []float64{0.8, 1.0}
+	}
+	if len(opts.Vths) == 0 {
+		opts.Vths = []float64{0.2, 0.3}
+	}
+	sopts := sertopt.Options{
+		Match:      sertopt.MatchConfig{VDDs: opts.VDDs, Vths: opts.Vths},
+		Iterations: opts.Iterations,
+		MaxBasis:   opts.MaxBasis,
+		Vectors:    opts.Vectors,
+		Seed:       opts.Seed,
+		Method:     opts.Method,
+	}
+	if opts.Weights != nil {
+		sopts.Weights = *opts.Weights
+	}
+	res, err := sertopt.Optimize(c, s.Lib, sopts)
+	if err != nil {
+		return nil, err
+	}
+	out := &OptimizeResult{
+		UDecrease:  res.UDecrease(),
+		BaselineU:  res.BaseAnalysis.U,
+		OptimizedU: res.OptAnalysis.U,
+		raw:        res,
+	}
+	out.AreaRatio, out.EnergyRatio, out.DelayRatio = res.Ratios()
+	return out, nil
+}
+
+// Summary formats a one-line circuit description.
+func Summary(c *Circuit) string {
+	s := c.Summary()
+	return fmt.Sprintf("%s: %d PIs, %d POs, %d gates, %d edges, depth %d",
+		s.Name, s.PIs, s.POs, s.Gates, s.Edges, s.Levels)
+}

@@ -1,0 +1,143 @@
+package ser
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	sysOnce sync.Once
+	testSys *System
+)
+
+func sys() *System {
+	sysOnce.Do(func() { testSys = NewSystem(CoarseCharacterization) })
+	return testSys
+}
+
+func TestBenchmarkNames(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) < 10 {
+		t.Fatalf("only %d benchmarks", len(names))
+	}
+	for _, n := range names {
+		c, err := Benchmark(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", n, err)
+		}
+	}
+}
+
+func TestParseWriteBench(t *testing.T) {
+	c, err := Benchmark("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ParseBench(strings.NewReader(buf.String()), "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumGates() != c.NumGates() {
+		t.Fatal("round trip changed gate count")
+	}
+}
+
+func TestAnalyzeC17(t *testing.T) {
+	c, _ := Benchmark("c17")
+	rep, err := sys().Analyze(c, AnalysisOptions{Vectors: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.U <= 0 {
+		t.Fatal("U must be positive")
+	}
+	if len(rep.Gates) != 6 {
+		t.Fatalf("gate reports = %d, want 6", len(rep.Gates))
+	}
+	soft := rep.Softest(3)
+	if len(soft) != 3 {
+		t.Fatalf("Softest(3) = %d entries", len(soft))
+	}
+	if soft[0].U < soft[1].U || soft[1].U < soft[2].U {
+		t.Fatal("Softest not sorted")
+	}
+	if rep.Raw() == nil {
+		t.Fatal("Raw analysis missing")
+	}
+}
+
+func TestOptimizeC17(t *testing.T) {
+	c, _ := Benchmark("c17")
+	res, err := sys().Optimize(c, OptimizeOptions{
+		Vectors:    1000,
+		Iterations: 2,
+		MaxBasis:   4,
+		Seed:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaselineU <= 0 {
+		t.Fatal("baseline U must be positive")
+	}
+	if res.AreaRatio <= 0 || res.EnergyRatio <= 0 || res.DelayRatio <= 0 {
+		t.Fatalf("ratios: %+v", res)
+	}
+	if res.Raw() == nil {
+		t.Fatal("Raw result missing")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	c, _ := Benchmark("c17")
+	s := Summary(c)
+	for _, frag := range []string{"c17", "5 PIs", "2 POs", "6 gates"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("summary %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestSaveLoadLibrary(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/lib.json"
+	s := sys()
+	// Force INV characterization through an analysis.
+	c, _ := Benchmark("c17")
+	if _, err := s.Analyze(c, AnalysisOptions{Vectors: 500, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveLibrary(path); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSystem(CoarseCharacterization)
+	if err := s2.LoadLibrary(path); err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := s.Analyze(c, AnalysisOptions{Vectors: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := s2.Analyze(c, AnalysisOptions{Vectors: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.U != rep2.U {
+		t.Fatalf("library round trip changed analysis: %g vs %g", rep1.U, rep2.U)
+	}
+}
+
+func TestLoadBenchFileMissing(t *testing.T) {
+	if _, err := LoadBenchFile("/nonexistent/foo.bench"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
