@@ -1,0 +1,101 @@
+// Command benchreport runs the repository's paper-figure benchmark
+// suite (bench_test.go) and emits a machine-readable BENCH_*.json
+// report: ns/op plus every b.ReportMetric quantity per figure/table.
+// The checked-in BENCH_1.json files form the performance trajectory
+// future perf PRs are measured against.
+//
+// Usage:
+//
+//	go run ./cmd/benchreport [flags]
+//	go test -run '^$' -bench . -benchtime 1x | go run ./cmd/benchreport -stdin
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/benchfmt"
+)
+
+// fileReport is the serialized BENCH_*.json schema.
+type fileReport struct {
+	// Generated is the RFC 3339 run timestamp.
+	Generated string `json:"generated"`
+	// GoVersion/GOMAXPROCS pin the toolchain and parallelism the
+	// numbers were taken under.
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Command reproduces the underlying go test invocation.
+	Command string `json:"command,omitempty"`
+	*benchfmt.Report
+}
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output path")
+	bench := flag.String("bench", ".", "benchmark filter regex")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime")
+	pkg := flag.String("pkg", ".", "package holding the benchmark suite")
+	timeout := flag.String("timeout", "1800s", "go test timeout")
+	benchmem := flag.Bool("benchmem", false, "collect allocation metrics")
+	stdin := flag.Bool("stdin", false, "parse go test output from stdin instead of running the suite")
+	flag.Parse()
+
+	var src io.Reader
+	var command string
+	if *stdin {
+		src = os.Stdin
+	} else {
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, "-timeout", *timeout}
+		if *benchmem {
+			args = append(args, "-benchmem")
+		}
+		args = append(args, *pkg)
+		command = "go " + strings.Join(args, " ")
+		fmt.Fprintf(os.Stderr, "benchreport: running %s\n", command)
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		outBytes, err := cmd.Output()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n%s", err, outBytes)
+			os.Exit(1)
+		}
+		// Echo the raw table so the run stays readable in CI logs.
+		os.Stderr.Write(outBytes)
+		src = strings.NewReader(string(outBytes))
+	}
+
+	rep, err := benchfmt.Parse(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchreport: no benchmark results parsed")
+		os.Exit(1)
+	}
+	fr := fileReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Command:    command,
+		Report:     rep,
+	}
+	data, err := json.MarshalIndent(fr, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+}

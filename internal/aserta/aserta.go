@@ -23,6 +23,7 @@ import (
 	"repro/internal/ckt"
 	"repro/internal/logicsim"
 	"repro/internal/lut"
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -57,6 +58,11 @@ type Config struct {
 	// netlist, not on the cell assignment, so SERTOPT computes them
 	// once per circuit and shares them across every cost evaluation.
 	PrecomputedSens *logicsim.Result
+	// FullRecomputeEvery bounds incremental drift: every N-th
+	// RecomputeU call performs an exact full re-evaluation instead of
+	// the delta propagation (default 64; negative disables the
+	// cadence).
+	FullRecomputeEvery int
 }
 
 // withDefaults fills zero fields.
@@ -75,6 +81,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.ClockPeriod <= 0 {
 		cfg.ClockPeriod = 300e-12
+	}
+	if cfg.FullRecomputeEvery == 0 {
+		cfg.FullRecomputeEvery = 64
 	}
 	return cfg
 }
@@ -124,9 +133,40 @@ type Analysis struct {
 
 	// Samples is the sample-width ladder ws_k of the §3.2 pass and WS
 	// the full WS_ijk table (WS[i][j][k]); exposed for the Lemma-1
-	// property test and for ablation experiments.
+	// property test and for ablation experiments. Rows are views into
+	// one flat arena.
 	Samples []float64
 	WS      [][][]float64
+
+	// Static pipeline caches, valid for the lifetime of the Analysis
+	// (they depend only on the netlist and sensitization statistics,
+	// never on delays): reverse topological order, per-fanout-edge side
+	// sensitizations S_is, the Eq. 2 denominators Σ_s S_is·P_sj, and
+	// the prepared interpolation of each gate's generated width on the
+	// sample ladder.
+	rorder  []int
+	foutOff []int
+	sis     []float64
+	den     []float64
+	genIdx  []int32
+	genFrac []float64
+	// wsFlat/wijFlat back the exposed WS/Wij views.
+	wsFlat, wijFlat []float64
+	// Per-call scratch for RecomputeU (incremental WS/Wij arenas, the
+	// affected/changed sets and the prepared attenuation table).
+	// RecomputeU is therefore not safe for concurrent use on one
+	// Analysis.
+	incrWS, incrWij []float64
+	affected        []bool
+	changed         []bool
+	changedIDs      []int
+	attIdx          []int32
+	attFrac         []float64
+	// attIsBase/attDirty track which attenuation rows correspond to
+	// the baseline delays, so delta calls refresh only changed rows.
+	attIsBase bool
+	attDirty  []int
+	incrEvals int
 }
 
 // Attenuate applies the paper's Equation 1: a glitch of width wi
@@ -209,23 +249,14 @@ func Analyze(c *ckt.Circuit, lib *charlib.Library, cells Assignment, cfg Config)
 	}
 
 	// Latching-window masking + flux scaling (Eq. 3) and circuit
-	// total (Eq. 4). Widths are reported in picoseconds so U has the
-	// same order of magnitude as the paper's plots. Each width is
-	// capped at the clock period — capture probability saturates at 1.
+	// total (Eq. 4) via uiOf — the single implementation the
+	// incremental RecomputeU delta also relies on.
 	a.Ui = make([]float64, nGates)
 	for _, g := range c.Gates {
 		if g.Type == ckt.Input {
 			continue
 		}
-		sum := 0.0
-		for _, w := range a.Wij[g.ID] {
-			if w > cfg.ClockPeriod {
-				w = cfg.ClockPeriod
-			}
-			sum += w
-		}
-		z := cells[g.ID].FluxWeight()
-		a.Ui[g.ID] = z * sum / 1e-12
+		a.Ui[g.ID] = a.uiOf(g.ID, a.Wij[g.ID])
 		a.U += a.Ui[g.ID]
 	}
 	return a, nil
@@ -251,126 +282,384 @@ func (cfg Config) sampleWidths() []float64 {
 	return ws
 }
 
-// RecomputeU reruns the §3.2 electrical pass with an alternative
-// per-gate delay vector, keeping loads, generated widths and
-// sensitization statistics fixed, and returns the resulting circuit
-// unreliability. This is the cheap delay-sensitivity oracle SERTOPT's
-// gradient seeding uses: the full analysis costs a logic simulation,
-// while this costs only the O(V+E) reverse-topological pass.
-func (a *Analysis) RecomputeU(lib *charlib.Library, delays []float64) (float64, error) {
-	saved := a.Delays
-	savedW, savedWS, savedU, savedUi := a.Wij, a.WS, a.U, a.Ui
-	a.Delays = delays
-	defer func() {
-		a.Delays = saved
-		a.Wij, a.WS, a.U, a.Ui = savedW, savedWS, savedU, savedUi
-	}()
-	if err := a.electricalPass(lib); err != nil {
-		return 0, err
+// ensureStatic fills the delay-independent pipeline caches: reverse
+// topological order, per-fanout-edge side sensitizations, the Eq. 2
+// denominators and the prepared generated-width interpolations. Safe
+// to call repeatedly; work happens once per Analysis.
+func (a *Analysis) ensureStatic() error {
+	if a.rorder != nil {
+		return nil
 	}
-	clock := a.Config.withDefaults().ClockPeriod
-	u := 0.0
+	c := a.Circuit
+	order, err := c.ReverseTopoOrder()
+	if err != nil {
+		return err
+	}
+	nGates := len(c.Gates)
+	nPOs := len(c.Outputs())
+	a.foutOff = make([]int, nGates+1)
+	for id, g := range c.Gates {
+		a.foutOff[id+1] = a.foutOff[id] + len(g.Fanout)
+	}
+	a.sis = make([]float64, a.foutOff[nGates])
+	a.den = make([]float64, nGates*nPOs)
+	a.genIdx = make([]int32, nGates)
+	a.genFrac = make([]float64, nGates)
+	par.ForChunks(nGates, 0, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g := c.Gates[i]
+			if g.Type == ckt.Input {
+				continue
+			}
+			sis := a.sis[a.foutOff[i]:a.foutOff[i+1]]
+			for si, s := range g.Fanout {
+				sis[si] = logicsim.SideSensitization(c, a.Sens, i, s)
+			}
+			// π_isj = S_is · P_ij / Σ_k S_ik · P_kj  (Eq. 2), which
+			// satisfies the paper's normalization
+			// Σ_s π_isj · P_sj = P_ij. The denominator is
+			// delay-independent, so it is computed once here.
+			den := a.den[i*nPOs : (i+1)*nPOs]
+			for j := 0; j < nPOs; j++ {
+				d := 0.0
+				for si, s := range g.Fanout {
+					d += sis[si] * a.Sens.Pij[s][j]
+				}
+				den[j] = d
+			}
+			gi, gf := lut.PrepInterp1D(a.Samples, a.GenWidth[i])
+			a.genIdx[i] = int32(gi)
+			a.genFrac[i] = gf
+		}
+	})
+	a.rorder = order
+	return nil
+}
+
+// prepAtten prepares, for every gate s and sample index k, the
+// interpolation of the Eq. 1-attenuated width Attenuate(ws[k],
+// delays[s]) on the sample ladder. attIdx -2 marks a fully masked
+// glitch (wo <= 0), which contributes nothing.
+func (a *Analysis) prepAtten(delays []float64) {
+	K := len(a.Samples)
+	nGates := len(a.Circuit.Gates)
+	if a.attIdx == nil {
+		a.attIdx = make([]int32, nGates*K)
+		a.attFrac = make([]float64, nGates*K)
+	}
 	for _, g := range a.Circuit.Gates {
 		if g.Type == ckt.Input {
 			continue
 		}
-		sum := 0.0
-		for _, w := range a.Wij[g.ID] {
-			if w > clock {
-				w = clock
-			}
-			sum += w
+		a.prepAttenGate(g.ID, delays[g.ID])
+	}
+}
+
+// prepAttenGate fills one gate's attenuation row for delay d.
+func (a *Analysis) prepAttenGate(id int, d float64) {
+	ws := a.Samples
+	K := len(ws)
+	row := id * K
+	for k := 0; k < K; k++ {
+		wo := Attenuate(ws[k], d)
+		if wo <= 0 {
+			a.attIdx[row+k] = -2
+			continue
 		}
-		u += a.Cells[g.ID].FluxWeight() * sum / 1e-12
+		i, f := lut.PrepInterp1D(ws, wo)
+		a.attIdx[row+k] = int32(i)
+		a.attFrac[row+k] = f
+	}
+}
+
+// computeGateColumns evaluates gate i's §3.2 step (iii)/(iv) rows for
+// PO columns [jLo, jHi): WS rows into wsDst and expected widths into
+// wijDst. Successor rows are read from wsDst, except that when
+// affected is non-nil the rows of unaffected successors come from
+// wsBase (the incremental delta evaluation). accK is caller scratch of
+// K floats. The accumulation order (ascending successor index per
+// sample) matches the historical serial pass, so results are
+// bit-identical to it.
+func (a *Analysis) computeGateColumns(i, jLo, jHi int, accK []float64, wsDst, wijDst, wsBase []float64, affected []bool) {
+	c := a.Circuit
+	g := c.Gates[i]
+	ws := a.Samples
+	K := len(ws)
+	nPOs := len(c.Outputs())
+	if g.PO {
+		// Step (ii): a PO gate presents the glitch directly.
+		// A PO gate may still drive further logic in unusual
+		// netlists; ISCAS-85 POs do not, so the paper stops here
+		// and so do we.
+		j, _ := a.Sens.POColumn(i)
+		if j >= jLo && j < jHi {
+			row := wsDst[(i*nPOs+j)*K : (i*nPOs+j+1)*K]
+			copy(row, ws)
+			wijDst[i*nPOs+j] = a.GenWidth[i]
+		}
+		return
+	}
+	// Step (iii): combine successors.
+	succs := g.Fanout
+	sis := a.sis[a.foutOff[i]:a.foutOff[i+1]]
+	den := a.den[i*nPOs : (i+1)*nPOs]
+	for j := jLo; j < jHi; j++ {
+		pij := a.Sens.Pij[i][j]
+		if pij == 0 || den[j] == 0 {
+			continue
+		}
+		for k := 0; k < K; k++ {
+			accK[k] = 0
+		}
+		for si, s := range succs {
+			w := sis[si]
+			src := wsDst
+			if affected != nil && !affected[s] {
+				src = wsBase
+			}
+			sj := src[(s*nPOs+j)*K : (s*nPOs+j+1)*K]
+			att := s * K
+			for k := 0; k < K; k++ {
+				idx := a.attIdx[att+k]
+				if idx == -2 {
+					continue
+				}
+				// WE_sjk: interpolate successor s's table at the
+				// attenuated width (§3.2 step iii), via the
+				// prepared coefficients.
+				var v float64
+				if f := a.attFrac[att+k]; f < 0 {
+					v = sj[idx]
+				} else {
+					v = sj[idx] + f*(sj[idx+1]-sj[idx])
+				}
+				accK[k] += w * v
+			}
+		}
+		row := wsDst[(i*nPOs+j)*K : (i*nPOs+j+1)*K]
+		for k := 0; k < K; k++ {
+			row[k] = pij * accK[k] / den[j]
+		}
+		// Step (iv): expected width for the actual generated
+		// glitch width w_i.
+		wijDst[i*nPOs+j] = lut.ApplyInterp1D(row, int(a.genIdx[i]), a.genFrac[i])
+	}
+}
+
+// runElectrical executes the full reverse-topological pass for the
+// given delay vector into the provided arenas. PO columns are
+// independent of one another, so the pass fans out over column chunks;
+// each chunk owns all rows of its columns, making the parallel result
+// identical to the serial one.
+func (a *Analysis) runElectrical(delays, wsDst, wijDst []float64) {
+	a.prepAtten(delays)
+	K := len(a.Samples)
+	nPOs := len(a.Circuit.Outputs())
+	for i := range wsDst {
+		wsDst[i] = 0
+	}
+	for i := range wijDst {
+		wijDst[i] = 0
+	}
+	nw := par.Workers(0)
+	accs := make([][]float64, nw)
+	for w := range accs {
+		accs[w] = make([]float64, K)
+	}
+	par.Each(nPOs, nw, 0, func(worker, jLo, jHi int) {
+		accK := accs[worker]
+		for _, i := range a.rorder {
+			if a.Circuit.Gates[i].Type == ckt.Input {
+				continue
+			}
+			a.computeGateColumns(i, jLo, jHi, accK, wsDst, wijDst, nil, nil)
+		}
+	})
+}
+
+// uiOf returns gate i's Eq. 3 unreliability contribution for a Wij row.
+func (a *Analysis) uiOf(i int, wij []float64) float64 {
+	clock := a.Config.ClockPeriod
+	sum := 0.0
+	for _, w := range wij {
+		if w > clock {
+			w = clock
+		}
+		sum += w
+	}
+	return a.Cells[i].FluxWeight() * sum / 1e-12
+}
+
+// RecomputeU re-evaluates the §3.2 electrical pass with an alternative
+// per-gate delay vector, keeping loads, generated widths and
+// sensitization statistics fixed, and returns the resulting circuit
+// unreliability. This is the cheap delay-sensitivity oracle SERTOPT's
+// gradient seeding uses, and it is incremental: only the fanin cones
+// of gates whose delays differ from the analysis baseline are
+// re-propagated, with unaffected rows served from the baseline arena.
+// The delta evaluation always starts from the pristine Analyze
+// baseline, so error cannot accumulate across calls; as a belt-and-
+// braces bound, every Config.FullRecomputeEvery-th call performs an
+// exact full re-evaluation (RecomputeUFull) instead. Not safe for
+// concurrent use on one Analysis (shared scratch arenas).
+func (a *Analysis) RecomputeU(lib *charlib.Library, delays []float64) (float64, error) {
+	if err := a.ensureStatic(); err != nil {
+		return 0, err
+	}
+	c := a.Circuit
+	nGates := len(c.Gates)
+	if a.changed == nil {
+		a.changed = make([]bool, nGates)
+		a.affected = make([]bool, nGates)
+	}
+	changedIDs := a.changedIDs[:0]
+	for _, g := range c.Gates {
+		ch := g.Type != ckt.Input && delays[g.ID] != a.Delays[g.ID]
+		a.changed[g.ID] = ch
+		if ch {
+			changedIDs = append(changedIDs, g.ID)
+		}
+	}
+	a.changedIDs = changedIDs
+	if len(changedIDs) == 0 {
+		return a.U, nil
+	}
+	a.incrEvals++
+	full := a.Config.FullRecomputeEvery > 0 && a.incrEvals%a.Config.FullRecomputeEvery == 0
+	nAffected := 0
+	if !full {
+		// affected(i) = some successor's delay changed, or some
+		// successor is itself affected; one reverse-topological pass.
+		// PO gates are forced unaffected: their rows are the fixed
+		// sample ladder regardless of delays, so they both serve
+		// baseline reads and (correctly) stop delta propagation from
+		// any logic they might drive in unusual netlists.
+		for _, i := range a.rorder {
+			aff := false
+			for _, s := range c.Gates[i].Fanout {
+				if a.changed[s] || a.affected[s] {
+					aff = true
+					break
+				}
+			}
+			if aff && c.Gates[i].PO {
+				aff = false
+			}
+			a.affected[i] = aff
+			if aff {
+				nAffected++
+			}
+		}
+		// When most of the circuit moved, the parallel full pass is
+		// cheaper than the serial delta walk.
+		if 2*nAffected > nGates {
+			full = true
+		}
+	}
+	if full {
+		return a.RecomputeUFull(delays)
+	}
+	nPOs := len(c.Outputs())
+	K := len(a.Samples)
+	if a.incrWS == nil {
+		a.incrWS = make([]float64, nGates*nPOs*K)
+		a.incrWij = make([]float64, nGates*nPOs)
+	}
+	// Refresh only the attenuation rows that differ from the baseline
+	// table: restore rows dirtied by the previous delta call, then
+	// prepare the rows of this call's changed gates. After a full pass
+	// at foreign delays the whole table is rebuilt once.
+	if !a.attIsBase {
+		a.prepAtten(a.Delays)
+		a.attIsBase = true
+		a.attDirty = a.attDirty[:0]
+	}
+	for _, id := range a.attDirty {
+		a.prepAttenGate(id, a.Delays[id])
+	}
+	a.attDirty = a.attDirty[:0]
+	for _, id := range changedIDs {
+		a.prepAttenGate(id, delays[id])
+		a.attDirty = append(a.attDirty, id)
+	}
+	accK := make([]float64, K)
+	u := a.U
+	for _, i := range a.rorder {
+		if !a.affected[i] {
+			continue
+		}
+		g := c.Gates[i]
+		if g.Type == ckt.Input || g.PO {
+			// PO rows are the raw sample ladder — delay-independent —
+			// and input pseudo-gates carry no rows at all.
+			continue
+		}
+		wij := a.incrWij[i*nPOs : (i+1)*nPOs]
+		for j := range wij {
+			wij[j] = 0
+		}
+		a.computeGateColumns(i, 0, nPOs, accK, a.incrWS, a.incrWij, a.wsFlat, a.affected)
+		u += a.uiOf(i, wij) - a.Ui[i]
+	}
+	return u, nil
+}
+
+// RecomputeUFull is RecomputeU without the incremental shortcut: the
+// complete electrical pass runs against the given delays (into scratch
+// arenas — the analysis baseline is untouched). It is the exactness
+// reference for the incremental path and its periodic fallback.
+func (a *Analysis) RecomputeUFull(delays []float64) (float64, error) {
+	if err := a.ensureStatic(); err != nil {
+		return 0, err
+	}
+	c := a.Circuit
+	nGates := len(c.Gates)
+	nPOs := len(c.Outputs())
+	K := len(a.Samples)
+	if a.incrWS == nil {
+		a.incrWS = make([]float64, nGates*nPOs*K)
+		a.incrWij = make([]float64, nGates*nPOs)
+	}
+	a.runElectrical(delays, a.incrWS, a.incrWij)
+	a.attIsBase = false // the attenuation table now reflects foreign delays
+	u := 0.0
+	for _, g := range c.Gates {
+		if g.Type == ckt.Input {
+			continue
+		}
+		u += a.uiOf(g.ID, a.incrWij[g.ID*nPOs:(g.ID+1)*nPOs])
 	}
 	return u, nil
 }
 
 // electricalPass implements the paper's §3.2 reverse-topological
-// computation of expected output glitch widths.
+// computation of expected output glitch widths for the analysis
+// baseline delays, publishing the WS/Wij views.
 func (a *Analysis) electricalPass(lib *charlib.Library) error {
 	c := a.Circuit
-	cfg := a.Config
-	ws := cfg.sampleWidths()
-	K := len(ws)
-	nGates := len(c.Gates)
-	nPOs := len(c.Outputs())
-
-	// WS[i][j][k]: expected width at PO j for sample width ws[k] at
-	// gate i's output.
-	WS := make([][][]float64, nGates)
-	a.Wij = make([][]float64, nGates)
-	for i := range WS {
-		WS[i] = make([][]float64, nPOs)
-		for j := range WS[i] {
-			WS[i][j] = make([]float64, K)
-		}
-		a.Wij[i] = make([]float64, nPOs)
-	}
-
-	order, err := c.ReverseTopoOrder()
-	if err != nil {
+	a.Samples = a.Config.sampleWidths()
+	if err := a.ensureStatic(); err != nil {
 		return err
 	}
-	for _, i := range order {
-		g := c.Gates[i]
-		if g.Type == ckt.Input {
-			continue
-		}
-		if g.PO {
-			// Step (ii): a PO gate presents the glitch directly.
-			j, _ := a.Sens.POColumn(i)
-			for k := 0; k < K; k++ {
-				WS[i][j][k] = ws[k]
-			}
-			a.Wij[i][j] = a.GenWidth[i]
-			// A PO gate may still drive further logic in unusual
-			// netlists; ISCAS-85 POs do not, so the paper stops here
-			// and so do we.
-			continue
-		}
-		// Step (iii): combine successors.
-		// Precompute the π split denominators per PO:
-		//   π_isj = S_is · P_ij / Σ_k S_ik · P_kj.
-		succs := g.Fanout
-		sis := make([]float64, len(succs))
-		for si, s := range succs {
-			sis[si] = logicsim.SideSensitization(c, a.Sens, i, s)
-		}
-		for j := 0; j < nPOs; j++ {
-			pij := a.Sens.Pij[i][j]
-			if pij == 0 {
-				continue
-			}
-			// π_isj = S_is · P_ij / Σ_k S_ik · P_kj  (Eq. 2), which
-			// satisfies the paper's normalization
-			// Σ_s π_isj · P_sj = P_ij.
-			den := 0.0
-			for si, s := range succs {
-				den += sis[si] * a.Sens.Pij[s][j]
-			}
-			if den == 0 {
-				continue
-			}
-			for k := 0; k < K; k++ {
-				acc := 0.0
-				for si, s := range succs {
-					wo := Attenuate(ws[k], a.Delays[s])
-					if wo <= 0 {
-						continue
-					}
-					// WE_sjk: interpolate successor s's table at the
-					// attenuated width wo (§3.2 step iii).
-					acc += sis[si] * lut.Interp1D(ws, WS[s][j], wo)
-				}
-				WS[i][j][k] = pij * acc / den
-			}
-			// Step (iv): expected width for the actual generated
-			// glitch width w_i.
-			a.Wij[i][j] = lut.Interp1D(ws, WS[i][j], a.GenWidth[i])
-		}
+	K := len(a.Samples)
+	nGates := len(c.Gates)
+	nPOs := len(c.Outputs())
+	a.wsFlat = make([]float64, nGates*nPOs*K)
+	a.wijFlat = make([]float64, nGates*nPOs)
+	a.runElectrical(a.Delays, a.wsFlat, a.wijFlat)
+	a.attIsBase = true
+	a.attDirty = a.attDirty[:0]
+
+	// Publish the arena through the historical slice-of-slices views.
+	rows := make([][]float64, nGates*nPOs)
+	for r := range rows {
+		rows[r] = a.wsFlat[r*K : (r+1)*K]
 	}
-	a.Samples = ws
-	a.WS = WS
+	a.WS = make([][][]float64, nGates)
+	a.Wij = make([][]float64, nGates)
+	for i := 0; i < nGates; i++ {
+		a.WS[i] = rows[i*nPOs : (i+1)*nPOs]
+		a.Wij[i] = a.wijFlat[i*nPOs : (i+1)*nPOs]
+	}
 	return nil
 }

@@ -1,0 +1,128 @@
+// Package benchfmt parses the standard output of `go test -bench` into
+// a machine-readable report. The bench_test.go suite reports one
+// benchmark per paper figure/table with the headline quantity attached
+// via b.ReportMetric, so the parsed report doubles as the repository's
+// results table; cmd/benchreport serializes it to BENCH_*.json to
+// record the performance trajectory across PRs.
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name without the "Benchmark" prefix and
+	// without the -GOMAXPROCS suffix (e.g. "Fig3Correlation",
+	// "ASERTAScaling/c432").
+	Name string `json:"name"`
+	// FullName is the name exactly as printed, including the
+	// -GOMAXPROCS suffix.
+	FullName string `json:"full_name"`
+	// Iterations is the b.N the reported averages were taken over.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the wall-clock cost of one iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every additional "value unit" pair on the line:
+	// b.ReportMetric outputs (correlation, %U-decrease, ...) and
+	// -benchmem columns (B/op, allocs/op).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is a parsed benchmark run.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` output. Unrecognized lines (test chatter,
+// PASS/ok trailers) are skipped; header lines fill the report fields.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, ok := parseLine(line)
+		if ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchfmt: read: %v", err)
+	}
+	return rep, nil
+}
+
+// parseLine parses one benchmark result line of the form
+//
+//	BenchmarkName-8   3   1234 ns/op   0.98 correlation   512 B/op
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Benchmark{}, false
+	}
+	full := fields[0]
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		FullName:   full,
+		Name:       shortName(full),
+		Iterations: iters,
+	}
+	// Remaining fields come in "value unit" pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = make(map[string]float64)
+		}
+		b.Metrics[unit] = v
+	}
+	return b, true
+}
+
+// shortName strips the "Benchmark" prefix and the trailing -GOMAXPROCS
+// suffix (which is only present with GOMAXPROCS > 1).
+func shortName(full string) string {
+	name := strings.TrimPrefix(full, "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name
+}

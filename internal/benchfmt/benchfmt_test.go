@@ -1,0 +1,65 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig3Correlation    	       1	 760883453 ns/op	         0.9841 correlation
+BenchmarkTable1Optimization-8 	       2	1006744326 ns/op	         3.653 %U-decrease
+BenchmarkAblationVectors/N=10000-8  	       5	   3972113 ns/op	 1067904 B/op	      39 allocs/op
+BenchmarkIntroTrend 	1000000	      1049 ns/op	         9.022 orders-of-magnitude
+some unrelated chatter
+PASS
+ok  	repro	17.314s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "repro" {
+		t.Errorf("header = %q %q %q", rep.Goos, rep.Goarch, rep.Pkg)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "Fig3Correlation" || b.Iterations != 1 || b.NsPerOp != 760883453 {
+		t.Errorf("bench 0 = %+v", b)
+	}
+	if b.Metrics["correlation"] != 0.9841 {
+		t.Errorf("correlation metric = %v", b.Metrics)
+	}
+	if rep.Benchmarks[1].Name != "Table1Optimization" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", rep.Benchmarks[1].Name)
+	}
+	sub := rep.Benchmarks[2]
+	if sub.Name != "AblationVectors/N=10000" {
+		t.Errorf("sub-bench name = %q", sub.Name)
+	}
+	if sub.Metrics["B/op"] != 1067904 || sub.Metrics["allocs/op"] != 39 {
+		t.Errorf("benchmem metrics = %v", sub.Metrics)
+	}
+	if rep.Benchmarks[3].Iterations != 1000000 {
+		t.Errorf("iterations = %d", rep.Benchmarks[3].Iterations)
+	}
+}
+
+func TestParseIgnoresMalformed(t *testing.T) {
+	rep, err := Parse(strings.NewReader("BenchmarkBroken abc ns/op\nBenchmarkAlsoBroken\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("malformed lines parsed: %+v", rep.Benchmarks)
+	}
+}

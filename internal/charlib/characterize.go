@@ -6,6 +6,7 @@ import (
 	"repro/internal/ckt"
 	"repro/internal/devmodel"
 	"repro/internal/lut"
+	"repro/internal/par"
 	"repro/internal/spice"
 )
 
@@ -79,73 +80,87 @@ func defaultCharConfig() charConfig {
 	}
 }
 
+// gridPoints enumerates every index vector of the given axes in
+// row-major order (last axis fastest), matching lut.Table layout.
+func gridPoints(axes [][]float64) [][]int {
+	total := 1
+	for _, ax := range axes {
+		total *= len(ax)
+	}
+	pts := make([][]int, 0, total)
+	idx := make([]int, len(axes))
+	for {
+		pts = append(pts, append([]int(nil), idx...))
+		d := len(idx) - 1
+		for d >= 0 {
+			idx[d]++
+			if idx[d] < len(axes[d]) {
+				break
+			}
+			idx[d] = 0
+			d--
+		}
+		if d < 0 {
+			return pts
+		}
+	}
+}
+
 // characterizeClass fills the three tables for one gate class by
-// running the transient simulator at every grid point.
+// running the transient simulator at every grid point. Grid points are
+// independent SPICE runs writing disjoint table slots, so they are
+// fanned out over a worker pool; the tables that result are identical
+// to a serial fill.
 func characterizeClass(tech *devmodel.Tech, cl Class, g Grid, qInj float64, cfg charConfig) (*classTables, error) {
 	mk := func() *lut.Table {
 		return lut.MustNew(g.Sizes, g.Lengths, g.VDDs, g.Vths, g.Loads)
 	}
 	ct := &classTables{Delay: mk(), Ramp: mk(), Glitch: mk()}
-	var firstErr error
-	fill := func(coord []float64) (float64, float64, float64) {
-		p := spice.Params{Size: coord[0], L: coord[1], VDD: coord[2], Vth: coord[3]}
-		load := coord[4]
+	axes := [][]float64{g.Sizes, g.Lengths, g.VDDs, g.Vths, g.Loads}
+	pts := gridPoints(axes)
+	errs := make([]error, len(pts))
+	par.For(len(pts), 0, func(pi int) {
+		idx := pts[pi]
+		p := spice.Params{Size: axes[0][idx[0]], L: axes[1][idx[1]], VDD: axes[2][idx[2]], Vth: axes[3][idx[3]]}
+		load := axes[4][idx[4]]
 		d, r, err := measureDelay(tech, cl, p, load, cfg)
-		if err != nil && firstErr == nil {
-			firstErr = err
+		if err != nil {
+			errs[pi] = err
+			return
 		}
 		w, err := measureGlitchGen(tech, cl, p, load, qInj, cfg)
-		if err != nil && firstErr == nil {
-			firstErr = err
+		if err != nil {
+			errs[pi] = err
+			return
 		}
-		return d, r, w
-	}
-	// Walk the grid once, filling all three tables in lockstep.
-	idx := make([]int, 5)
-	axes := [][]float64{g.Sizes, g.Lengths, g.VDDs, g.Vths, g.Loads}
-	coord := make([]float64, 5)
-	for {
-		for d, i := range idx {
-			coord[d] = axes[d][i]
-		}
-		d, r, w := fill(coord)
-		if err := ct.Delay.Set(idx, d); err != nil {
+		ct.Delay.Set(idx, d)
+		ct.Ramp.Set(idx, r)
+		ct.Glitch.Set(idx, w)
+	})
+	for _, err := range errs {
+		if err != nil {
 			return nil, err
 		}
-		if err := ct.Ramp.Set(idx, r); err != nil {
-			return nil, err
-		}
-		if err := ct.Glitch.Set(idx, w); err != nil {
-			return nil, err
-		}
-		d2 := len(idx) - 1
-		for d2 >= 0 {
-			idx[d2]++
-			if idx[d2] < len(axes[d2]) {
-				break
-			}
-			idx[d2] = 0
-			d2--
-		}
-		if d2 < 0 {
-			break
-		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
 	}
 	if len(g.Charges) > 0 {
 		gq := lut.MustNew(g.Sizes, g.Lengths, g.VDDs, g.Vths, g.Loads, g.Charges)
-		gq.Fill(func(coord []float64) float64 {
-			p := spice.Params{Size: coord[0], L: coord[1], VDD: coord[2], Vth: coord[3]}
-			w, err := measureGlitchGen(tech, cl, p, coord[4], coord[5], cfg)
-			if err != nil && firstErr == nil {
-				firstErr = err
+		qAxes := append(append([][]float64(nil), axes...), g.Charges)
+		qPts := gridPoints(qAxes)
+		qErrs := make([]error, len(qPts))
+		par.For(len(qPts), 0, func(pi int) {
+			idx := qPts[pi]
+			p := spice.Params{Size: qAxes[0][idx[0]], L: qAxes[1][idx[1]], VDD: qAxes[2][idx[2]], Vth: qAxes[3][idx[3]]}
+			w, err := measureGlitchGen(tech, cl, p, qAxes[4][idx[4]], qAxes[5][idx[5]], cfg)
+			if err != nil {
+				qErrs[pi] = err
+				return
 			}
-			return w
+			gq.Set(idx, w)
 		})
-		if firstErr != nil {
-			return nil, firstErr
+		for _, err := range qErrs {
+			if err != nil {
+				return nil, err
+			}
 		}
 		ct.GlitchQ = gq
 	}

@@ -57,9 +57,30 @@ func (m *MOSFET) k() float64 {
 //   - triode (vds < vdsat): quadratic interpolation to zero at vds=0,
 //     continuous with saturation at vds=vdsat.
 func (m *MOSFET) Ids(vgs, vds float64) float64 {
-	if vds <= 0 {
-		return 0
-	}
+	return m.Op(vgs).At(vds)
+}
+
+// OpPoint caches the vgs-dependent half of the Ids model. The
+// backward-Euler Newton solver evaluates Ids many times per step with
+// the gate voltages frozen and only vds moving; precomputing the
+// overdrive, saturation current and vdsat once per step removes the
+// math.Pow/Log1p calls from the inner loop while producing
+// bit-identical currents (At performs exactly the arithmetic Ids
+// used to).
+type OpPoint struct {
+	// idsat is the saturation current k·(W/Leff)·vov^alpha.
+	idsat float64
+	// vdsat is the Sakurai–Newton saturation voltage; unused in
+	// subthreshold.
+	vdsat float64
+	// lambda is the channel-length-modulation coefficient.
+	lambda float64
+	// subth marks vgs <= Vth (exponential drain-saturation law).
+	subth bool
+}
+
+// Op computes the operating point for a frozen gate-source voltage.
+func (m *MOSFET) Op(vgs float64) OpPoint {
 	wl := m.W / m.leff()
 	t := m.tech
 	// Softplus effective overdrive unifies subthreshold and strong
@@ -73,22 +94,35 @@ func (m *MOSFET) Ids(vgs, vds float64) float64 {
 	} else {
 		vov = t.SubthresholdSlope * math.Log1p(math.Exp(x))
 	}
-	idsat := m.k() * wl * math.Pow(vov, t.Alpha)
+	op := OpPoint{idsat: m.k() * wl * math.Pow(vov, t.Alpha), lambda: t.LambdaCLM}
 	if vgs <= m.Vth {
-		// Deep subthreshold: drain saturation happens within ~3 vT.
-		sat := 1 - math.Exp(-vds/0.026)
-		return idsat * sat
+		op.subth = true
+		return op
 	}
 	// Sakurai–Newton vdsat grows sublinearly with overdrive.
 	vdsat := 0.5 * math.Pow(vov, t.Alpha/2)
 	if vdsat > vov {
 		vdsat = vov
 	}
-	if vds >= vdsat {
-		return idsat * (1 + t.LambdaCLM*(vds-vdsat))
+	op.vdsat = vdsat
+	return op
+}
+
+// At returns the drain current magnitude at drain-source voltage vds
+// for this operating point.
+func (op OpPoint) At(vds float64) float64 {
+	if vds <= 0 {
+		return 0
 	}
-	r := vds / vdsat
-	return idsat * r * (2 - r)
+	if op.subth {
+		// Deep subthreshold: drain saturation happens within ~3 vT.
+		return op.idsat * (1 - math.Exp(-vds/0.026))
+	}
+	if vds >= op.vdsat {
+		return op.idsat * (1 + op.lambda*(vds-op.vdsat))
+	}
+	r := vds / op.vdsat
+	return op.idsat * r * (2 - r)
 }
 
 // OnCurrent returns the saturated on-current at full gate drive vdd.

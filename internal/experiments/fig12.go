@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ckt"
 	"repro/internal/devmodel"
+	"repro/internal/par"
 	"repro/internal/spice"
 )
 
@@ -74,39 +75,56 @@ func Fig2(tech *devmodel.Tech, cfg Fig2Config) ([]Curve, error) {
 }
 
 // sweepFour runs the four per-variable sweeps the paper plots: size,
-// channel length, VDD, Vth, each around the base point.
+// channel length, VDD, Vth, each around the base point. Every sample
+// is an independent single-gate transient, so the whole figure fans
+// out over a worker pool with each point writing its own slot.
 func sweepFour(base spice.Params, measure func(spice.Params) (float64, error)) ([]Curve, error) {
 	sizes := []float64{1, 2, 3, 4, 6, 8}
 	lengths := []float64{70e-9, 100e-9, 150e-9, 250e-9, 300e-9}
 	vdds := []float64{0.7, 0.8, 0.9, 1.0, 1.1, 1.2}
 	vths := []float64{0.1, 0.15, 0.2, 0.25, 0.3, 0.35}
 
-	curves := make([]Curve, 0, 4)
-	mk := func(label string, xs []float64, set func(*spice.Params, float64)) error {
-		cv := Curve{Label: label}
-		for _, x := range xs {
+	type sweep struct {
+		label string
+		xs    []float64
+		set   func(*spice.Params, float64)
+	}
+	sweeps := []sweep{
+		{"size", sizes, func(p *spice.Params, x float64) { p.Size = x }},
+		{"length", lengths, func(p *spice.Params, x float64) { p.L = x }},
+		{"vdd", vdds, func(p *spice.Params, x float64) { p.VDD = x }},
+		{"vth", vths, func(p *spice.Params, x float64) { p.Vth = x }},
+	}
+	type item struct {
+		curve, point int
+		p            spice.Params
+	}
+	curves := make([]Curve, len(sweeps))
+	var items []item
+	for ci, sw := range sweeps {
+		curves[ci] = Curve{Label: sw.label, Points: make([]SweepPoint, len(sw.xs))}
+		for pi, x := range sw.xs {
 			p := base
-			set(&p, x)
-			y, err := measure(p)
-			if err != nil {
-				return fmt.Errorf("experiments: %s sweep at %g: %v", label, x, err)
-			}
-			cv.Points = append(cv.Points, SweepPoint{X: x, Y: y})
+			sw.set(&p, x)
+			curves[ci].Points[pi] = SweepPoint{X: x}
+			items = append(items, item{curve: ci, point: pi, p: p})
 		}
-		curves = append(curves, cv)
-		return nil
 	}
-	if err := mk("size", sizes, func(p *spice.Params, x float64) { p.Size = x }); err != nil {
-		return nil, err
-	}
-	if err := mk("length", lengths, func(p *spice.Params, x float64) { p.L = x }); err != nil {
-		return nil, err
-	}
-	if err := mk("vdd", vdds, func(p *spice.Params, x float64) { p.VDD = x }); err != nil {
-		return nil, err
-	}
-	if err := mk("vth", vths, func(p *spice.Params, x float64) { p.Vth = x }); err != nil {
-		return nil, err
+	errs := make([]error, len(items))
+	par.For(len(items), 0, func(i int) {
+		it := items[i]
+		y, err := measure(it.p)
+		if err != nil {
+			sw := &curves[it.curve]
+			errs[i] = fmt.Errorf("experiments: %s sweep at %g: %v", sw.Label, sw.Points[it.point].X, err)
+			return
+		}
+		curves[it.curve].Points[it.point].Y = y
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return curves, nil
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/aserta"
 	"repro/internal/ckt"
 	"repro/internal/devmodel"
+	"repro/internal/par"
 	"repro/internal/spice"
 	"repro/internal/stats"
 )
@@ -94,19 +95,45 @@ func GoldenUnreliability(tech *devmodel.Tech, c *ckt.Circuit, cells aserta.Assig
 		Ui:          make([]float64, len(c.Gates)),
 		MeanPOWidth: make([]float64, len(c.Gates)),
 	}
-	rng := stats.NewRNG(cfg.Seed)
 	pos := c.Outputs()
 
-	for v := 0; v < cfg.Vectors; v++ {
-		sim, err := spice.FromCircuit(tech, c, params, cfg.POLoad)
-		if err != nil {
-			return nil, err
-		}
+	// Draw every vector's input bits up front so the RNG stream is
+	// consumed in vector order regardless of scheduling.
+	rng := stats.NewRNG(cfg.Seed)
+	vecBits := make([][]bool, cfg.Vectors)
+	for v := range vecBits {
 		bits := make([]bool, len(c.Inputs()))
 		for i := range bits {
 			bits[i] = rng.Bool()
 		}
-		sim.SetInputsLogic(bits, tech.VDDnom)
+		vecBits[v] = bits
+	}
+	// Activity cones depend only on the netlist; share one set across
+	// vectors and workers (read-only after this point).
+	cones := make([][]bool, len(targets))
+	{
+		sim, err := spice.FromCircuit(tech, c, params, cfg.POLoad)
+		if err != nil {
+			return nil, err
+		}
+		for ti, gid := range targets {
+			cones[ti] = sim.ActiveConeOf(c, gid)
+		}
+	}
+
+	// Vectors are independent transient experiments: fan them out, one
+	// simulator per vector (as the serial loop already built), then
+	// reduce the per-vector totals in vector order so the accumulated
+	// float sums match the serial evaluation exactly.
+	perVec := make([][]float64, cfg.Vectors)
+	errs := make([]error, cfg.Vectors)
+	par.For(cfg.Vectors, 0, func(v int) {
+		sim, err := spice.FromCircuit(tech, c, params, cfg.POLoad)
+		if err != nil {
+			errs[v] = err
+			return
+		}
+		sim.SetInputsLogic(vecBits[v], tech.VDDnom)
 		sim.Settle()
 		snap := sim.Snapshot()
 
@@ -114,7 +141,8 @@ func GoldenUnreliability(tech *devmodel.Tech, c *ckt.Circuit, cells aserta.Assig
 		for k, po := range pos {
 			probes[k] = sim.GateNode(po)
 		}
-		for _, gid := range targets {
+		totals := make([]float64, len(targets))
+		for ti, gid := range targets {
 			sim.Restore(snap)
 			sim.ClearInjections()
 			node := sim.GateNode(gid)
@@ -123,15 +151,25 @@ func GoldenUnreliability(tech *devmodel.Tech, c *ckt.Circuit, cells aserta.Assig
 				q = -q // strike removes charge from a high node
 			}
 			sim.AddInjection(&spice.Injection{Node: node, Q: q, T0: 20e-12})
-			active := sim.ActiveConeOf(c, gid)
-			waves := sim.RunActive(cfg.Window, cfg.Dt, probes, active)
-			res.Runs++
+			waves := sim.RunActive(cfg.Window, cfg.Dt, probes, cones[ti])
 			total := 0.0
 			for k, po := range pos {
 				total += spice.GlitchWidth(waves[k], cfg.Dt, sim.GateVDD(po))
 			}
-			res.MeanPOWidth[gid] += total
+			totals[ti] = total
 		}
+		perVec[v] = totals
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for v := 0; v < cfg.Vectors; v++ {
+		for ti, gid := range targets {
+			res.MeanPOWidth[gid] += perVec[v][ti]
+		}
+		res.Runs += len(targets)
 	}
 	inv := 1.0 / float64(cfg.Vectors)
 	for _, gid := range targets {

@@ -6,6 +6,14 @@
 // needs. The paper estimates P_ij with zero-delay simulation of 10,000
 // random inputs; this package reproduces that with exact bit-parallel
 // fault simulation of each gate's fanout cone.
+//
+// The analysis is built for throughput: all bit-vector state lives in
+// flat arenas indexed by gateID*nWords (no per-gate allocations in the
+// hot path), fanout cones are precomputed once in levelized order, and
+// the per-source-gate sensitization DP — embarrassingly parallel, as
+// each source's cone walk is independent — fans out over a worker
+// pool. Results are bit-identical to the serial evaluation order for a
+// fixed seed regardless of worker count.
 package logicsim
 
 import (
@@ -13,12 +21,25 @@ import (
 	"math/bits"
 
 	"repro/internal/ckt"
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
 // DefaultVectors is the paper's random-vector count for estimating
 // sensitization probabilities.
 const DefaultVectors = 10000
+
+// maxConeEntries bounds the memory of the precomputed fanout-cone
+// arena (entries are int32 gate IDs). Past the budget the DP falls
+// back to scanning the topological suffix per source, which needs no
+// arena and produces identical results. (A var so tests can force the
+// fallback path.)
+var maxConeEntries = 1 << 25
+
+// maxScratchBytes bounds the combined per-worker sensitization
+// arenas: on very large circuits the worker count is reduced rather
+// than letting parallelism multiply peak memory past the budget.
+const maxScratchBytes = 1 << 30
 
 // Evaluate computes all gate values for one input vector (indexed by
 // ckt.Circuit.Inputs order). The result is indexed by gate ID.
@@ -61,6 +82,7 @@ type Result struct {
 	// Pij[id][k] is the probability that at least one path from gate
 	// id is sensitized to the k-th primary output (k indexes
 	// Circuit.Outputs()). For a PO gate itself, P_jj = 1 per the paper.
+	// Rows are views into one flat backing array.
 	Pij [][]float64
 
 	poCol map[int]int
@@ -74,8 +96,14 @@ func (r *Result) POColumn(poGate int) (int, bool) {
 
 // Analyze runs nVectors random vectors (PI probability 0.5, as in the
 // paper) and estimates static probabilities and sensitization
-// probabilities for every gate.
+// probabilities for every gate, using one DP worker per available CPU.
 func Analyze(c *ckt.Circuit, nVectors int, rng *stats.RNG) (*Result, error) {
+	return AnalyzeWorkers(c, nVectors, rng, 0)
+}
+
+// AnalyzeWorkers is Analyze with an explicit worker count (<= 0 means
+// one per available CPU). Results are bit-identical for any count.
+func AnalyzeWorkers(c *ckt.Circuit, nVectors int, rng *stats.RNG, workers int) (*Result, error) {
 	if nVectors <= 0 {
 		nVectors = DefaultVectors
 	}
@@ -90,35 +118,38 @@ func Analyze(c *ckt.Circuit, nVectors int, rng *stats.RNG) (*Result, error) {
 		lastMask = (uint64(1) << uint(r)) - 1
 	}
 
-	// Base simulation.
-	base := make([][]uint64, nGates)
+	// Base simulation over one flat arena, indexed gateID*nWords. The
+	// PI words consume the RNG stream in Inputs() order, so the vector
+	// set matches the historical serial implementation exactly.
+	base := make([]uint64, nGates*nWords)
 	for _, id := range c.Inputs() {
-		w := make([]uint64, nWords)
+		w := base[id*nWords : (id+1)*nWords]
 		for k := range w {
 			w[k] = rng.Uint64()
 		}
 		w[nWords-1] &= lastMask
-		base[id] = w
 	}
-	scratchIn := make([]uint64, 0, 16)
-	evalGate := func(g *ckt.Gate, src func(int) []uint64, k int) uint64 {
-		in := scratchIn[:0]
-		for _, f := range g.Fanin {
-			in = append(in, src(f)[k])
+	maxFanin := 0
+	for _, g := range c.Gates {
+		if len(g.Fanin) > maxFanin {
+			maxFanin = len(g.Fanin)
 		}
-		return g.Type.EvalWord(in)
 	}
+	in := make([]uint64, maxFanin)
 	for _, id := range order {
 		g := c.Gates[id]
 		if g.Type == ckt.Input {
 			continue
 		}
-		w := make([]uint64, nWords)
+		w := base[id*nWords : (id+1)*nWords]
+		fin := in[:len(g.Fanin)]
 		for k := 0; k < nWords; k++ {
-			w[k] = evalGate(g, func(f int) []uint64 { return base[f] }, k)
+			for fi, f := range g.Fanin {
+				fin[fi] = base[f*nWords+k]
+			}
+			w[k] = g.Type.EvalWord(fin)
 		}
 		w[nWords-1] &= lastMask
-		base[id] = w
 	}
 
 	res := &Result{
@@ -129,18 +160,20 @@ func Analyze(c *ckt.Circuit, nVectors int, rng *stats.RNG) (*Result, error) {
 		poCol:    make(map[int]int),
 	}
 	pos := c.Outputs()
+	nPOs := len(pos)
 	for k, id := range pos {
 		res.poCol[id] = k
 	}
+	pijFlat := make([]float64, nGates*nPOs)
 	for id := 0; id < nGates; id++ {
 		ones := 0
-		for _, w := range base[id] {
-			ones += popcount(w)
+		for _, w := range base[id*nWords : (id+1)*nWords] {
+			ones += bits.OnesCount64(w)
 		}
 		p := float64(ones) / float64(nVectors)
 		res.P1[id] = p
 		res.Activity[id] = 2 * p * (1 - p)
-		res.Pij[id] = make([]float64, len(pos))
+		res.Pij[id] = pijFlat[id*nPOs : (id+1)*nPOs]
 	}
 
 	// Bit-parallel path-sensitization analysis. The paper defines
@@ -159,111 +192,251 @@ func Analyze(c *ckt.Circuit, nVectors int, rng *stats.RNG) (*Result, error) {
 	// Lemma 1 does not hold; path sensitization is the paper's model.)
 	//
 	// sideOK depends only on base values, so it is precomputed per
-	// fanin edge.
+	// fanin edge into a flat edge arena (gates are independent — the
+	// fill is parallel).
 	posIdx := make([]int, nGates)
 	for i, id := range order {
 		posIdx[id] = i
 	}
-	sideOK := make([][][]uint64, nGates)
-	for _, id := range order {
-		g := c.Gates[id]
-		if g.Type == ckt.Input {
-			continue
+	edgeOff := make([]int, nGates+1)
+	for id, g := range c.Gates {
+		n := 0
+		if g.Type != ckt.Input {
+			n = len(g.Fanin)
 		}
-		sideOK[id] = make([][]uint64, len(g.Fanin))
-		cv, hasCV := g.Type.ControllingValue()
-		for fi := range g.Fanin {
-			w := make([]uint64, nWords)
-			for k := range w {
-				ok := ^uint64(0)
-				if hasCV {
-					for oi, f := range g.Fanin {
-						if oi == fi {
-							continue
-						}
-						if cv {
-							// Controlling value 1: others must be 0.
-							ok &= ^base[f][k]
-						} else {
-							ok &= base[f][k]
+		edgeOff[id+1] = edgeOff[id] + n
+	}
+	sideOK := make([]uint64, edgeOff[nGates]*nWords)
+	par.ForChunks(nGates, workers, 0, func(lo, hi int) {
+		for id := lo; id < hi; id++ {
+			g := c.Gates[id]
+			if g.Type == ckt.Input {
+				continue
+			}
+			cv, hasCV := g.Type.ControllingValue()
+			for fi := range g.Fanin {
+				w := sideOK[(edgeOff[id]+fi)*nWords : (edgeOff[id]+fi+1)*nWords]
+				for k := range w {
+					ok := ^uint64(0)
+					if hasCV {
+						for oi, f := range g.Fanin {
+							if oi == fi {
+								continue
+							}
+							if cv {
+								// Controlling value 1: others must be 0.
+								ok &= ^base[f*nWords+k]
+							} else {
+								ok &= base[f*nWords+k]
+							}
 						}
 					}
+					w[k] = ok
 				}
-				w[k] = ok
+				w[nWords-1] &= lastMask
 			}
-			w[nWords-1] &= lastMask
-			sideOK[id][fi] = w
+		}
+	})
+
+	// Source gates: every non-input gate, in topological order.
+	sources := make([]int, 0, nGates)
+	for _, id := range order {
+		if c.Gates[id].Type != ckt.Input {
+			sources = append(sources, id) // the paper injects at gate outputs only
 		}
 	}
-	sens := make([][]uint64, nGates)
-	mark := make([]int, nGates) // epoch marker
-	for i := range sens {
-		sens[i] = make([]uint64, nWords)
-		mark[i] = -1
+
+	cones := precomputeCones(c, order, posIdx, sources, workers)
+
+	nw := par.Workers(workers)
+	if nw > len(sources) {
+		nw = len(sources)
 	}
-	epoch := 0
-	for _, fid := range order {
-		fg := c.Gates[fid]
-		if fg.Type == ckt.Input {
-			continue // the paper injects at gate outputs only
+	// Each worker owns a full sensitization arena; cap the worker
+	// count so the combined scratch stays within budget on huge
+	// circuits (the serial path always fits one arena).
+	if per := nGates * nWords * 8; per > 0 {
+		if maxW := maxScratchBytes / per; nw > maxW {
+			nw = maxW
 		}
-		epoch++
-		for k := 0; k < nWords; k++ {
-			sens[fid][k] = ^uint64(0)
+		if nw < 1 {
+			nw = 1
 		}
-		sens[fid][nWords-1] &= lastMask
+	}
+	scratches := make([]*dpScratch, nw)
+	for i := range scratches {
+		scratches[i] = &dpScratch{
+			sens: make([]uint64, nGates*nWords),
+			mark: make([]int, nGates),
+		}
+		for j := range scratches[i].mark {
+			scratches[i].mark[j] = -1
+		}
+	}
+	par.Each(len(sources), nw, 1, func(worker, lo, hi int) {
+		sc := scratches[worker]
+		for si := lo; si < hi; si++ {
+			fid := sources[si]
+			sc.epoch++
+			row := sc.sens[fid*nWords : (fid+1)*nWords]
+			for k := range row {
+				row[k] = ^uint64(0)
+			}
+			row[nWords-1] &= lastMask
+			sc.mark[fid] = sc.epoch
+			if cones != nil {
+				for _, id := range cones.of(si) {
+					dpGate(c.Gates[id], int(id), sc, sideOK, edgeOff, nWords)
+				}
+			} else {
+				for oi := posIdx[fid] + 1; oi < len(order); oi++ {
+					id := order[oi]
+					g := c.Gates[id]
+					if g.Type == ckt.Input {
+						continue
+					}
+					dpGate(g, id, sc, sideOK, edgeOff, nWords)
+				}
+			}
+			out := res.Pij[fid]
+			for k2, poID := range pos {
+				if poID == fid {
+					// Paper: "For primary output j, Pjj is 1."
+					out[k2] = 1
+					continue
+				}
+				if sc.mark[poID] != sc.epoch {
+					continue
+				}
+				cnt := 0
+				for _, w := range sc.sens[poID*nWords : (poID+1)*nWords] {
+					cnt += bits.OnesCount64(w)
+				}
+				out[k2] = float64(cnt) / float64(nVectors)
+			}
+		}
+	})
+	return res, nil
+}
+
+// dpScratch is one DP worker's private state: a sensitization arena
+// and an epoch-marked membership array, both reused across sources so
+// the inner loop never allocates.
+type dpScratch struct {
+	sens  []uint64
+	mark  []int
+	epoch int
+}
+
+// dpGate advances the sensitization DP through one gate: OR together
+// each marked fanin's sensitization masked by that edge's side-input
+// condition, and mark the gate when any vector survives.
+func dpGate(g *ckt.Gate, id int, sc *dpScratch, sideOK []uint64, edgeOff []int, nWords int) {
+	inCone := false
+	for _, f := range g.Fanin {
+		if sc.mark[f] == sc.epoch {
+			inCone = true
+			break
+		}
+	}
+	if !inCone {
+		return
+	}
+	row := sc.sens[id*nWords : (id+1)*nWords]
+	any := uint64(0)
+	for k := 0; k < nWords; k++ {
+		v := uint64(0)
+		for fi, f := range g.Fanin {
+			if sc.mark[f] == sc.epoch {
+				v |= sc.sens[f*nWords+k] & sideOK[(edgeOff[id]+fi)*nWords+k]
+			}
+		}
+		row[k] = v
+		any |= v
+	}
+	if any != 0 {
+		sc.mark[id] = sc.epoch
+	}
+}
+
+// coneSet is a CSR arena of precomputed fanout cones: cone i holds the
+// non-input gates strictly downstream of sources[i], in topological
+// (levelized) order.
+type coneSet struct {
+	off   []int
+	gates []int32
+}
+
+func (cs *coneSet) of(i int) []int32 { return cs.gates[cs.off[i] : cs.off[i+1]] }
+
+// precomputeCones builds the cone arena with a parallel mark sweep per
+// source (counting pass, then a fill pass into the shared arena).
+// Returns nil when the arena would exceed the memory budget; callers
+// then fall back to scanning the topological suffix.
+func precomputeCones(c *ckt.Circuit, order, posIdx, sources []int, workers int) *coneSet {
+	n := len(sources)
+	if n == 0 {
+		return &coneSet{off: make([]int, 1)}
+	}
+	counts := make([]int, n)
+	nw := par.Workers(workers)
+	marks := make([][]int, nw)
+	epochs := make([]int, nw)
+	for i := range marks {
+		marks[i] = make([]int, len(c.Gates))
+		for j := range marks[i] {
+			marks[i][j] = -1
+		}
+	}
+	sweep := func(worker, si int, emit []int32) int {
+		mark := marks[worker]
+		epochs[worker]++
+		epoch := epochs[worker]
+		fid := sources[si]
 		mark[fid] = epoch
+		cnt := 0
 		for oi := posIdx[fid] + 1; oi < len(order); oi++ {
 			id := order[oi]
 			g := c.Gates[id]
 			if g.Type == ckt.Input {
 				continue
 			}
-			inCone := false
 			for _, f := range g.Fanin {
 				if mark[f] == epoch {
-					inCone = true
+					mark[id] = epoch
+					if emit != nil {
+						emit[cnt] = int32(id)
+					}
+					cnt++
 					break
 				}
 			}
-			if !inCone {
-				continue
-			}
-			any := uint64(0)
-			for k := 0; k < nWords; k++ {
-				v := uint64(0)
-				for fi, f := range g.Fanin {
-					if mark[f] == epoch {
-						v |= sens[f][k] & sideOK[id][fi][k]
-					}
-				}
-				sens[id][k] = v
-				any |= v
-			}
-			if any != 0 {
-				mark[id] = epoch
-			}
 		}
-		for k2, poID := range pos {
-			if poID == fid {
-				// Paper: "For primary output j, Pjj is 1."
-				res.Pij[fid][k2] = 1
-				continue
-			}
-			if mark[poID] != epoch {
-				continue
-			}
-			cnt := 0
-			for k := 0; k < nWords; k++ {
-				cnt += popcount(sens[poID][k])
-			}
-			res.Pij[fid][k2] = float64(cnt) / float64(nVectors)
-		}
+		return cnt
 	}
-	return res, nil
+	par.Each(n, nw, 0, func(worker, lo, hi int) {
+		for si := lo; si < hi; si++ {
+			counts[si] = sweep(worker, si, nil)
+		}
+	})
+	total := 0
+	for _, cn := range counts {
+		total += cn
+	}
+	if total > maxConeEntries {
+		return nil
+	}
+	cs := &coneSet{off: make([]int, n+1), gates: make([]int32, total)}
+	for i, cn := range counts {
+		cs.off[i+1] = cs.off[i] + cn
+	}
+	par.Each(n, nw, 0, func(worker, lo, hi int) {
+		for si := lo; si < hi; si++ {
+			sweep(worker, si, cs.gates[cs.off[si]:cs.off[si+1]])
+		}
+	})
+	return cs
 }
-
-func popcount(x uint64) int { return bits.OnesCount64(x) }
 
 // SideSensitization returns S_is: the probability that gate s is
 // sensitized to its input from gate i, i.e. all *other* inputs of s

@@ -210,21 +210,44 @@ func (t *Table) MustEval(coord ...float64) float64 {
 // one-dimensional workhorse used for the paper's sample-glitch-width
 // tables (§3.2 step iv).
 func Interp1D(xs, ys []float64, x float64) float64 {
+	i, f := PrepInterp1D(xs, x)
+	return ApplyInterp1D(ys, i, f)
+}
+
+// PrepInterp1D resolves the x-dependent half of Interp1D — the sample
+// search and interpolation fraction — so hot loops that interpolate
+// many y-arrays over the same axis at the same query can pay for the
+// search once. The returned (i, f) feed ApplyInterp1D; f < 0 encodes
+// "return ys[i] exactly" (clamped or on-sample queries), and i < 0
+// encodes an empty axis. Interp1D(xs, ys, x) ==
+// ApplyInterp1D(ys, PrepInterp1D(xs, x)) bit for bit.
+func PrepInterp1D(xs []float64, x float64) (int, float64) {
 	n := len(xs)
 	if n == 0 {
-		return 0
+		return -1, -1
 	}
 	if x <= xs[0] || n == 1 {
-		return ys[0]
+		return 0, -1
 	}
 	if x >= xs[n-1] {
-		return ys[n-1]
+		return n - 1, -1
 	}
 	i := sort.SearchFloat64s(xs, x)
 	if xs[i] == x {
-		return ys[i]
+		return i, -1
 	}
 	i--
-	f := (x - xs[i]) / (xs[i+1] - xs[i])
+	return i, (x - xs[i]) / (xs[i+1] - xs[i])
+}
+
+// ApplyInterp1D evaluates a prepared interpolation against one
+// y-array.
+func ApplyInterp1D(ys []float64, i int, f float64) float64 {
+	if i < 0 {
+		return 0
+	}
+	if f < 0 {
+		return ys[i]
+	}
 	return ys[i] + f*(ys[i+1]-ys[i])
 }

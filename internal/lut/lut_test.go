@@ -2,6 +2,7 @@ package lut
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -162,5 +163,42 @@ func TestDimsAxis(t *testing.T) {
 	}
 	if len(tb.Axis(1)) != 3 {
 		t.Errorf("Axis(1) len = %d", len(tb.Axis(1)))
+	}
+}
+
+func TestPrepInterp1DMatchesInterp1D(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := []float64{3, -1, 0.5, 7, 2}
+	queries := []float64{-5, 0, 1, 1.5, 2, 3.9999, 4, 4.0001, 8, 15, 16, 100}
+	for _, x := range queries {
+		want := func() float64 {
+			n := len(xs)
+			if x <= xs[0] || n == 1 {
+				return ys[0]
+			}
+			if x >= xs[n-1] {
+				return ys[n-1]
+			}
+			i := sort.SearchFloat64s(xs, x)
+			if xs[i] == x {
+				return ys[i]
+			}
+			i--
+			f := (x - xs[i]) / (xs[i+1] - xs[i])
+			return ys[i] + f*(ys[i+1]-ys[i])
+		}()
+		if got := Interp1D(xs, ys, x); got != want {
+			t.Errorf("Interp1D(%g) = %g, want %g", x, got, want)
+		}
+		i, f := PrepInterp1D(xs, x)
+		if got := ApplyInterp1D(ys, i, f); got != want {
+			t.Errorf("ApplyInterp1D(%g) = %g, want %g", x, got, want)
+		}
+	}
+	if i, _ := PrepInterp1D(nil, 1); i != -1 {
+		t.Error("empty axis should return i=-1")
+	}
+	if got := ApplyInterp1D(ys, -1, -1); got != 0 {
+		t.Error("empty-axis apply should return 0")
 	}
 }

@@ -1,0 +1,74 @@
+package sertopt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/aserta"
+	"repro/internal/charlib"
+	"repro/internal/ckt"
+	"repro/internal/devmodel"
+	"repro/internal/gen"
+	"repro/internal/logicsim"
+	"repro/internal/stats"
+)
+
+// TestGradientProbeIncrementalMatchesFull exercises RecomputeU exactly
+// the way gradientSeed does — a baseline SERTOPT analysis probed with
+// single-gate delay bumps — and asserts the incremental delta
+// evaluation matches a full recomputation within 1e-12 relative.
+func TestGradientProbeIncrementalMatchesFull(t *testing.T) {
+	c, err := gen.ISCAS85("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := charlib.NewLibrary(devmodel.Tech70nm(), charlib.CoarseGrid())
+	baseline, err := InitialSizing(c, lib, 0, 2e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sens, err := logicsim.Analyze(c, 2000, stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := aserta.Analyze(c, lib, baseline, aserta.Config{
+		Vectors:         2000,
+		Seed:            5,
+		PrecomputedSens: sens,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, err := GateDelays(c, lib, baseline, 2e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const h = 2e-12
+	depth := c.DepthFromPO()
+	probed := 0
+	for _, g := range c.Gates {
+		if depth[g.ID] < 0 || depth[g.ID] > 4 || g.Type == ckt.Input {
+			continue
+		}
+		d := append([]float64(nil), d0...)
+		d[g.ID] += h
+		inc, err := base.RecomputeU(lib, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := base.RecomputeUFull(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tol := 1e-12 * math.Max(math.Abs(full), 1)
+		if math.Abs(inc-full) > tol {
+			t.Errorf("gate %s: incremental U = %.17g, full U = %.17g (|Δ| = %g)",
+				g.Name, inc, full, math.Abs(inc-full))
+		}
+		probed++
+	}
+	if probed < 20 {
+		t.Fatalf("only %d gates probed; want a meaningful sample", probed)
+	}
+}

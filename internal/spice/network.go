@@ -81,6 +81,73 @@ func (n *network) stackDepth() int {
 	}
 }
 
+// fillOps walks the tree in evaluation order and computes each device
+// leaf's operating point for the frozen stage input voltages vin,
+// appending into ops at *pos. The traversal order matches current(), so
+// currentOps consumes the slots in the same sequence. This hoists the
+// expensive vgs-dependent model terms (Pow/Log1p) out of the Newton
+// iteration, which re-evaluates the network many times per step with
+// only vds changing. lastVgs[i] caches the vgs each leaf's operating
+// point was computed for; settled nodes carry exactly constant
+// voltages between steps, so the recompute (a pure function of vgs) is
+// skipped whenever the voltage is bit-equal to the previous step's.
+func (n *network) fillOps(vin []float64, m *devmodel.MOSFET, vdd float64, pullUp bool, ops []devmodel.OpPoint, lastVgs []float64, pos *int) {
+	if n.kind == netDevice {
+		v := vin[n.input]
+		if n.negated {
+			v = vdd - v
+		}
+		var vgs float64
+		if pullUp {
+			vgs = vdd - v // |Vgs| for PMOS with source at VDD
+		} else {
+			vgs = v
+		}
+		if vgs < 0 {
+			vgs = 0
+		}
+		i := *pos
+		*pos++
+		if vgs != lastVgs[i] { // NaN sentinel never compares equal
+			lastVgs[i] = vgs
+			ops[i] = m.Op(vgs)
+		}
+		return
+	}
+	for _, ch := range n.children {
+		ch.fillOps(vin, m, vdd, pullUp, ops, lastVgs, pos)
+	}
+}
+
+// currentOps evaluates the network's drain current from operating
+// points precomputed by fillOps, with the same series/parallel
+// composition (and therefore bit-identical results) as current().
+func (n *network) currentOps(ops []devmodel.OpPoint, pos *int, vds float64) float64 {
+	const iFloor = 1e-15
+	switch n.kind {
+	case netDevice:
+		i := ops[*pos].At(vds)
+		*pos++
+		return i
+	case netParallel:
+		sum := 0.0
+		for _, ch := range n.children {
+			sum += ch.currentOps(ops, pos, vds)
+		}
+		return sum
+	default: // series
+		inv := 0.0
+		for _, ch := range n.children {
+			i := ch.currentOps(ops, pos, vds)
+			if i < iFloor {
+				i = iFloor
+			}
+			inv += 1 / i
+		}
+		return 1 / inv
+	}
+}
+
 // current evaluates the network's drain current for the given stage
 // input gate voltages vin, the voltage across the network vds (>= 0 in
 // the network's own polarity), the device template m, and the stage

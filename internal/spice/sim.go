@@ -373,8 +373,13 @@ func (s *Sim) stepStage(st *Stage, tn, dt float64) {
 		}
 	}
 	vOld := s.v[n]
+	if v, ok := st.cachedSolve(vin, vOld, iinj, dt); ok {
+		s.v[n] = v
+		return
+	}
+	st.prepareOps(vin)
 	f := func(v float64) float64 {
-		return v - vOld - dt/c*(st.outputCurrent(vin, v)+iinj)
+		return v - vOld - dt/c*(st.outputCurrentOps(v)+iinj)
 	}
 	lo, hi := -0.5, s.maxVDD+0.5
 	v := vOld
@@ -426,5 +431,6 @@ func (s *Sim) stepStage(st *Stage, tn, dt float64) {
 	if v > s.maxVDD+0.3 {
 		v = s.maxVDD + 0.3
 	}
+	st.storeSolve(vin, vOld, iinj, dt, v)
 	s.v[n] = v
 }

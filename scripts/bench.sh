@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# bench.sh — run the paper-figure benchmark suite and write BENCH_N.json.
+#
+# The suite (bench_test.go at the repo root) regenerates every paper
+# figure/table at CI-friendly scale and reports the headline quantity
+# of each through b.ReportMetric; cmd/benchreport parses the go test
+# output into machine-readable JSON so the performance trajectory of
+# the repository is recorded PR over PR.
+#
+# Usage:
+#   scripts/bench.sh                 # full suite -> BENCH_1.json
+#   scripts/bench.sh -out BENCH_2.json -bench 'Fig3|Table1'
+#   BENCHTIME=3x scripts/bench.sh    # more iterations per benchmark
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+exec go run ./cmd/benchreport -benchtime "$BENCHTIME" -benchmem "$@"
