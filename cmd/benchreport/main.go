@@ -4,10 +4,17 @@
 // The checked-in BENCH_1.json files form the performance trajectory
 // future perf PRs are measured against.
 //
+// It is also the CI bench-regression gate: -compare checks the run
+// (or a previously written report, via -in) against a checked-in
+// baseline and exits non-zero when a paper metric drifts beyond
+// tolerance or ns/op regresses beyond the slowdown bound.
+//
 // Usage:
 //
 //	go run ./cmd/benchreport [flags]
 //	go test -run '^$' -bench . -benchtime 1x | go run ./cmd/benchreport -stdin
+//	go run ./cmd/benchreport -out BENCH_ci.json -compare BENCH_1.json
+//	go run ./cmd/benchreport -in BENCH_ci.json -compare BENCH_1.json
 package main
 
 import (
@@ -45,7 +52,21 @@ func main() {
 	timeout := flag.String("timeout", "1800s", "go test timeout")
 	benchmem := flag.Bool("benchmem", false, "collect allocation metrics")
 	stdin := flag.Bool("stdin", false, "parse go test output from stdin instead of running the suite")
+	in := flag.String("in", "", "load a previously written BENCH_*.json instead of running the suite")
+	compare := flag.String("compare", "", "baseline BENCH_*.json to gate against; exit 1 on regression")
+	metricTol := flag.Float64("metric-tol", 0.005, "allowed relative drift of paper metrics (0.005 = 0.5%)")
+	nsFactor := flag.Float64("ns-factor", 2.5, "allowed ns/op slowdown factor (loose bound for noisy runners)")
 	flag.Parse()
+
+	if *in != "" {
+		fr, err := readReport(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		gate(*compare, fr.Report, *metricTol, *nsFactor)
+		return
+	}
 
 	var src io.Reader
 	var command string
@@ -98,4 +119,45 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchreport: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+	gate(*compare, rep, *metricTol, *nsFactor)
+}
+
+// readReport loads a BENCH_*.json written by this command.
+func readReport(path string) (*fileReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var fr fileReport
+	if err := json.Unmarshal(data, &fr); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if fr.Report == nil || len(fr.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return &fr, nil
+}
+
+// gate compares cur against the baseline at comparePath (no-op when
+// empty) and exits 1 on any regression.
+func gate(comparePath string, cur *benchfmt.Report, metricTol, nsFactor float64) {
+	if comparePath == "" {
+		return
+	}
+	base, err := readReport(comparePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: baseline: %v\n", err)
+		os.Exit(1)
+	}
+	regs := benchfmt.Compare(base.Report, cur, benchfmt.CompareOptions{
+		MetricTol:      metricTol,
+		NsFactor:       nsFactor,
+		SkipMemMetrics: true,
+	})
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: %d regression(s) vs %s:\n%s", len(regs), comparePath, benchfmt.FormatRegressions(regs))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: no regressions vs %s (%d baseline benchmarks, metric tol %.2f%%, ns/op bound %.2fx)\n",
+		comparePath, len(base.Benchmarks), 100*metricTol, nsFactor)
 }

@@ -1,0 +1,101 @@
+// Command serd runs the soft-error analysis service: a long-running
+// HTTP/JSON server exposing the paper's ASERTA analysis and SERTOPT
+// optimization over a shared characterized cell library (one
+// characterization per gate class, shared across all requests) with a
+// bounded worker pool and FIFO job queue.
+//
+// Usage:
+//
+//	serd [-addr :8080] [-coarse] [-workers N] [-queue N] [-libcache lib.json]
+//
+// Endpoints: POST /v1/analyze, POST /v1/optimize, POST /v1/batch,
+// GET /v1/jobs/{id}, GET /healthz, GET /metrics. See the README's
+// "Running as a service" section for curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/serd"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serd: ")
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		coarse     = flag.Bool("coarse", false, "use the coarse characterization grid (faster cold starts)")
+		workers    = flag.Int("workers", 0, "concurrent jobs (0 = one per CPU)")
+		queue      = flag.Int("queue", 64, "FIFO queue depth before submissions get 503")
+		maxGates   = flag.Int("max-gates", 50000, "largest accepted circuit")
+		maxVectors = flag.Int("max-vectors", 200000, "largest accepted vector count")
+		libcache   = flag.String("libcache", "", "JSON library cache (loaded if present, saved on shutdown)")
+	)
+	flag.Parse()
+
+	level := ser.DefaultCharacterization
+	if *coarse {
+		level = ser.CoarseCharacterization
+	}
+	sys := ser.NewSystem(level)
+	if *libcache != "" {
+		if _, err := os.Stat(*libcache); err == nil {
+			if err := sys.LoadLibrary(*libcache); err != nil {
+				log.Fatalf("load library cache: %v", err)
+			}
+			log.Printf("loaded library cache %s", *libcache)
+		}
+	}
+
+	srv := serd.New(serd.Config{
+		System:     sys,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		MaxGates:   *maxGates,
+		MaxVectors: *maxVectors,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, drain the
+	// pool, persist the library cache (atomic write).
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		close(done)
+	}()
+
+	log.Printf("listening on %s (workers=%d queue=%d)", *addr, *workers, *queue)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+	srv.Close()
+	if *libcache != "" {
+		if err := sys.SaveLibrary(*libcache); err != nil {
+			log.Printf("save library cache: %v", err)
+		} else {
+			log.Printf("saved library cache %s", *libcache)
+		}
+	}
+}

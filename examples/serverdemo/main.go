@@ -1,0 +1,109 @@
+// Serverdemo boots the serd analysis service in-process on a loopback
+// port and drives all five endpoint groups through the serclient
+// package: health check, one synchronous analysis, a mixed batch over
+// three circuits sharing one characterized library, an async
+// optimization polled to completion, and the service metrics
+// (characterizations vs. cache hits, p50/p99 latency).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro"
+	"repro/internal/serd"
+	"repro/serclient"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serverdemo: ")
+
+	// One shared system: every request below hits the same
+	// characterized library.
+	sys := ser.NewSystem(ser.CoarseCharacterization)
+	srv := serd.New(serd.Config{System: sys, Workers: 4, QueueDepth: 16})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	base := "http://" + ln.Addr().String()
+	cl := serclient.New(base, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	h, err := cl.Health(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("service at %s healthy (uptime %.2fs)\n\n", base, h.UptimeS)
+
+	// Synchronous analysis of one benchmark.
+	rep, err := cl.Analyze(ctx, serclient.AnalyzeRequest{Circuit: "c432", Vectors: 2000, Seed: 1, Top: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analyze %s: U = %.2f over %d gates (%.0f ms)\n", rep.Circuit, rep.U, rep.Gates, rep.ElapsedMS)
+	for _, g := range rep.GateReports {
+		fmt.Printf("  softest %-10s U_i = %.3f\n", g.Name, g.U)
+	}
+
+	// Batch: three circuits, one round trip, one shared library.
+	batch, err := cl.Batch(ctx, serclient.BatchRequest{
+		Analyze: []serclient.AnalyzeRequest{
+			{Circuit: "c17", Vectors: 2000, Seed: 1},
+			{Circuit: "c432", Vectors: 2000, Seed: 1},
+			{Circuit: "c499", Vectors: 2000, Seed: 1},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbatch of 3 (failed: %d):\n", batch.Failed)
+	for _, item := range batch.Analyze {
+		if item.Error != "" {
+			fmt.Printf("  error: %s\n", item.Error)
+			continue
+		}
+		fmt.Printf("  %-6s U = %10.2f (%.0f ms)\n", item.Result.Circuit, item.Result.U, item.Result.ElapsedMS)
+	}
+
+	// Async optimization, polled via GET /v1/jobs/{id}.
+	jr, err := cl.OptimizeAsync(ctx, serclient.OptimizeRequest{
+		Circuit: "c17", Vectors: 1000, Iterations: 4, MaxBasis: 6, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noptimize job %s submitted (%s)\n", jr.ID, jr.Status)
+	final, err := cl.WaitJob(ctx, jr.ID, 50*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if final.Status != serclient.JobDone {
+		log.Fatalf("job %s: %s (%s)", final.ID, final.Status, final.Error)
+	}
+	o := final.Optimize
+	fmt.Printf("optimize %s: U %.2f -> %.2f (%.1f%% decrease, %.0f ms)\n",
+		o.Circuit, o.BaselineU, o.OptimizedU, 100*o.UDecrease, o.ElapsedMS)
+
+	m, err := cl.Metrics(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmetrics: %d analyze + %d optimize requests, %d characterizations, %d cache hits\n",
+		m.Requests["analyze"], m.Requests["optimize"], m.Characterizations, m.LibCacheHits)
+	if lat, ok := m.LatencyMS["analyze"]; ok {
+		fmt.Printf("analyze latency: p50 %.0f ms, p99 %.0f ms over %d jobs\n", lat.P50, lat.P99, lat.Count)
+	}
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds is the committed seed corpus (mirrored under
+// testdata/fuzz/FuzzParse for `go test -fuzz`): the interesting parser
+// regions are forward references, duplicate names, truncated input,
+// and malformed expressions.
+var fuzzSeeds = []string{
+	// Canonical well-formed netlist (c17 shape).
+	"INPUT(1)\nINPUT(2)\nINPUT(3)\nOUTPUT(22)\n22 = NAND(1, 2)\n",
+	// Forward reference: gate 10 uses 16 before 16 is defined.
+	"INPUT(1)\nOUTPUT(10)\n10 = NAND(1, 16)\n16 = NOT(1)\n",
+	// Duplicate gate name.
+	"INPUT(a)\na = AND(a, a)\n",
+	// Duplicate INPUT declaration.
+	"INPUT(a)\nINPUT(a)\nOUTPUT(a)\n",
+	// Truncated mid-expression.
+	"INPUT(1)\nOUTPUT(9)\n9 = NAND(1,",
+	// Truncated mid-keyword.
+	"INPU",
+	// OUTPUT referencing an undefined signal.
+	"INPUT(1)\nOUTPUT(99)\n",
+	// Empty operand and empty parens.
+	"INPUT(1)\ny = AND(1, )\n",
+	"INPUT()\n",
+	// Comments, blank lines, case-insensitive keywords.
+	"# header\n\ninput(x)\noutput(y)\ny = not(x)  # trailing\n",
+	// INPUT used as a gate function.
+	"INPUT(1)\ny = INPUT(1)\n",
+	// Unknown gate function.
+	"INPUT(1)\ny = XNANDOR(1)\n",
+	// Missing assignment.
+	"INPUT(1)\njust some words\n",
+	// Self loop.
+	"INPUT(1)\ny = NOT(y)\n",
+	// Only whitespace / empty.
+	"",
+	"\n\n   \n",
+}
+
+// FuzzParse exercises the .bench parser: any input must either return
+// an error or produce a circuit that validates and survives a
+// write/re-parse round trip with identical structure.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		c, err := ParseString(data, "fuzz")
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("Parse accepted a circuit that fails Validate: %v\ninput:\n%s", err, data)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			t.Fatalf("Write of parsed circuit failed: %v\ninput:\n%s", err, data)
+		}
+		c2, err := Parse(strings.NewReader(buf.String()), "fuzz")
+		if err != nil {
+			t.Fatalf("re-parse of written netlist failed: %v\nwritten:\n%s", err, buf.String())
+		}
+		if c2.NumGates() != c.NumGates() || c2.NumEdges() != c.NumEdges() {
+			t.Fatalf("round trip changed structure: %d gates/%d edges -> %d gates/%d edges\ninput:\n%s",
+				c.NumGates(), c.NumEdges(), c2.NumGates(), c2.NumEdges(), data)
+		}
+		if len(c2.Outputs()) != len(c.Outputs()) {
+			t.Fatalf("round trip changed PO count: %d -> %d", len(c.Outputs()), len(c2.Outputs()))
+		}
+	})
+}

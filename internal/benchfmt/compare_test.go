@@ -1,0 +1,91 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(benchmarks ...Benchmark) *Report {
+	return &Report{Benchmarks: benchmarks}
+}
+
+func bench(name string, ns float64, metrics map[string]float64) Benchmark {
+	return Benchmark{Name: name, FullName: "Benchmark" + name, Iterations: 1, NsPerOp: ns, Metrics: metrics}
+}
+
+func TestCompareClean(t *testing.T) {
+	base := report(
+		bench("Fig3Correlation", 1e9, map[string]float64{"correlation": 0.9841}),
+		bench("Table1Optimization", 2e9, map[string]float64{"%U-decrease": 3.653}),
+	)
+	cur := report(
+		// Faster and bit-identical metrics: clean.
+		bench("Fig3Correlation", 4e8, map[string]float64{"correlation": 0.9841}),
+		bench("Table1Optimization", 1.9e9, map[string]float64{"%U-decrease": 3.653}),
+		// Extra benchmarks in the new run never fail.
+		bench("NewSuite", 1e6, nil),
+	)
+	if regs := Compare(base, cur, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("clean run flagged: %v", regs)
+	}
+}
+
+func TestCompareMetricDrift(t *testing.T) {
+	base := report(bench("Fig3Correlation", 1e9, map[string]float64{"correlation": 0.9841}))
+	cur := report(bench("Fig3Correlation", 1e9, map[string]float64{"correlation": 0.9000}))
+	regs := Compare(base, cur, CompareOptions{})
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(regs), regs)
+	}
+	r := regs[0]
+	if r.Benchmark != "Fig3Correlation" || r.Metric != "correlation" {
+		t.Fatalf("unexpected regression %+v", r)
+	}
+	// Within tolerance passes.
+	cur2 := report(bench("Fig3Correlation", 1e9, map[string]float64{"correlation": 0.9840}))
+	if regs := Compare(base, cur2, CompareOptions{MetricTol: 0.005}); len(regs) != 0 {
+		t.Fatalf("0.01%% drift flagged at 0.5%% tolerance: %v", regs)
+	}
+}
+
+func TestCompareNsRegression(t *testing.T) {
+	base := report(bench("Fig3Correlation", 1e9, nil))
+	// 2.4x slower: inside the loose 2.5x bound.
+	if regs := Compare(base, report(bench("Fig3Correlation", 2.4e9, nil)), CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("2.4x flagged under 2.5x bound: %v", regs)
+	}
+	// 3x slower: fails.
+	regs := Compare(base, report(bench("Fig3Correlation", 3e9, nil)), CompareOptions{})
+	if len(regs) != 1 || regs[0].Metric != "ns/op" {
+		t.Fatalf("3x slowdown not flagged: %v", regs)
+	}
+}
+
+func TestCompareMissing(t *testing.T) {
+	base := report(
+		bench("Fig3Correlation", 1e9, map[string]float64{"correlation": 0.9841}),
+		bench("Gone", 1e6, nil),
+	)
+	cur := report(bench("Fig3Correlation", 1e9, map[string]float64{"B/op": 100}))
+	regs := Compare(base, cur, CompareOptions{SkipMemMetrics: true})
+	// Two violations: the Gone benchmark vanished, and the correlation
+	// metric vanished from Fig3Correlation.
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %v", len(regs), regs)
+	}
+	out := FormatRegressions(regs)
+	if !strings.Contains(out, "Gone") || !strings.Contains(out, "correlation") {
+		t.Fatalf("formatted output missing pieces:\n%s", out)
+	}
+}
+
+func TestCompareSkipsMemMetrics(t *testing.T) {
+	base := report(bench("X", 1e6, map[string]float64{"B/op": 1000, "allocs/op": 10}))
+	cur := report(bench("X", 1e6, map[string]float64{"B/op": 9000, "allocs/op": 90}))
+	if regs := Compare(base, cur, CompareOptions{SkipMemMetrics: true}); len(regs) != 0 {
+		t.Fatalf("mem metrics flagged despite SkipMemMetrics: %v", regs)
+	}
+	if regs := Compare(base, cur, CompareOptions{SkipMemMetrics: false}); len(regs) != 2 {
+		t.Fatalf("mem metrics not checked when enabled: %v", regs)
+	}
+}

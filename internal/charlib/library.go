@@ -1,10 +1,12 @@
 package charlib
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ckt"
 	"repro/internal/devmodel"
@@ -26,9 +28,20 @@ type Library struct {
 	// QInj is the strike charge used for the glitch-generation table.
 	QInj float64
 
+	// classes holds one singleflight entry per gate class: the first
+	// caller to request an uncharacterized class becomes the leader and
+	// characterizes it outside the map lock; concurrent callers for the
+	// SAME class block on the entry's ready channel, while callers for
+	// OTHER classes proceed independently. This is what lets a serving
+	// tier share one library across many simultaneous requests with
+	// exactly one characterization per class.
 	mu      sync.RWMutex
-	classes map[Class]*classTables
+	classes map[Class]*classEntry
 	cfg     charConfig
+	// charCount counts characterizeClass executions (not cache hits) —
+	// the observable a server exports as its cache-miss metric and the
+	// concurrency tests assert on.
+	charCount atomic.Int64
 
 	// evalMu guards the interpolation memo below. Optimization
 	// re-evaluates the same (cell, load) points thousands of times —
@@ -48,6 +61,21 @@ type lutKey struct {
 	load float64
 }
 
+// classEntry is one singleflight slot: ready is closed once ct/err are
+// final.
+type classEntry struct {
+	ready chan struct{}
+	ct    *classTables
+	err   error
+}
+
+// doneEntry wraps already-final tables (Load, tests) in a closed entry.
+func doneEntry(ct *classTables) *classEntry {
+	e := &classEntry{ready: make(chan struct{}), ct: ct}
+	close(e.ready)
+	return e
+}
+
 // NewLibrary creates an empty library over the given grid;
 // characterization happens on first use of each gate class.
 func NewLibrary(tech *devmodel.Tech, g Grid) *Library {
@@ -55,7 +83,7 @@ func NewLibrary(tech *devmodel.Tech, g Grid) *Library {
 		Tech:    tech,
 		Grid:    g,
 		QInj:    QInjDefault,
-		classes: make(map[Class]*classTables),
+		classes: make(map[Class]*classEntry),
 		cfg:     defaultCharConfig(),
 		delayC:  make(map[lutKey]float64),
 		rampC:   make(map[lutKey]float64),
@@ -64,24 +92,58 @@ func NewLibrary(tech *devmodel.Tech, g Grid) *Library {
 }
 
 // tables returns (characterizing on demand) the class tables.
+// Concurrent callers for one uncharacterized class coalesce onto a
+// single characterization; callers for distinct classes run in
+// parallel.
 func (l *Library) tables(cl Class) (*classTables, error) {
 	l.mu.RLock()
-	ct, ok := l.classes[cl]
+	e, ok := l.classes[cl]
 	l.mu.RUnlock()
-	if ok {
-		return ct, nil
+	if !ok {
+		l.mu.Lock()
+		e, ok = l.classes[cl]
+		if !ok {
+			e = &classEntry{ready: make(chan struct{})}
+			l.classes[cl] = e
+			l.mu.Unlock()
+			// Leader: characterize outside every lock so other classes
+			// (and table queries on ready classes) stay unblocked. The
+			// entry is finalized in a defer so that even a panic inside
+			// characterization releases the waiters instead of wedging
+			// the class forever.
+			l.charCount.Add(1)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						e.err = fmt.Errorf("charlib: characterize %v: panic: %v", cl, r)
+					}
+					close(e.ready)
+				}()
+				ct, err := characterizeClass(l.Tech, cl, l.Grid, l.QInj, l.cfg)
+				if err != nil {
+					e.err = fmt.Errorf("charlib: characterize %v: %v", cl, err)
+				} else {
+					e.ct = ct
+				}
+			}()
+			return e.ct, e.err
+		}
+		l.mu.Unlock()
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if ct, ok := l.classes[cl]; ok {
-		return ct, nil
-	}
-	ct, err := characterizeClass(l.Tech, cl, l.Grid, l.QInj, l.cfg)
-	if err != nil {
-		return nil, fmt.Errorf("charlib: characterize %v: %v", cl, err)
-	}
-	l.classes[cl] = ct
-	return ct, nil
+	<-e.ready
+	return e.ct, e.err
+}
+
+// Characterizations reports how many class characterizations this
+// library has executed (coalesced concurrent requests count once).
+func (l *Library) Characterizations() int64 { return l.charCount.Load() }
+
+// CharacterizedClasses reports the number of classes whose tables are
+// resident (finished or in flight).
+func (l *Library) CharacterizedClasses() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.classes)
 }
 
 // memoEval serves a table interpolation through the given cache.
@@ -110,12 +172,23 @@ func (l *Library) memoEval(cache map[lutKey]float64, pick func(*classTables) *lu
 // Precharacterize characterizes the given classes up front (e.g. all
 // classes appearing in a circuit) so later queries never block.
 func (l *Library) Precharacterize(classes []Class) error {
+	return l.PrecharacterizeContext(context.Background(), classes)
+}
+
+// PrecharacterizeContext is Precharacterize with cancellation checks
+// between classes. A characterization already in flight is not
+// interrupted (another request owns it); cancellation takes effect at
+// the next class boundary.
+func (l *Library) PrecharacterizeContext(ctx context.Context, classes []Class) error {
 	for _, cl := range classes {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if _, err := l.tables(cl); err != nil {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // CircuitClasses lists the distinct gate classes used by a circuit.
@@ -236,13 +309,21 @@ type libraryJSON struct {
 }
 
 // Save writes the characterized tables as JSON (the technology is not
-// serialized; Load re-attaches one).
+// serialized; Load re-attaches one). Classes whose characterization is
+// still in flight are waited for; failed classes are skipped.
 func (l *Library) Save(w io.Writer) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	entries := make(map[Class]*classEntry, len(l.classes))
+	for cl, e := range l.classes {
+		entries[cl] = e
+	}
+	l.mu.RUnlock()
 	lj := libraryJSON{Grid: l.Grid, QInj: l.QInj, Classes: make(map[string]*classTables)}
-	for cl, ct := range l.classes {
-		lj.Classes[cl.String()] = ct
+	for cl, e := range entries {
+		<-e.ready
+		if e.err == nil && e.ct != nil {
+			lj.Classes[cl.String()] = e.ct
+		}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(lj)
@@ -261,7 +342,7 @@ func Load(r io.Reader, tech *devmodel.Tech) (*Library, error) {
 		if err != nil {
 			return nil, err
 		}
-		l.classes[cl] = ct
+		l.classes[cl] = doneEntry(ct)
 	}
 	return l, nil
 }

@@ -367,7 +367,7 @@ type coneSet struct {
 	gates []int32
 }
 
-func (cs *coneSet) of(i int) []int32 { return cs.gates[cs.off[i] : cs.off[i+1]] }
+func (cs *coneSet) of(i int) []int32 { return cs.gates[cs.off[i]:cs.off[i+1]] }
 
 // precomputeCones builds the cone arena with a parallel mark sweep per
 // source (counting pass, then a fill pass into the shared arena).

@@ -1,0 +1,147 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by TrySubmit when the FIFO buffer is at
+// capacity. Callers serving interactive traffic translate it into
+// back-pressure (HTTP 503) instead of letting requests pile up.
+var ErrQueueFull = errors.New("par: queue full")
+
+// ErrQueueClosed is returned when submitting to a closed queue.
+var ErrQueueClosed = errors.New("par: queue closed")
+
+// Queue is a bounded FIFO job queue drained by a fixed pool of worker
+// goroutines. Every job carries its own context: a job whose context
+// is cancelled while still queued is skipped entirely (its function
+// runs with the already-cancelled context only if it was dequeued
+// first), so one abandoned client cannot hold a worker. The queue is
+// the serving-tier complement to the data-parallel helpers in this
+// package: For/Each fan one computation out, Queue fans many
+// independent computations in.
+type Queue struct {
+	jobs    chan queued
+	workers int
+
+	running atomic.Int64
+	started atomic.Int64
+	skipped atomic.Int64
+
+	// closeMu makes Close safe against concurrent submitters: senders
+	// hold the read side around the channel send, Close takes the
+	// write side before closing the channel.
+	closeMu   sync.RWMutex
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+}
+
+type queued struct {
+	ctx context.Context
+	fn  func(ctx context.Context)
+}
+
+// NewQueue starts a queue with the given worker count (Workers
+// semantics for workers <= 0) and FIFO depth (minimum 1).
+func NewQueue(workers, depth int) *Queue {
+	w := Workers(workers)
+	if depth < 1 {
+		depth = 1
+	}
+	q := &Queue{
+		jobs:    make(chan queued, depth),
+		workers: w,
+		closed:  make(chan struct{}),
+	}
+	q.wg.Add(w)
+	for i := 0; i < w; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for job := range q.jobs {
+		if job.ctx.Err() != nil {
+			// Cancelled while queued: never run, but let the job's
+			// bookkeeping observe the cancellation.
+			q.skipped.Add(1)
+			job.fn(job.ctx)
+			continue
+		}
+		q.started.Add(1)
+		q.running.Add(1)
+		job.fn(job.ctx)
+		q.running.Add(-1)
+	}
+}
+
+// TrySubmit enqueues fn without blocking. It returns ErrQueueFull when
+// the FIFO is at capacity and ErrQueueClosed after Close.
+func (q *Queue) TrySubmit(ctx context.Context, fn func(ctx context.Context)) error {
+	q.closeMu.RLock()
+	defer q.closeMu.RUnlock()
+	select {
+	case <-q.closed:
+		return ErrQueueClosed
+	default:
+	}
+	select {
+	case q.jobs <- queued{ctx: ctx, fn: fn}:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Submit enqueues fn, blocking until buffer space frees up or ctx is
+// cancelled. A concurrent Close waits for in-flight Submit calls.
+func (q *Queue) Submit(ctx context.Context, fn func(ctx context.Context)) error {
+	q.closeMu.RLock()
+	defer q.closeMu.RUnlock()
+	select {
+	case <-q.closed:
+		return ErrQueueClosed
+	default:
+	}
+	select {
+	case q.jobs <- queued{ctx: ctx, fn: fn}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Depth reports the number of jobs waiting in the FIFO (excluding
+// jobs currently executing).
+func (q *Queue) Depth() int { return len(q.jobs) }
+
+// Running reports the number of jobs currently executing.
+func (q *Queue) Running() int { return int(q.running.Load()) }
+
+// Workers reports the worker-pool size.
+func (q *Queue) Workers() int { return q.workers }
+
+// Started reports how many jobs have begun execution.
+func (q *Queue) Started() int64 { return q.started.Load() }
+
+// Skipped reports how many jobs were dequeued already-cancelled and
+// therefore never executed.
+func (q *Queue) Skipped() int64 { return q.skipped.Load() }
+
+// Close stops accepting submissions and waits for queued and running
+// jobs to drain.
+func (q *Queue) Close() {
+	q.closeOnce.Do(func() {
+		q.closeMu.Lock()
+		close(q.closed)
+		close(q.jobs)
+		q.closeMu.Unlock()
+	})
+	q.wg.Wait()
+}

@@ -1,0 +1,128 @@
+package par
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQueueRunsAllJobs(t *testing.T) {
+	q := NewQueue(4, 16)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		if err := q.Submit(context.Background(), func(ctx context.Context) {
+			defer wg.Done()
+			ran.Add(1)
+		}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	q.Close()
+	if got := ran.Load(); got != 32 {
+		t.Fatalf("ran %d jobs, want 32", got)
+	}
+	if q.Started() != 32 {
+		t.Fatalf("Started = %d, want 32", q.Started())
+	}
+}
+
+func TestQueueTrySubmitFull(t *testing.T) {
+	q := NewQueue(1, 1)
+	defer q.Close()
+	block := make(chan struct{})
+	release := make(chan struct{})
+	// Occupy the single worker...
+	if err := q.TrySubmit(context.Background(), func(ctx context.Context) {
+		close(block)
+		<-release
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-block
+	// ...fill the single FIFO slot...
+	if err := q.TrySubmit(context.Background(), func(ctx context.Context) {}); err != nil {
+		t.Fatal(err)
+	}
+	// ...and the next submission must bounce.
+	err := q.TrySubmit(context.Background(), func(ctx context.Context) {})
+	if err != ErrQueueFull {
+		t.Fatalf("TrySubmit on full queue = %v, want ErrQueueFull", err)
+	}
+	close(release)
+}
+
+func TestQueueSkipsCancelledJobs(t *testing.T) {
+	q := NewQueue(1, 4)
+	block := make(chan struct{})
+	release := make(chan struct{})
+	if err := q.Submit(context.Background(), func(ctx context.Context) {
+		close(block)
+		<-release
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-block
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sawCancel := make(chan error, 1)
+	if err := q.Submit(ctx, func(ctx context.Context) { sawCancel <- ctx.Err() }); err != nil {
+		t.Fatal(err)
+	}
+	cancel() // cancelled while still queued behind the blocker
+	close(release)
+	select {
+	case err := <-sawCancel:
+		if err == nil {
+			t.Fatal("queued-then-cancelled job observed a live context")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled job never surfaced")
+	}
+	q.Close()
+	if q.Skipped() != 1 {
+		t.Fatalf("Skipped = %d, want 1", q.Skipped())
+	}
+	if q.Started() != 1 {
+		t.Fatalf("Started = %d, want 1 (only the blocker)", q.Started())
+	}
+}
+
+func TestQueueSubmitBlocksUntilSpace(t *testing.T) {
+	q := NewQueue(1, 1)
+	block := make(chan struct{})
+	release := make(chan struct{})
+	if err := q.Submit(context.Background(), func(ctx context.Context) {
+		close(block)
+		<-release
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-block
+	if err := q.Submit(context.Background(), func(ctx context.Context) {}); err != nil {
+		t.Fatal(err)
+	}
+	// FIFO is now full; a blocking Submit with a deadline must respect it.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := q.Submit(ctx, func(ctx context.Context) {}); err != context.DeadlineExceeded {
+		t.Fatalf("Submit on full queue = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	q.Close()
+}
+
+func TestQueueClosedRejects(t *testing.T) {
+	q := NewQueue(2, 2)
+	q.Close()
+	if err := q.TrySubmit(context.Background(), func(ctx context.Context) {}); err != ErrQueueClosed {
+		t.Fatalf("TrySubmit after Close = %v, want ErrQueueClosed", err)
+	}
+	if err := q.Submit(context.Background(), func(ctx context.Context) {}); err != ErrQueueClosed {
+		t.Fatalf("Submit after Close = %v, want ErrQueueClosed", err)
+	}
+}

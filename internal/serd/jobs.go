@@ -1,0 +1,142 @@
+package serd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/serclient"
+)
+
+// job is one queued unit of work. Status transitions are guarded by
+// the owning store's mutex; done is closed exactly once when the job
+// reaches a terminal state.
+type job struct {
+	id   string
+	kind string
+
+	// ctx is the job's own context (set at creation, under the store
+	// lock): cancellation while queued means the job never runs.
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	status  string
+	result  any // *serclient.AnalyzeResponse or *serclient.OptimizeResponse
+	err     error
+	created time.Time
+}
+
+// jobStore tracks jobs for GET /v1/jobs/{id}, retaining at most keep
+// entries: once over the cap the oldest finished jobs are evicted
+// (live jobs are never dropped).
+type jobStore struct {
+	mu    sync.Mutex
+	seq   int64
+	jobs  map[string]*job
+	order []string
+	keep  int
+}
+
+func newJobStore(keep int) *jobStore {
+	if keep < 1 {
+		keep = 1
+	}
+	return &jobStore{jobs: make(map[string]*job), keep: keep}
+}
+
+func (st *jobStore) create(kind string, ctx context.Context, cancel context.CancelFunc) *job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	j := &job{
+		id:      fmt.Sprintf("job-%06d", st.seq),
+		kind:    kind,
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		status:  serclient.JobQueued,
+		created: time.Now(),
+	}
+	st.jobs[j.id] = j
+	st.order = append(st.order, j.id)
+	st.evictLocked()
+	return j
+}
+
+// evictLocked drops the oldest terminal jobs while over the cap.
+func (st *jobStore) evictLocked() {
+	for len(st.order) > st.keep {
+		evicted := false
+		for i, id := range st.order {
+			j, ok := st.jobs[id]
+			if !ok {
+				st.order = append(st.order[:i], st.order[i+1:]...)
+				evicted = true
+				break
+			}
+			if j.status == serclient.JobDone || j.status == serclient.JobFailed || j.status == serclient.JobCanceled {
+				delete(st.jobs, id)
+				st.order = append(st.order[:i], st.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything retained is still live
+		}
+	}
+}
+
+func (st *jobStore) get(id string) *job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.jobs[id]
+}
+
+func (st *jobStore) markRunning(j *job) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j.status == serclient.JobQueued {
+		j.status = serclient.JobRunning
+	}
+}
+
+// finish moves j to its terminal state and returns it. Cancellation
+// errors (from the job's own context) surface as JobCanceled.
+func (st *jobStore) finish(j *job, result any, err error) string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch {
+	case err == nil:
+		j.status = serclient.JobDone
+		j.result = result
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.status = serclient.JobCanceled
+		j.err = err
+	default:
+		j.status = serclient.JobFailed
+		j.err = err
+	}
+	close(j.done)
+	return j.status
+}
+
+// response snapshots the job as its wire representation.
+func (st *jobStore) response(j *job) serclient.JobResponse {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	resp := serclient.JobResponse{ID: j.id, Kind: j.kind, Status: j.status}
+	if j.err != nil {
+		resp.Error = j.err.Error()
+	}
+	switch res := j.result.(type) {
+	case *serclient.AnalyzeResponse:
+		resp.Analyze = res
+	case *serclient.OptimizeResponse:
+		resp.Optimize = res
+	}
+	return resp
+}

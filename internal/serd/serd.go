@@ -1,0 +1,533 @@
+// Package serd implements the long-running HTTP/JSON analysis service
+// behind cmd/serd: a batched job queue over one shared characterized
+// cell library.
+//
+// Architecture. Every request becomes a job on a bounded FIFO queue
+// (internal/par.Queue) drained by a fixed worker pool, so heavy
+// traffic back-pressures with 503s instead of piling up goroutines.
+// All jobs share one ser.System: the first request touching an
+// uncharacterized gate class triggers exactly one characterization
+// (charlib's per-class singleflight) while concurrent requests for the
+// same class block on it and requests for other classes proceed.
+// Each job carries its own context — synchronous jobs inherit the
+// request context, so a disconnected client cancels its job whether it
+// is still queued (it then never runs) or already running (it stops at
+// the next pipeline stage); asynchronous jobs inherit the server
+// lifetime context and are polled via GET /v1/jobs/{id}.
+//
+// Endpoints:
+//
+//	POST /v1/analyze   one ASERTA analysis (sync, or async with "async": true)
+//	POST /v1/optimize  one SERTOPT run (sync or async)
+//	POST /v1/batch     many circuits, one response
+//	GET  /v1/jobs/{id} poll an async job
+//	GET  /healthz      liveness
+//	GET  /metrics      request counts, queue depth, cache hits, p50/p99 latency
+package serd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/par"
+	"repro/serclient"
+)
+
+// Config tunes a Server. Zero values select the documented defaults.
+type Config struct {
+	// System is the shared analysis system. Required.
+	System *ser.System
+	// Workers bounds concurrent jobs (default: one per CPU).
+	Workers int
+	// QueueDepth bounds waiting jobs before submissions bounce with
+	// 503 (default 64).
+	QueueDepth int
+	// MaxGates rejects circuits larger than this many gates
+	// (default 50000).
+	MaxGates int
+	// MaxVectors caps a request's random-vector count (default 200000).
+	MaxVectors int
+	// MaxBatchItems caps the total item count of one batch request
+	// (default 64).
+	MaxBatchItems int
+	// MaxBodyBytes caps a request body (default 4 MiB) so an oversized
+	// netlist is rejected while streaming, not after buffering.
+	MaxBodyBytes int64
+	// KeepJobs bounds the job store (default 1024 finished jobs).
+	KeepJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = par.Workers(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxGates <= 0 {
+		c.MaxGates = 50000
+	}
+	if c.MaxVectors <= 0 {
+		c.MaxVectors = 200000
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	if c.KeepJobs <= 0 {
+		c.KeepJobs = 1024
+	}
+	return c
+}
+
+// Server is the HTTP analysis service. Create with New, mount as an
+// http.Handler, Close on shutdown.
+type Server struct {
+	cfg   Config
+	sys   *ser.System
+	queue *par.Queue
+	jobs  *jobStore
+	met   *metrics
+	mux   *http.ServeMux
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+}
+
+// New builds a Server around the shared system.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	if cfg.System == nil {
+		panic("serd: Config.System is required")
+	}
+	s := &Server{
+		cfg:   cfg,
+		sys:   cfg.System,
+		queue: par.NewQueue(cfg.Workers, cfg.QueueDepth),
+		jobs:  newJobStore(cfg.KeepJobs),
+		met:   newMetrics(),
+		mux:   http.NewServeMux(),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.mux.HandleFunc("POST /v1/analyze", s.counted("analyze", s.handleAnalyze))
+	s.mux.HandleFunc("POST /v1/optimize", s.counted("optimize", s.handleOptimize))
+	s.mux.HandleFunc("POST /v1/batch", s.counted("batch", s.handleBatch))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.counted("jobs", s.handleJob))
+	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.counted("metrics", s.handleMetrics))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close cancels async jobs and drains the worker pool.
+func (s *Server) Close() {
+	s.baseCancel()
+	s.queue.Close()
+}
+
+// counted wraps a handler with request counting.
+func (s *Server) counted(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.met.countRequest(name)
+		h(w, r)
+	}
+}
+
+// writeJSON emits a JSON body with the given status.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError emits the error wire form and bumps the error counter.
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.met.errors.Add(1)
+	s.writeJSON(w, status, serclient.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decode reads a JSON request body under the size limit. On failure it
+// has already written the HTTP error.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// loadCircuit resolves a request's circuit reference — a built-in
+// benchmark name or an inline .bench netlist — and enforces the size
+// limit.
+func (s *Server) loadCircuit(circuit, netlist, name string) (*ser.Circuit, error) {
+	var c *ser.Circuit
+	var err error
+	switch {
+	case circuit != "" && netlist != "":
+		return nil, fmt.Errorf("set exactly one of circuit and netlist, not both")
+	case circuit != "":
+		c, err = ser.Benchmark(circuit)
+	case netlist != "":
+		if name == "" {
+			name = "inline"
+		}
+		c, err = ser.ParseBench(strings.NewReader(netlist), name)
+	default:
+		return nil, fmt.Errorf("set one of circuit (benchmark name) or netlist (.bench body)")
+	}
+	if err != nil {
+		return nil, err
+	}
+	if n := c.NumGates(); n > s.cfg.MaxGates {
+		return nil, fmt.Errorf("circuit has %d gates, limit is %d", n, s.cfg.MaxGates)
+	}
+	return c, nil
+}
+
+// checkVectors enforces the vector-count limit.
+func (s *Server) checkVectors(vectors int) error {
+	if vectors < 0 {
+		return fmt.Errorf("vectors must be >= 0")
+	}
+	if vectors > s.cfg.MaxVectors {
+		return fmt.Errorf("vectors %d exceeds limit %d", vectors, s.cfg.MaxVectors)
+	}
+	return nil
+}
+
+// submit wraps run as a job and enqueues it. base is the context the
+// job's own context derives from: the request context for synchronous
+// jobs (client disconnect cancels), the server context for async jobs.
+// blocking selects Queue.Submit over Queue.TrySubmit (used by batch
+// items so a large batch throttles instead of bouncing).
+func (s *Server) submit(kind string, base context.Context, blocking bool, run func(ctx context.Context) (any, error)) (*job, error) {
+	jobCtx, cancel := context.WithCancel(base)
+	j := s.jobs.create(kind, jobCtx, cancel)
+	fn := func(ctx context.Context) {
+		if err := ctx.Err(); err != nil {
+			s.finishJob(j, nil, err)
+			return
+		}
+		s.jobs.markRunning(j)
+		res, err := run(ctx)
+		s.finishJob(j, res, err)
+	}
+	var err error
+	if blocking {
+		err = s.queue.Submit(jobCtx, fn)
+	} else {
+		err = s.queue.TrySubmit(jobCtx, fn)
+	}
+	if err != nil {
+		s.finishJob(j, nil, err)
+		return nil, err
+	}
+	return j, nil
+}
+
+// finishJob records the terminal state plus the latency and
+// cancellation metrics, and releases the job's context.
+func (s *Server) finishJob(j *job, res any, err error) {
+	status := s.jobs.finish(j, res, err)
+	switch status {
+	case serclient.JobCanceled:
+		s.met.canceled.Add(1)
+	case serclient.JobDone:
+		s.met.recordLatency(j.kind, float64(time.Since(j.created))/float64(time.Millisecond))
+	}
+	j.cancel()
+}
+
+// runAnalyze builds the job body for one analysis request. The
+// characterization counter delta around the run feeds the library
+// cache-hit metric.
+func (s *Server) runAnalyze(c *ser.Circuit, req serclient.AnalyzeRequest) func(ctx context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
+		t0 := time.Now()
+		before := s.sys.Characterizations()
+		rep, err := s.sys.AnalyzeContext(ctx, c, ser.AnalysisOptions{
+			Vectors: req.Vectors,
+			Seed:    req.Seed,
+			POLoad:  req.POLoad,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if s.sys.Characterizations() == before {
+			s.met.cacheHits.Add(1)
+		}
+		gates := rep.Gates
+		if req.Top > 0 {
+			gates = rep.Softest(req.Top)
+		}
+		resp := &serclient.AnalyzeResponse{
+			Circuit:   c.Name,
+			Gates:     len(rep.Gates),
+			U:         rep.U,
+			ElapsedMS: float64(time.Since(t0)) / float64(time.Millisecond),
+		}
+		for _, g := range gates {
+			resp.GateReports = append(resp.GateReports, serclient.GateResult{
+				Name: g.Name, U: g.U, GenWidth: g.GenWidth, Delay: g.Delay,
+			})
+		}
+		return resp, nil
+	}
+}
+
+// runOptimize builds the job body for one optimization request.
+func (s *Server) runOptimize(c *ser.Circuit, req serclient.OptimizeRequest) func(ctx context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
+		t0 := time.Now()
+		before := s.sys.Characterizations()
+		res, err := s.sys.OptimizeContext(ctx, c, ser.OptimizeOptions{
+			VDDs:       req.VDDs,
+			Vths:       req.Vths,
+			Iterations: req.Iterations,
+			MaxBasis:   req.MaxBasis,
+			Vectors:    req.Vectors,
+			Seed:       req.Seed,
+			Method:     req.Method,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if s.sys.Characterizations() == before {
+			s.met.cacheHits.Add(1)
+		}
+		return &serclient.OptimizeResponse{
+			Circuit:     c.Name,
+			UDecrease:   res.UDecrease,
+			AreaRatio:   res.AreaRatio,
+			EnergyRatio: res.EnergyRatio,
+			DelayRatio:  res.DelayRatio,
+			BaselineU:   res.BaselineU,
+			OptimizedU:  res.OptimizedU,
+			ElapsedMS:   float64(time.Since(t0)) / float64(time.Millisecond),
+		}, nil
+	}
+}
+
+// dispatch runs one request either synchronously (waiting for the job
+// and writing its result) or asynchronously (202 + job id).
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind string, async bool, run func(ctx context.Context) (any, error)) {
+	if async {
+		j, err := s.submit(kind, s.baseCtx, false, run)
+		if err != nil {
+			s.writeError(w, http.StatusServiceUnavailable, "queue full: %v", err)
+			return
+		}
+		s.writeJSON(w, http.StatusAccepted, s.jobs.response(j))
+		return
+	}
+	j, err := s.submit(kind, r.Context(), false, run)
+	if err != nil {
+		s.writeError(w, http.StatusServiceUnavailable, "queue full: %v", err)
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// Client gone; the job context is derived from the request
+		// context, so the job unwinds on its own. Nothing to write.
+		return
+	}
+	resp := s.jobs.response(j)
+	switch resp.Status {
+	case serclient.JobDone:
+		if resp.Analyze != nil {
+			s.writeJSON(w, http.StatusOK, resp.Analyze)
+		} else {
+			s.writeJSON(w, http.StatusOK, resp.Optimize)
+		}
+	case serclient.JobCanceled:
+		s.writeError(w, http.StatusServiceUnavailable, "job canceled: %s", resp.Error)
+	default:
+		s.writeError(w, http.StatusInternalServerError, "%s", resp.Error)
+	}
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req serclient.AnalyzeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := s.checkVectors(req.Vectors); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	c, err := s.loadCircuit(req.Circuit, req.Netlist, req.Name)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.dispatch(w, r, "analyze", req.Async, s.runAnalyze(c, req))
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req serclient.OptimizeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := s.checkVectors(req.Vectors); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	c, err := s.loadCircuit(req.Circuit, req.Netlist, req.Name)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.dispatch(w, r, "optimize", req.Async, s.runOptimize(c, req))
+}
+
+// handleBatch fans a batch's items onto the worker pool and reports
+// every item's outcome in one response. Invalid items fail
+// individually without poisoning the rest; submissions block (rather
+// than bounce) when the queue is momentarily full, bounded by the
+// request context.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req serclient.BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	total := len(req.Analyze) + len(req.Optimize)
+	if total == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if total > s.cfg.MaxBatchItems {
+		s.writeError(w, http.StatusBadRequest, "batch has %d items, limit is %d", total, s.cfg.MaxBatchItems)
+		return
+	}
+
+	resp := serclient.BatchResponse{
+		Analyze:  make([]serclient.AnalyzeBatchItem, len(req.Analyze)),
+		Optimize: make([]serclient.OptimizeBatchItem, len(req.Optimize)),
+	}
+	type pending struct {
+		j        *job
+		analyze  int // index into resp.Analyze, or -1
+		optimize int // index into resp.Optimize, or -1
+	}
+	var jobs []pending
+
+	for i, ar := range req.Analyze {
+		if ar.Async {
+			resp.Analyze[i].Error = "async is not supported inside a batch; submit the item to /v1/analyze instead"
+			continue
+		}
+		if err := s.checkVectors(ar.Vectors); err != nil {
+			resp.Analyze[i].Error = err.Error()
+			continue
+		}
+		c, err := s.loadCircuit(ar.Circuit, ar.Netlist, ar.Name)
+		if err != nil {
+			resp.Analyze[i].Error = err.Error()
+			continue
+		}
+		j, err := s.submit("analyze", r.Context(), true, s.runAnalyze(c, ar))
+		if err != nil {
+			resp.Analyze[i].Error = err.Error()
+			continue
+		}
+		jobs = append(jobs, pending{j: j, analyze: i, optimize: -1})
+	}
+	for i, or := range req.Optimize {
+		if or.Async {
+			resp.Optimize[i].Error = "async is not supported inside a batch; submit the item to /v1/optimize instead"
+			continue
+		}
+		if err := s.checkVectors(or.Vectors); err != nil {
+			resp.Optimize[i].Error = err.Error()
+			continue
+		}
+		c, err := s.loadCircuit(or.Circuit, or.Netlist, or.Name)
+		if err != nil {
+			resp.Optimize[i].Error = err.Error()
+			continue
+		}
+		j, err := s.submit("optimize", r.Context(), true, s.runOptimize(c, or))
+		if err != nil {
+			resp.Optimize[i].Error = err.Error()
+			continue
+		}
+		jobs = append(jobs, pending{j: j, analyze: -1, optimize: i})
+	}
+
+	for _, p := range jobs {
+		select {
+		case <-p.j.done:
+		case <-r.Context().Done():
+			return // client gone; jobs unwind via their derived contexts
+		}
+		jr := s.jobs.response(p.j)
+		switch {
+		case p.analyze >= 0:
+			if jr.Status == serclient.JobDone {
+				resp.Analyze[p.analyze].Result = jr.Analyze
+			} else {
+				resp.Analyze[p.analyze].Error = jr.Error
+			}
+		case p.optimize >= 0:
+			if jr.Status == serclient.JobDone {
+				resp.Optimize[p.optimize].Result = jr.Optimize
+			} else {
+				resp.Optimize[p.optimize].Error = jr.Error
+			}
+		}
+	}
+	for _, it := range resp.Analyze {
+		if it.Result == nil {
+			resp.Failed++
+		}
+	}
+	for _, it := range resp.Optimize {
+		if it.Result == nil {
+			resp.Failed++
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j := s.jobs.get(id)
+	if j == nil {
+		s.writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.jobs.response(j))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, serclient.HealthResponse{
+		OK:      true,
+		UptimeS: time.Since(s.met.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.met.snapshot(
+		s.queue.Depth(), s.queue.Running(), s.queue.Workers(),
+		s.sys.Characterizations(),
+	))
+}

@@ -1,0 +1,329 @@
+package serd
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/charlib"
+	"repro/serclient"
+)
+
+// newTestServer boots a coarse-grid service on a fresh library.
+func newTestServer(t *testing.T, cfg Config) (*ser.System, *Server, *serclient.Client, func()) {
+	t.Helper()
+	sys := ser.NewSystem(ser.CoarseCharacterization)
+	cfg.System = sys
+	srv := New(cfg)
+	hs := httptest.NewServer(srv)
+	cl := serclient.New(hs.URL, hs.Client())
+	return sys, srv, cl, func() {
+		hs.Close()
+		srv.Close()
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, _, cl, done := newTestServer(t, Config{Workers: 2})
+	defer done()
+	h, err := cl.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK {
+		t.Fatal("healthz not ok")
+	}
+}
+
+// TestBatchMatchesSingleShot is the acceptance check that the serving
+// tier is a pure transport: per-circuit U values of a batch response
+// must equal single-shot ser.Analyze results bit-for-bit.
+func TestBatchMatchesSingleShot(t *testing.T) {
+	sys, _, cl, done := newTestServer(t, Config{Workers: 4})
+	defer done()
+
+	circuits := []string{"c17", "c432", "c499"}
+	req := serclient.BatchRequest{}
+	for _, name := range circuits {
+		req.Analyze = append(req.Analyze, serclient.AnalyzeRequest{
+			Circuit: name, Vectors: 1500, Seed: 7,
+		})
+	}
+	resp, err := cl.Batch(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Failed != 0 {
+		t.Fatalf("batch failed items: %d", resp.Failed)
+	}
+	if len(resp.Analyze) != len(circuits) {
+		t.Fatalf("batch returned %d items, want %d", len(resp.Analyze), len(circuits))
+	}
+	for i, name := range circuits {
+		item := resp.Analyze[i]
+		if item.Error != "" || item.Result == nil {
+			t.Fatalf("%s: batch error %q", name, item.Error)
+		}
+		c, err := ser.Benchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sys.Analyze(c, ser.AnalysisOptions{Vectors: 1500, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if item.Result.U != rep.U {
+			t.Errorf("%s: batch U = %v, single-shot U = %v (must be bit-identical)", name, item.Result.U, rep.U)
+		}
+		if item.Result.Gates != len(rep.Gates) {
+			t.Errorf("%s: batch gates = %d, single-shot = %d", name, item.Result.Gates, len(rep.Gates))
+		}
+	}
+}
+
+// TestConcurrentAnalyzeSingleCharacterization asserts the singleflight
+// property: N concurrent c432 requests against a cold library trigger
+// exactly one characterization per gate class, shared across all of
+// them.
+func TestConcurrentAnalyzeSingleCharacterization(t *testing.T) {
+	sys, _, cl, done := newTestServer(t, Config{Workers: 8})
+	defer done()
+
+	c, err := ser.Benchmark("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClasses := int64(len(charlib.CircuitClasses(c)))
+	if sys.Characterizations() != 0 {
+		t.Fatalf("library not cold: %d characterizations", sys.Characterizations())
+	}
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	us := make([]float64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, err := cl.Analyze(context.Background(), serclient.AnalyzeRequest{
+				Circuit: "c432", Vectors: 1000, Seed: 3,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			us[i] = rep.U
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if us[i] != us[0] {
+			t.Fatalf("request %d returned U=%v, request 0 returned U=%v", i, us[i], us[0])
+		}
+	}
+	if got := sys.Characterizations(); got != wantClasses {
+		t.Fatalf("%d concurrent requests caused %d characterizations, want exactly %d (one per class)",
+			n, got, wantClasses)
+	}
+}
+
+// TestClientDisconnectCancelsQueuedJob wedges the single worker with a
+// direct blocker job, queues an HTTP analysis behind it, disconnects
+// the client, and asserts the job is cancelled without ever running —
+// and that the pool keeps serving afterwards.
+func TestClientDisconnectCancelsQueuedJob(t *testing.T) {
+	_, srv, cl, done := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	defer done()
+
+	release := make(chan struct{})
+	blockerRunning := make(chan struct{})
+	if _, err := srv.submit("analyze", context.Background(), false, func(ctx context.Context) (any, error) {
+		close(blockerRunning)
+		<-release
+		return &serclient.AnalyzeResponse{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-blockerRunning
+
+	// Queue a sync request behind the blocker, then abandon it.
+	reqCtx, cancelReq := context.WithCancel(context.Background())
+	reqErr := make(chan error, 1)
+	go func() {
+		_, err := cl.Analyze(reqCtx, serclient.AnalyzeRequest{Circuit: "c17", Vectors: 1000})
+		reqErr <- err
+	}()
+	waitFor(t, "request queued", func() bool { return srv.queue.Depth() == 1 })
+	cancelReq()
+	if err := <-reqErr; err == nil {
+		t.Fatal("abandoned request returned no error")
+	}
+	// The client has given up; wait for the disconnect to propagate to
+	// the server-side job context before freeing the worker, so the
+	// dequeue deterministically sees an already-cancelled job.
+	queued := srv.jobs.get("job-000002")
+	if queued == nil {
+		t.Fatal("queued job not found in store")
+	}
+	waitFor(t, "server-side cancellation", func() bool { return queued.ctx.Err() != nil })
+
+	close(release)
+	waitFor(t, "job canceled", func() bool { return srv.met.canceled.Load() == 1 })
+	if got := srv.queue.Skipped(); got != 1 {
+		t.Fatalf("queue skipped %d jobs, want 1 (cancelled while queued must never run)", got)
+	}
+
+	// The pool must still serve.
+	rep, err := cl.Analyze(context.Background(), serclient.AnalyzeRequest{Circuit: "c17", Vectors: 1000})
+	if err != nil {
+		t.Fatalf("pool wedged after cancellation: %v", err)
+	}
+	if rep.U <= 0 {
+		t.Fatal("follow-up analysis returned non-positive U")
+	}
+}
+
+func TestOversizedRequestsRejected(t *testing.T) {
+	_, _, cl, done := newTestServer(t, Config{
+		Workers: 2, MaxBodyBytes: 2048, MaxGates: 4, MaxVectors: 5000,
+	})
+	defer done()
+	ctx := context.Background()
+
+	// Body over MaxBodyBytes: rejected while streaming with 413.
+	huge := strings.Repeat("# padding line\n", 400)
+	_, err := cl.Analyze(ctx, serclient.AnalyzeRequest{Netlist: huge + "INPUT(a)\nOUTPUT(a)\n"})
+	if !serclient.IsStatus(err, http.StatusRequestEntityTooLarge) {
+		t.Fatalf("oversized body: got %v, want 413", err)
+	}
+
+	// Netlist within the body limit but over MaxGates: 400.
+	_, err = cl.Analyze(ctx, serclient.AnalyzeRequest{Circuit: "c17"})
+	if !serclient.IsStatus(err, http.StatusBadRequest) {
+		t.Fatalf("oversized circuit: got %v, want 400", err)
+	}
+
+	// Vector count over MaxVectors: 400.
+	_, err = cl.Analyze(ctx, serclient.AnalyzeRequest{Circuit: "c17", Vectors: 100000})
+	if !serclient.IsStatus(err, http.StatusBadRequest) {
+		t.Fatalf("oversized vectors: got %v, want 400", err)
+	}
+
+	// Neither circuit nor netlist: 400.
+	_, err = cl.Analyze(ctx, serclient.AnalyzeRequest{})
+	if !serclient.IsStatus(err, http.StatusBadRequest) {
+		t.Fatalf("empty request: got %v, want 400", err)
+	}
+}
+
+// TestBatchMixedValidInvalid: invalid items fail individually without
+// poisoning valid ones.
+func TestBatchMixedValidInvalid(t *testing.T) {
+	_, _, cl, done := newTestServer(t, Config{Workers: 2, MaxVectors: 5000})
+	defer done()
+
+	inline := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n"
+	resp, err := cl.Batch(context.Background(), serclient.BatchRequest{
+		Analyze: []serclient.AnalyzeRequest{
+			{Circuit: "c17", Vectors: 1000, Seed: 1},         // valid benchmark
+			{Circuit: "no-such-circuit"},                     // unknown name
+			{Netlist: "y = NAND(a\n"},                        // malformed netlist
+			{Circuit: "c17", Vectors: 1000000},               // vectors over limit
+			{Netlist: inline, Name: "tiny", Vectors: 500},    // valid inline
+			{Circuit: "c17", Netlist: inline, Vectors: 1000}, // ambiguous source
+			{Circuit: "c17", Async: true},                    // async inside batch
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Analyze) != 7 {
+		t.Fatalf("batch returned %d items, want 7", len(resp.Analyze))
+	}
+	wantOK := []bool{true, false, false, false, true, false, false}
+	for i, ok := range wantOK {
+		item := resp.Analyze[i]
+		if ok && (item.Error != "" || item.Result == nil) {
+			t.Errorf("item %d: unexpected error %q", i, item.Error)
+		}
+		if !ok && (item.Error == "" || item.Result != nil) {
+			t.Errorf("item %d: expected per-item error, got result %+v", i, item.Result)
+		}
+	}
+	if resp.Failed != 5 {
+		t.Fatalf("Failed = %d, want 5", resp.Failed)
+	}
+	if resp.Analyze[4].Result.Circuit != "tiny" {
+		t.Fatalf("inline netlist name = %q, want tiny", resp.Analyze[4].Result.Circuit)
+	}
+}
+
+func TestAsyncJobLifecycleAndMetrics(t *testing.T) {
+	_, _, cl, done := newTestServer(t, Config{Workers: 2})
+	defer done()
+	ctx := context.Background()
+
+	jr, err := cl.AnalyzeAsync(ctx, serclient.AnalyzeRequest{Circuit: "c17", Vectors: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jr.ID == "" {
+		t.Fatal("async submission returned no job id")
+	}
+	final, err := cl.WaitJob(ctx, jr.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != serclient.JobDone || final.Analyze == nil {
+		t.Fatalf("job finished %s (%s), want done with analyze result", final.Status, final.Error)
+	}
+	if final.Analyze.U <= 0 {
+		t.Fatal("async analysis returned non-positive U")
+	}
+
+	if _, err := cl.Job(ctx, "job-999999"); !serclient.IsStatus(err, http.StatusNotFound) {
+		t.Fatalf("unknown job: got %v, want 404", err)
+	}
+
+	m, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests["analyze"] == 0 || m.Requests["jobs"] == 0 {
+		t.Fatalf("request counters not populated: %+v", m.Requests)
+	}
+	if m.Characterizations == 0 {
+		t.Fatal("characterization counter not populated")
+	}
+	lat, ok := m.LatencyMS["analyze"]
+	if !ok || lat.Count == 0 {
+		t.Fatalf("latency summary missing: %+v", m.LatencyMS)
+	}
+	if lat.P99 < lat.P50 {
+		t.Fatalf("p99 %v < p50 %v", lat.P99, lat.P50)
+	}
+}
+
+// waitFor polls cond for up to 5 seconds.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -3,7 +3,10 @@
 // by the experiments.
 package stats
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // RNG is a deterministic xorshift64* generator. Experiments seed it
 // explicitly so every figure and table is exactly reproducible.
@@ -112,4 +115,30 @@ func Sum(xs []float64) float64 {
 		s += x
 	}
 	return s
+}
+
+// Quantile returns the q-quantile (q in [0, 1]) of xs with linear
+// interpolation between order statistics, copying and sorting the
+// input. It returns 0 for an empty series; q is clamped to [0, 1].
+// Service latency metrics (p50/p99) are computed through this.
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
 }

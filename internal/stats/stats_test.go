@@ -159,3 +159,31 @@ func TestMeanSum(t *testing.T) {
 		t.Errorf("Mean=%g Sum=%g", Mean(xs), Sum(xs))
 	}
 }
+
+func TestQuantile(t *testing.T) {
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Fatalf("Quantile(nil) = %v, want 0", got)
+	}
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Fatalf("q1 = %v, want 5", got)
+	}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Fatalf("median = %v, want 3", got)
+	}
+	// Interpolation: quartile of [1..5] at q=0.25 is 2.
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Fatalf("q0.25 = %v, want 2", got)
+	}
+	// Input must be left unsorted (copied internally).
+	if xs[0] != 5 {
+		t.Fatal("Quantile mutated its input")
+	}
+	two := []float64{10, 20}
+	if got := Quantile(two, 0.75); got != 17.5 {
+		t.Fatalf("q0.75 of {10,20} = %v, want 17.5", got)
+	}
+}

@@ -28,10 +28,13 @@
 package ser
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+	"sync"
 
 	"repro/internal/aserta"
 	"repro/internal/bench"
@@ -98,14 +101,44 @@ func ExponentialSpectrum(qMin, qMax, q0 float64, n int) []ChargeWeight {
 }
 
 // SaveLibrary caches the characterized tables (JSON) so later runs
-// skip re-characterization.
+// skip re-characterization. The parent directory is created if needed
+// and the write is atomic (temp file + rename), so a crashed or
+// interrupted run can never leave a truncated cache that poisons the
+// next run.
 func (s *System) SaveLibrary(path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	if dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return s.Lib.Save(f)
+	tmp := f.Name()
+	// CreateTemp uses 0600; restore the permissions os.Create would
+	// have given the final file so other users can still read a cache
+	// written by a privileged service.
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := s.Lib.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // LoadLibrary restores tables cached by SaveLibrary.
@@ -227,8 +260,21 @@ func (r *Report) SpectrumU(sys *System, spectrum []ChargeWeight) (float64, []flo
 // Analyze runs ASERTA on the circuit with a speed-sized baseline
 // assignment (or opts.Cells when provided).
 func (s *System) Analyze(c *Circuit, opts AnalysisOptions) (*Report, error) {
+	return s.AnalyzeContext(context.Background(), c, opts)
+}
+
+// AnalyzeContext is Analyze with cooperative cancellation: ctx is
+// checked before each pipeline stage (characterization — per class —
+// baseline sizing, and the analysis itself). A stage already running
+// is not interrupted, so cancellation latency is bounded by the
+// longest single stage, and a cancelled call leaves the shared
+// library in a fully consistent state for concurrent callers.
+func (s *System) AnalyzeContext(ctx context.Context, c *Circuit, opts AnalysisOptions) (*Report, error) {
 	if opts.POLoad == 0 {
 		opts.POLoad = 2e-15
+	}
+	if err := s.Lib.PrecharacterizeContext(ctx, charlib.CircuitClasses(c)); err != nil {
+		return nil, err
 	}
 	cells := opts.Cells
 	if cells == nil {
@@ -237,6 +283,9 @@ func (s *System) Analyze(c *Circuit, opts AnalysisOptions) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	an, err := aserta.Analyze(c, s.Lib, cells, aserta.Config{
 		Vectors: opts.Vectors,
@@ -294,6 +343,16 @@ func (r *OptimizeResult) Raw() *sertopt.Result { return r.raw }
 
 // Optimize runs SERTOPT on the circuit.
 func (s *System) Optimize(c *Circuit, opts OptimizeOptions) (*OptimizeResult, error) {
+	return s.OptimizeContext(context.Background(), c, opts)
+}
+
+// OptimizeContext is Optimize with cooperative cancellation at the
+// characterization boundary (the dominant cost on a cold library) and
+// before the optimizer starts.
+func (s *System) OptimizeContext(ctx context.Context, c *Circuit, opts OptimizeOptions) (*OptimizeResult, error) {
+	if err := s.Lib.PrecharacterizeContext(ctx, charlib.CircuitClasses(c)); err != nil {
+		return nil, err
+	}
 	if len(opts.VDDs) == 0 {
 		opts.VDDs = []float64{0.8, 1.0}
 	}
@@ -323,6 +382,49 @@ func (s *System) Optimize(c *Circuit, opts OptimizeOptions) (*OptimizeResult, er
 	}
 	out.AreaRatio, out.EnergyRatio, out.DelayRatio = res.Ratios()
 	return out, nil
+}
+
+// Characterizations reports how many cell-class characterizations the
+// system's library has executed so far. Concurrent requests for one
+// class coalesce (singleflight) and count once; a serving tier exports
+// the value as its cache-miss counter.
+func (s *System) Characterizations() int64 { return s.Lib.Characterizations() }
+
+// LibraryCache shares characterized systems across a serving tier: one
+// System per characterization level, created lazily and reused by
+// every request. The per-class singleflight inside charlib.Library
+// guarantees that concurrent requests hitting an uncharacterized level
+// block on a single characterization instead of racing to duplicate
+// it.
+type LibraryCache struct {
+	mu      sync.Mutex
+	systems map[CharacterizationLevel]*System
+}
+
+// NewLibraryCache creates an empty cache.
+func NewLibraryCache() *LibraryCache {
+	return &LibraryCache{systems: make(map[CharacterizationLevel]*System)}
+}
+
+// System returns the shared System for the level, creating it on first
+// use. The returned System is safe for concurrent Analyze/Optimize.
+func (lc *LibraryCache) System(level CharacterizationLevel) *System {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	s, ok := lc.systems[level]
+	if !ok {
+		s = NewSystem(level)
+		lc.systems[level] = s
+	}
+	return s
+}
+
+// Put installs (or replaces) the shared System for a level — e.g. one
+// restored from a disk cache via LoadLibrary.
+func (lc *LibraryCache) Put(level CharacterizationLevel, s *System) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.systems[level] = s
 }
 
 // Summary formats a one-line circuit description.

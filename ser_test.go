@@ -2,6 +2,8 @@ package ser
 
 import (
 	"bytes"
+	"context"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -139,5 +141,119 @@ func TestSaveLoadLibrary(t *testing.T) {
 func TestLoadBenchFileMissing(t *testing.T) {
 	if _, err := LoadBenchFile("/nonexistent/foo.bench"); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSaveLibraryCreatesParentAtomically(t *testing.T) {
+	dir := t.TempDir()
+	// Nested parent that does not exist yet: SaveLibrary must create it.
+	path := dir + "/cache/nested/lib.json"
+	s := sys()
+	c, _ := Benchmark("c17")
+	if _, err := s.Analyze(c, AnalysisOptions{Vectors: 500, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveLibrary(path); err != nil {
+		t.Fatal(err)
+	}
+	// The write is temp-file + rename: no stray temp files may remain
+	// next to the cache.
+	entries, err := os.ReadDir(dir + "/cache/nested")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "lib.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("cache dir holds %v, want exactly lib.json", names)
+	}
+	s2 := NewSystem(CoarseCharacterization)
+	if err := s2.LoadLibrary(path); err != nil {
+		t.Fatalf("reload of atomically written cache: %v", err)
+	}
+}
+
+func TestAnalyzeContextCancellation(t *testing.T) {
+	c, _ := Benchmark("c17")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys().AnalyzeContext(ctx, c, AnalysisOptions{Vectors: 500}); err == nil {
+		t.Fatal("cancelled context accepted")
+	}
+	if _, err := sys().OptimizeContext(ctx, c, OptimizeOptions{Vectors: 500}); err == nil {
+		t.Fatal("cancelled context accepted by optimizer")
+	}
+	// A live context must behave exactly like the plain calls.
+	rep, err := sys().AnalyzeContext(context.Background(), c, AnalysisOptions{Vectors: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := sys().Analyze(c, AnalysisOptions{Vectors: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.U != plain.U {
+		t.Fatalf("AnalyzeContext U = %v, Analyze U = %v (must be bit-identical)", rep.U, plain.U)
+	}
+}
+
+func TestLibraryCacheSharesSystems(t *testing.T) {
+	lc := NewLibraryCache()
+	a := lc.System(CoarseCharacterization)
+	b := lc.System(CoarseCharacterization)
+	if a != b {
+		t.Fatal("LibraryCache returned distinct systems for one level")
+	}
+	d := lc.System(DefaultCharacterization)
+	if d == a {
+		t.Fatal("LibraryCache shared a system across levels")
+	}
+	repl := NewSystem(CoarseCharacterization)
+	lc.Put(CoarseCharacterization, repl)
+	if lc.System(CoarseCharacterization) != repl {
+		t.Fatal("Put did not replace the cached system")
+	}
+}
+
+func TestConcurrentAnalyzeSharedLibrary(t *testing.T) {
+	// Concurrent Analyze calls on one System must coalesce
+	// characterization (singleflight) and agree bit-for-bit.
+	s := NewSystem(CoarseCharacterization)
+	c, _ := Benchmark("c17")
+	want := int64(0)
+	if got := s.Characterizations(); got != want {
+		t.Fatalf("cold system reports %d characterizations", got)
+	}
+	const n = 6
+	var wg sync.WaitGroup
+	us := make([]float64, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, err := s.Analyze(c, AnalysisOptions{Vectors: 500, Seed: 9})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			us[i] = rep.U
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if us[i] != us[0] {
+			t.Fatalf("goroutine %d: U=%v differs from U=%v", i, us[i], us[0])
+		}
+	}
+	// c17 is all NAND2: exactly one characterization despite n
+	// concurrent cold-start analyses.
+	if got := s.Characterizations(); got != 1 {
+		t.Fatalf("%d concurrent analyses ran %d characterizations, want 1", n, got)
 	}
 }

@@ -1,0 +1,171 @@
+// Package serclient is the Go client for the serd analysis service
+// (cmd/serd): typed wrappers over the HTTP/JSON API plus the wire
+// types the server itself serves. Keeping the wire schema here — in a
+// public package the server imports — gives client and server one
+// source of truth without exposing server internals.
+package serclient
+
+// AnalyzeRequest asks for one ASERTA analysis. Exactly one of Circuit
+// (a built-in benchmark name, e.g. "c432") or Netlist (an inline
+// ISCAS-85 ".bench" body) must be set.
+type AnalyzeRequest struct {
+	Circuit string `json:"circuit,omitempty"`
+	Netlist string `json:"netlist,omitempty"`
+	// Name names an inline netlist (default "inline").
+	Name string `json:"name,omitempty"`
+	// Vectors is the random-vector count (server default applies when
+	// 0; capped by the server's MaxVectors limit).
+	Vectors int    `json:"vectors,omitempty"`
+	Seed    uint64 `json:"seed,omitempty"`
+	// POLoad is the primary-output latch load in farads (default 2 fF).
+	POLoad float64 `json:"po_load,omitempty"`
+	// Top limits the per-gate report to the N softest gates
+	// (0 = all gates, in netlist order).
+	Top int `json:"top,omitempty"`
+	// Async makes the server return 202 + a job id immediately; poll
+	// GET /v1/jobs/{id} for the result.
+	Async bool `json:"async,omitempty"`
+}
+
+// GateResult is one gate's analysis summary (all times in seconds).
+type GateResult struct {
+	Name     string  `json:"name"`
+	U        float64 `json:"u"`
+	GenWidth float64 `json:"gen_width"`
+	Delay    float64 `json:"delay"`
+}
+
+// AnalyzeResponse is the ASERTA result for one circuit.
+type AnalyzeResponse struct {
+	Circuit string  `json:"circuit"`
+	Gates   int     `json:"gates"`
+	U       float64 `json:"u"`
+	// GateReports lists per-gate results (possibly truncated to the
+	// request's Top softest gates).
+	GateReports []GateResult `json:"gate_reports,omitempty"`
+	ElapsedMS   float64      `json:"elapsed_ms"`
+}
+
+// OptimizeRequest asks for one SERTOPT optimization run.
+type OptimizeRequest struct {
+	Circuit string `json:"circuit,omitempty"`
+	Netlist string `json:"netlist,omitempty"`
+	Name    string `json:"name,omitempty"`
+	// VDDs and Vths are the designer's voltage menus (defaults
+	// {0.8, 1.0} V and {0.2, 0.3} V as in the paper's Table 1).
+	VDDs       []float64 `json:"vdds,omitempty"`
+	Vths       []float64 `json:"vths,omitempty"`
+	Iterations int       `json:"iterations,omitempty"`
+	MaxBasis   int       `json:"max_basis,omitempty"`
+	Vectors    int       `json:"vectors,omitempty"`
+	Seed       uint64    `json:"seed,omitempty"`
+	// Method is "sqp" (default) or "anneal".
+	Method string `json:"method,omitempty"`
+	Async  bool   `json:"async,omitempty"`
+}
+
+// OptimizeResponse is the SERTOPT outcome for one circuit.
+type OptimizeResponse struct {
+	Circuit     string  `json:"circuit"`
+	UDecrease   float64 `json:"u_decrease"`
+	AreaRatio   float64 `json:"area_ratio"`
+	EnergyRatio float64 `json:"energy_ratio"`
+	DelayRatio  float64 `json:"delay_ratio"`
+	BaselineU   float64 `json:"baseline_u"`
+	OptimizedU  float64 `json:"optimized_u"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+}
+
+// BatchRequest bundles many analyses and/or optimizations into one
+// round trip. Items run concurrently on the server's worker pool; the
+// response reports every item, successes and failures alike.
+type BatchRequest struct {
+	Analyze  []AnalyzeRequest  `json:"analyze,omitempty"`
+	Optimize []OptimizeRequest `json:"optimize,omitempty"`
+}
+
+// AnalyzeBatchItem is one batch analysis outcome: Result on success,
+// Error otherwise.
+type AnalyzeBatchItem struct {
+	Error  string           `json:"error,omitempty"`
+	Result *AnalyzeResponse `json:"result,omitempty"`
+}
+
+// OptimizeBatchItem is one batch optimization outcome.
+type OptimizeBatchItem struct {
+	Error  string            `json:"error,omitempty"`
+	Result *OptimizeResponse `json:"result,omitempty"`
+}
+
+// BatchResponse mirrors the request arrays index-for-index.
+type BatchResponse struct {
+	Analyze  []AnalyzeBatchItem  `json:"analyze,omitempty"`
+	Optimize []OptimizeBatchItem `json:"optimize,omitempty"`
+	// Failed counts items that did not produce a result.
+	Failed int `json:"failed"`
+}
+
+// Job states reported by GET /v1/jobs/{id}.
+const (
+	JobQueued   = "queued"
+	JobRunning  = "running"
+	JobDone     = "done"
+	JobFailed   = "failed"
+	JobCanceled = "canceled"
+)
+
+// JobResponse is the status (and, once done, the result) of a job.
+type JobResponse struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"` // "analyze" or "optimize"
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+	// Exactly one of the two is set once Status is "done".
+	Analyze  *AnalyzeResponse  `json:"analyze,omitempty"`
+	Optimize *OptimizeResponse `json:"optimize,omitempty"`
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	OK      bool    `json:"ok"`
+	UptimeS float64 `json:"uptime_s"`
+}
+
+// LatencySummary summarizes one endpoint's job latency (milliseconds,
+// over a sliding window of recent jobs).
+type LatencySummary struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// MetricsResponse is the GET /metrics body.
+type MetricsResponse struct {
+	UptimeS float64 `json:"uptime_s"`
+	// Requests counts HTTP requests per endpoint name.
+	Requests map[string]int64 `json:"requests"`
+	// Errors counts requests answered with a 4xx/5xx status.
+	Errors int64 `json:"errors"`
+	// QueueDepth is the number of jobs waiting; JobsRunning the number
+	// executing; QueueWorkers the pool size.
+	QueueDepth   int `json:"queue_depth"`
+	JobsRunning  int `json:"jobs_running"`
+	QueueWorkers int `json:"queue_workers"`
+	// JobsCanceled counts jobs cancelled before completion (client
+	// disconnects included).
+	JobsCanceled int64 `json:"jobs_canceled"`
+	// Characterizations counts cell-class characterizations executed by
+	// the shared library (cache misses); LibCacheHits counts jobs that
+	// ran entirely against already-characterized tables.
+	Characterizations int64 `json:"characterizations"`
+	LibCacheHits      int64 `json:"lib_cache_hits"`
+	// LatencyMS maps job kind ("analyze", "optimize") to a latency
+	// summary over recent jobs.
+	LatencyMS map[string]LatencySummary `json:"latency_ms"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

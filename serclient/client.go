@@ -1,0 +1,190 @@
+package serclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a serd analysis service.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New creates a client for the service at base (e.g.
+// "http://localhost:8080"). httpClient may be nil for
+// http.DefaultClient.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+}
+
+// apiError is a non-2xx server answer.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("serd: HTTP %d: %s", e.Status, e.Msg)
+}
+
+// IsStatus reports whether err is a server answer with the given HTTP
+// status code.
+func IsStatus(err error, status int) bool {
+	ae, ok := err.(*apiError)
+	return ok && ae.Status == status
+}
+
+// do performs one JSON round trip. in == nil means GET.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("serd: marshal request: %v", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var er ErrorResponse
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return &apiError{Status: resp.StatusCode, Msg: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("serd: decode response: %v", err)
+	}
+	return nil
+}
+
+// Analyze runs one synchronous analysis (req.Async must be false).
+func (c *Client) Analyze(ctx context.Context, req AnalyzeRequest) (*AnalyzeResponse, error) {
+	if req.Async {
+		return nil, fmt.Errorf("serd: use AnalyzeAsync for async requests")
+	}
+	var out AnalyzeResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/analyze", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AnalyzeAsync submits an analysis job and returns its id for polling.
+func (c *Client) AnalyzeAsync(ctx context.Context, req AnalyzeRequest) (*JobResponse, error) {
+	req.Async = true
+	var out JobResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/analyze", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Optimize runs one synchronous optimization.
+func (c *Client) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeResponse, error) {
+	if req.Async {
+		return nil, fmt.Errorf("serd: use OptimizeAsync for async requests")
+	}
+	var out OptimizeResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/optimize", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// OptimizeAsync submits an optimization job and returns its id.
+func (c *Client) OptimizeAsync(ctx context.Context, req OptimizeRequest) (*JobResponse, error) {
+	req.Async = true
+	var out JobResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/optimize", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Batch submits many circuits in one round trip.
+func (c *Client) Batch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	var out BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/batch", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job polls one job.
+func (c *Client) Job(ctx context.Context, id string) (*JobResponse, error) {
+	var out JobResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitJob polls a job until it reaches a terminal state, ctx expires,
+// or the poll interval elapses between attempts (interval <= 0 means
+// 100 ms).
+func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration) (*JobResponse, error) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		jr, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch jr.Status {
+		case JobDone, JobFailed, JobCanceled:
+			return jr, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Health checks liveness.
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	var out HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches the service counters.
+func (c *Client) Metrics(ctx context.Context) (*MetricsResponse, error) {
+	var out MetricsResponse
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
