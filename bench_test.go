@@ -16,6 +16,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gen"
 	"repro/internal/logicsim"
+	"repro/internal/seq"
 	"repro/internal/serrate"
 	"repro/internal/sertopt"
 	"repro/internal/stats"
@@ -225,6 +226,31 @@ func BenchmarkASERTAScaling(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSeqS1196 measures the sequential engine end to end on
+// s1196 (18 flops): frame analysis plus 4-cycle fault propagation,
+// reporting the per-cycle unreliability so the bench-regression gate
+// pins the sequential model alongside the paper metrics.
+func BenchmarkSeqS1196(b *testing.B) {
+	lib := charlib.NewLibrary(devmodel.Tech70nm(), charlib.CoarseGrid())
+	c, err := gen.ISCAS89("s1196")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the library outside the timed loop.
+	if _, err := seq.Analyze(c, lib, seq.Options{Cycles: 1, Vectors: 100, Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	var u float64
+	for i := 0; i < b.N; i++ {
+		res, err := seq.Analyze(c, lib, seq.Options{Cycles: 4, Vectors: 10000, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		u = res.U
+	}
+	b.ReportMetric(u, "U-seq")
 }
 
 // BenchmarkIntroTrend regenerates the introduction's motivation claim:

@@ -1,10 +1,14 @@
-// Command benchgen emits the repository's benchmark circuits in
-// ISCAS-85 ".bench" format (the genuine c17 or the profile-matched
-// synthetic suite members).
+// Command benchgen emits benchmark circuits in ISCAS ".bench" format:
+// the built-in suites (the genuine c17/s27 plus the profile-matched
+// synthetic ISCAS-85 and ISCAS-89 members) or freshly generated random
+// circuits — sequential when -flops is nonzero — for stress and bench
+// inputs.
 //
 // Usage:
 //
 //	benchgen -circuit c432 > c432.bench
+//	benchgen -circuit s1196 > s1196.bench
+//	benchgen -gates 400 -flops 32 -seed 7 > rand.bench
 //	benchgen -list
 package main
 
@@ -15,6 +19,8 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/bench"
+	"repro/internal/gen"
 )
 
 func main() {
@@ -23,12 +29,19 @@ func main() {
 	var (
 		circuit = flag.String("circuit", "", "benchmark name to emit")
 		list    = flag.Bool("list", false, "list available benchmarks with their shapes")
+		gates   = flag.Int("gates", 0, "generate a random circuit with this many logic gates (instead of -circuit)")
+		flops   = flag.Int("flops", 0, "number of D flip-flops in the generated circuit (0 = combinational)")
+		pis     = flag.Int("pis", 8, "primary inputs of the generated circuit")
+		pos     = flag.Int("pos", 4, "primary outputs of the generated circuit")
+		depth   = flag.Int("depth", 10, "target logic depth of the generated circuit")
+		seed    = flag.Uint64("seed", 1, "generation seed (generation is deterministic in the seed)")
+		name    = flag.String("name", "rand", "name of the generated circuit")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, name := range ser.BenchmarkNames() {
-			c, err := ser.Benchmark(name)
+		for _, n := range ser.BenchmarkNames() {
+			c, err := ser.Benchmark(n)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -36,8 +49,26 @@ func main() {
 		}
 		return
 	}
+	if *gates > 0 {
+		c, err := gen.Generate(gen.Profile{
+			Name:  *name,
+			PIs:   *pis,
+			POs:   *pos,
+			Gates: *gates,
+			Flops: *flops,
+			Depth: *depth,
+			Seed:  *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := bench.Write(os.Stdout, c); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *circuit == "" {
-		log.Fatalf("need -circuit or -list (benchmarks: %v)", ser.BenchmarkNames())
+		log.Fatalf("need -circuit, -gates or -list (benchmarks: %v)", ser.BenchmarkNames())
 	}
 	c, err := ser.Benchmark(*circuit)
 	if err != nil {

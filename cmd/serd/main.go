@@ -38,6 +38,8 @@ func main() {
 		queue      = flag.Int("queue", 64, "FIFO queue depth before submissions get 503")
 		maxGates   = flag.Int("max-gates", 50000, "largest accepted circuit")
 		maxVectors = flag.Int("max-vectors", 200000, "largest accepted vector count")
+		maxCycles  = flag.Int("max-cycles", 1024, "largest accepted sequential cycle horizon")
+		maxFrames  = flag.Int("max-seq-frames", 65536, "largest accepted cycles x flops work budget")
 		libcache   = flag.String("libcache", "", "JSON library cache (loaded if present, saved on shutdown)")
 	)
 	flag.Parse()
@@ -57,11 +59,13 @@ func main() {
 	}
 
 	srv := serd.New(serd.Config{
-		System:     sys,
-		Workers:    *workers,
-		QueueDepth: *queue,
-		MaxGates:   *maxGates,
-		MaxVectors: *maxVectors,
+		System:       sys,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		MaxGates:     *maxGates,
+		MaxVectors:   *maxVectors,
+		MaxCycles:    *maxCycles,
+		MaxSeqFrames: *maxFrames,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

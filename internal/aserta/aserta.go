@@ -205,6 +205,9 @@ func GateLoads(c *ckt.Circuit, lib *charlib.Library, cells Assignment, poLoad fl
 // Analyze runs the full ASERTA flow.
 func Analyze(c *ckt.Circuit, lib *charlib.Library, cells Assignment, cfg Config) (*Analysis, error) {
 	cfg = cfg.withDefaults()
+	if c.Sequential() {
+		return nil, fmt.Errorf("aserta: circuit %q has flip-flops; analyze its combinational frame (internal/seq)", c.Name)
+	}
 	if len(cells) != len(c.Gates) {
 		return nil, fmt.Errorf("aserta: %d cells for %d gates", len(cells), len(c.Gates))
 	}
@@ -386,24 +389,33 @@ func (a *Analysis) computeGateColumns(i, jLo, jHi int, accK []float64, wsDst, wi
 	ws := a.Samples
 	K := len(ws)
 	nPOs := len(c.Outputs())
+	ownCol := -1
 	if g.PO {
-		// Step (ii): a PO gate presents the glitch directly.
-		// A PO gate may still drive further logic in unusual
-		// netlists; ISCAS-85 POs do not, so the paper stops here
-		// and so do we.
+		// Step (ii): a PO gate presents the glitch directly at its own
+		// column. ISCAS-85 POs are terminal, so the paper stops here;
+		// a sequential frame's flop-capture columns sit on D-pin
+		// drivers that usually DO drive further logic, so a
+		// fanout-bearing PO falls through and combines successors for
+		// the remaining columns like any internal gate.
 		j, _ := a.Sens.POColumn(i)
+		ownCol = j
 		if j >= jLo && j < jHi {
 			row := wsDst[(i*nPOs+j)*K : (i*nPOs+j+1)*K]
 			copy(row, ws)
 			wijDst[i*nPOs+j] = a.GenWidth[i]
 		}
-		return
+		if len(g.Fanout) == 0 {
+			return
+		}
 	}
 	// Step (iii): combine successors.
 	succs := g.Fanout
 	sis := a.sis[a.foutOff[i]:a.foutOff[i+1]]
 	den := a.den[i*nPOs : (i+1)*nPOs]
 	for j := jLo; j < jHi; j++ {
+		if j == ownCol {
+			continue
+		}
 		pij := a.Sens.Pij[i][j]
 		if pij == 0 || den[j] == 0 {
 			continue
@@ -530,10 +542,11 @@ func (a *Analysis) RecomputeU(lib *charlib.Library, delays []float64) (float64, 
 	if !full {
 		// affected(i) = some successor's delay changed, or some
 		// successor is itself affected; one reverse-topological pass.
-		// PO gates are forced unaffected: their rows are the fixed
-		// sample ladder regardless of delays, so they both serve
-		// baseline reads and (correctly) stop delta propagation from
-		// any logic they might drive in unusual netlists.
+		// Terminal PO gates are never affected (no successors): their
+		// only row is the fixed sample ladder regardless of delays, so
+		// they serve baseline reads. A fanout-bearing PO (a sequential
+		// frame's D-pin tap) has delay-dependent non-own columns and
+		// propagates normally.
 		for _, i := range a.rorder {
 			aff := false
 			for _, s := range c.Gates[i].Fanout {
@@ -541,9 +554,6 @@ func (a *Analysis) RecomputeU(lib *charlib.Library, delays []float64) (float64, 
 					aff = true
 					break
 				}
-			}
-			if aff && c.Gates[i].PO {
-				aff = false
 			}
 			a.affected[i] = aff
 			if aff {
@@ -589,9 +599,11 @@ func (a *Analysis) RecomputeU(lib *charlib.Library, delays []float64) (float64, 
 			continue
 		}
 		g := c.Gates[i]
-		if g.Type == ckt.Input || g.PO {
-			// PO rows are the raw sample ladder — delay-independent —
-			// and input pseudo-gates carry no rows at all.
+		if g.Type == ckt.Input {
+			// Input pseudo-gates carry no rows at all. (Terminal POs
+			// never appear here — they have no successors, so they are
+			// never affected; fanout-bearing POs recompute their
+			// non-own columns like any internal gate.)
 			continue
 		}
 		wij := a.incrWij[i*nPOs : (i+1)*nPOs]

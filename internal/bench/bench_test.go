@@ -148,3 +148,73 @@ func TestParseCaseInsensitiveKeywords(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+const s27Bench = `# s27 — genuine ISCAS-89 netlist
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+func TestParseS27(t *testing.T) {
+	c, err := ParseString(s27Bench, "s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Summary()
+	if s.PIs != 4 || s.POs != 1 || s.DFFs != 3 || s.Gates-s.DFFs != 10 {
+		t.Fatalf("s27 summary = %+v", s)
+	}
+	// The flop D pins come from forward-referenced gates; each flop
+	// must end up with exactly one fanin.
+	for _, id := range c.DFFs() {
+		if n := len(c.Gates[id].Fanin); n != 1 {
+			t.Fatalf("flop %s has %d D pins", c.Gates[id].Name, n)
+		}
+	}
+	// Round trip preserves the sequential structure.
+	text, err := Format(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ParseString(text, "s27")
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(c2.DFFs()) != 3 || c2.NumEdges() != c.NumEdges() {
+		t.Fatalf("round trip mutated s27: %d flops, %d edges", len(c2.DFFs()), c2.NumEdges())
+	}
+}
+
+func TestParseDFFArity(t *testing.T) {
+	if _, err := ParseString("INPUT(a)\nOUTPUT(q)\nq = DFF(a, a)\n", "bad"); err == nil {
+		t.Fatal("two-input DFF accepted")
+	}
+}
+
+func TestParseCombinationalCycleRejected(t *testing.T) {
+	// A cycle not broken by a flop must still be rejected.
+	src := "INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = AND(a, x)\n"
+	if _, err := ParseString(src, "cyc"); err == nil {
+		t.Fatal("combinational cycle accepted")
+	}
+	// The same loop through a DFF is legal.
+	src2 := "INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = DFF(x)\n"
+	if _, err := ParseString(src2, "seq"); err != nil {
+		t.Fatalf("flop-broken cycle rejected: %v", err)
+	}
+}

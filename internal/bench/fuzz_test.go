@@ -41,6 +41,16 @@ var fuzzSeeds = []string{
 	// Only whitespace / empty.
 	"",
 	"\n\n   \n",
+	// Sequential (ISCAS-89): a DFF whose D cone closes a cycle back
+	// through the flop, and a self-holding flop (both legal).
+	"INPUT(G0)\nOUTPUT(G17)\nG5 = DFF(G10)\nG10 = NOR(G0, G5)\nG17 = NOT(G5)\n",
+	"INPUT(a)\nOUTPUT(q)\nq = DFF(q)\n",
+	// DFF with the wrong arity (flops have exactly one D pin).
+	"INPUT(a)\nOUTPUT(y)\ny = DFF(a, a)\n",
+	// Truncated mid-DFF-expression.
+	"INPUT(G0)\nOUTPUT(G1)\nG1 = DFF(",
+	// A combinational cycle that no flop breaks (must be rejected).
+	"INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = AND(a, x)\n",
 }
 
 // FuzzParse exercises the .bench parser: any input must either return
@@ -72,6 +82,9 @@ func FuzzParse(f *testing.F) {
 		}
 		if len(c2.Outputs()) != len(c.Outputs()) {
 			t.Fatalf("round trip changed PO count: %d -> %d", len(c.Outputs()), len(c2.Outputs()))
+		}
+		if len(c2.DFFs()) != len(c.DFFs()) {
+			t.Fatalf("round trip changed flop count: %d -> %d", len(c.DFFs()), len(c2.DFFs()))
 		}
 	})
 }

@@ -1,13 +1,18 @@
-// Package bench reads and writes the ISCAS-85 ".bench" netlist format:
+// Package bench reads and writes the ISCAS-85/89 ".bench" netlist
+// format:
 //
 //	# comment
 //	INPUT(1)
 //	OUTPUT(22)
 //	22 = NAND(10, 16)
+//	G5 = DFF(G10)
 //
 // Output signals are declared with OUTPUT(name); the named signal is a
 // regular gate (or input) that is additionally latched as a primary
-// output. Forward references are permitted.
+// output. DFF lines (ISCAS-89) declare a flip-flop whose single
+// operand is the D pin; the flop's own name is its Q output, usable —
+// like any signal — before or after the line that defines it. Forward
+// references are permitted.
 package bench
 
 import (

@@ -3,15 +3,23 @@ package bench
 import (
 	"testing"
 
+	"repro/internal/ckt"
 	"repro/internal/gen"
 )
 
 // Every generated benchmark must survive Format -> Parse with its full
 // structure intact — this is the contract behind cmd/benchgen and the
-// drop-in .bench workflow.
+// drop-in .bench workflow. The s-members exercise DFF lines
+// (ISCAS-89).
 func TestSyntheticBenchmarksRoundTrip(t *testing.T) {
-	for _, name := range []string{"c17", "c432", "c499", "c880"} {
-		c, err := gen.ISCAS85(name)
+	for _, name := range []string{"c17", "c432", "c499", "c880", "s27", "s344", "s1196"} {
+		var c *ckt.Circuit
+		var err error
+		if name[0] == 's' {
+			c, err = gen.ISCAS89(name)
+		} else {
+			c, err = gen.ISCAS85(name)
+		}
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -29,6 +37,9 @@ func TestSyntheticBenchmarksRoundTrip(t *testing.T) {
 		}
 		if len(c2.Outputs()) != len(c.Outputs()) || len(c2.Inputs()) != len(c.Inputs()) {
 			t.Fatalf("%s: interface changed", name)
+		}
+		if len(c2.DFFs()) != len(c.DFFs()) {
+			t.Fatalf("%s: flop count changed: %d -> %d", name, len(c.DFFs()), len(c2.DFFs()))
 		}
 		for _, g := range c.Gates {
 			id2, ok := c2.GateByName(g.Name)

@@ -11,11 +11,17 @@ import (
 
 // Write emits the circuit in .bench format: inputs, outputs, then gate
 // assignments in topological order so the file is also readable as a
-// levelized listing.
+// levelized listing. DFF lines come first among the assignments (flop
+// outputs are frame sources); their D operands may be forward
+// references, which the parser accepts.
 func Write(w io.Writer, c *ckt.Circuit) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# %s\n", c.Name)
-	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates\n", len(c.Inputs()), len(c.Outputs()), c.NumGates())
+	if n := len(c.DFFs()); n > 0 {
+		fmt.Fprintf(bw, "# %d inputs, %d outputs, %d flops, %d gates\n", len(c.Inputs()), len(c.Outputs()), n, c.NumGates()-n)
+	} else {
+		fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates\n", len(c.Inputs()), len(c.Outputs()), c.NumGates())
+	}
 	for _, id := range c.Inputs() {
 		fmt.Fprintf(bw, "INPUT(%s)\n", c.Gates[id].Name)
 	}

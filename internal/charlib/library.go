@@ -192,11 +192,16 @@ func (l *Library) PrecharacterizeContext(ctx context.Context, classes []Class) e
 }
 
 // CircuitClasses lists the distinct gate classes used by a circuit.
+// Frame sources — primary inputs and DFF outputs — carry no
+// characterized cell: flops are modeled as latch boundaries (a fixed
+// D-pin load and a latching window), not as combinational cells, so a
+// sequential circuit characterizes exactly the classes of its
+// combinational frame.
 func CircuitClasses(c *ckt.Circuit) []Class {
 	seen := make(map[Class]bool)
 	var out []Class
 	for _, g := range c.Gates {
-		if g.Type == ckt.Input {
+		if g.Type.IsSource() {
 			continue
 		}
 		cl := ClassOf(g)

@@ -5,9 +5,12 @@ import (
 	"sort"
 )
 
-// Circuit is a combinational gate-level netlist. Gates are stored in a
-// dense slice indexed by gate ID; primary inputs are pseudo-gates of
-// type Input. The DAG must be acyclic; Validate checks this.
+// Circuit is a gate-level netlist. Gates are stored in a dense slice
+// indexed by gate ID; primary inputs are pseudo-gates of type Input
+// and state elements are gates of type DFF. The combinational frame —
+// the graph with every DFF output treated as a source — must be
+// acyclic; Validate checks this. Purely combinational circuits are the
+// special case with no DFF gates.
 type Circuit struct {
 	Name  string
 	Gates []*Gate
@@ -15,6 +18,7 @@ type Circuit struct {
 	byName map[string]int
 	inputs []int
 	output []int
+	dffs   []int
 }
 
 // New returns an empty circuit with the given name.
@@ -33,8 +37,11 @@ func (c *Circuit) AddGate(name string, t GateType) (int, error) {
 	g := &Gate{ID: id, Name: name, Type: t}
 	c.Gates = append(c.Gates, g)
 	c.byName[name] = id
-	if t == Input {
+	switch t {
+	case Input:
 		c.inputs = append(c.inputs, id)
+	case DFF:
+		c.dffs = append(c.dffs, id)
 	}
 	return id, nil
 }
@@ -55,7 +62,10 @@ func (c *Circuit) Connect(src, dst int) error {
 	if src < 0 || src >= len(c.Gates) || dst < 0 || dst >= len(c.Gates) {
 		return fmt.Errorf("ckt: connect %d->%d out of range (have %d gates)", src, dst, len(c.Gates))
 	}
-	if src == dst {
+	if src == dst && c.Gates[dst].Type != DFF {
+		// A combinational self-loop is structural nonsense, but a flop
+		// holding its own value (Q wired back to D) is legitimate
+		// sequential logic: the edge crosses a clock boundary.
 		return fmt.Errorf("ckt: self-loop on gate %d (%s)", src, c.Gates[src].Name)
 	}
 	c.Gates[dst].Fanin = append(c.Gates[dst].Fanin, src)
@@ -92,6 +102,14 @@ func (c *Circuit) Inputs() []int { return c.inputs }
 // marking order.
 func (c *Circuit) Outputs() []int { return c.output }
 
+// DFFs returns the IDs of the flip-flop gates, in insertion order.
+// This order defines the state-bit index used by frame simulation and
+// the sequential analysis.
+func (c *Circuit) DFFs() []int { return c.dffs }
+
+// Sequential reports whether the circuit contains state elements.
+func (c *Circuit) Sequential() bool { return len(c.dffs) > 0 }
+
 // NumGates returns the number of logic gates (excluding primary-input
 // pseudo-gates).
 func (c *Circuit) NumGates() int {
@@ -117,7 +135,7 @@ func (c *Circuit) NumEdges() int {
 // every non-input gate has fanin and every output exists. It returns
 // the first problem found.
 func (c *Circuit) Validate() error {
-	if len(c.inputs) == 0 {
+	if len(c.inputs) == 0 && len(c.dffs) == 0 {
 		return fmt.Errorf("ckt: circuit %q has no primary inputs", c.Name)
 	}
 	if len(c.output) == 0 {
@@ -128,6 +146,10 @@ func (c *Circuit) Validate() error {
 		case Input:
 			if len(g.Fanin) != 0 {
 				return fmt.Errorf("ckt: input %q has fanin", g.Name)
+			}
+		case DFF:
+			if len(g.Fanin) != 1 {
+				return fmt.Errorf("ckt: flop %q has %d inputs, want exactly 1 (the D pin)", g.Name, len(g.Fanin))
 			}
 		case Buf, Not:
 			if len(g.Fanin) != 1 {
@@ -165,6 +187,7 @@ func (c *Circuit) Clone() *Circuit {
 	}
 	nc.inputs = append([]int(nil), c.inputs...)
 	nc.output = append([]int(nil), c.output...)
+	nc.dffs = append([]int(nil), c.dffs...)
 	return nc
 }
 
@@ -184,6 +207,7 @@ type Stats struct {
 	Name    string
 	PIs     int
 	POs     int
+	DFFs    int
 	Gates   int
 	Edges   int
 	Levels  int
@@ -198,6 +222,7 @@ func (c *Circuit) Summary() Stats {
 		Name:   c.Name,
 		PIs:    len(c.inputs),
 		POs:    len(c.output),
+		DFFs:   len(c.dffs),
 		Gates:  c.NumGates(),
 		Edges:  c.NumEdges(),
 		ByType: make(map[GateType]int),

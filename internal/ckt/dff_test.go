@@ -1,0 +1,173 @@
+package ckt
+
+import "testing"
+
+// buildSeq wires a minimal sequential circuit:
+//
+//	a --NOT--> n1 --DFF q--> o=NOT(q) (PO)
+//	                 ^------------+ (q also feeds back through n2=NOR(a,q) -> nothing)
+func buildSeq(t *testing.T) *Circuit {
+	t.Helper()
+	c := New("mini-seq")
+	a := c.MustAddGate("a", Input)
+	q := c.MustAddGate("q", DFF)
+	n1 := c.MustAddGate("n1", Not)
+	o := c.MustAddGate("o", Not)
+	c.MustConnect(a, n1)
+	c.MustConnect(n1, q)
+	c.MustConnect(q, o)
+	c.MarkPO(o)
+	return c
+}
+
+func TestDFFTopoOrder(t *testing.T) {
+	c := buildSeq(t)
+	if !c.Sequential() {
+		t.Fatal("Sequential() = false for a circuit with a DFF")
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[string]int)
+	for i, id := range order {
+		pos[c.Gates[id].Name] = i
+	}
+	// The flop is a frame source: it must order before the logic that
+	// reads its Q, even though its D driver comes later.
+	if pos["q"] > pos["o"] {
+		t.Errorf("flop q ordered after its reader o: %v", order)
+	}
+	if pos["n1"] < pos["a"] {
+		t.Errorf("n1 ordered before its fanin a")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestDFFCycleThroughFlopIsLegal(t *testing.T) {
+	// q = DFF(n) with n = NOR(a, q): the cycle closes through the flop
+	// and must validate; the same loop without the flop must not.
+	c := New("loop-ok")
+	a := c.MustAddGate("a", Input)
+	q := c.MustAddGate("q", DFF)
+	n := c.MustAddGate("n", Nor)
+	c.MustConnect(a, n)
+	c.MustConnect(q, n)
+	c.MustConnect(n, q)
+	c.MarkPO(n)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("flop-broken cycle rejected: %v", err)
+	}
+
+	bad := New("loop-bad")
+	a2 := bad.MustAddGate("a", Input)
+	x := bad.MustAddGate("x", And)
+	y := bad.MustAddGate("y", And)
+	bad.MustConnect(a2, x)
+	bad.MustConnect(y, x)
+	bad.MustConnect(a2, y)
+	bad.MustConnect(x, y)
+	bad.MarkPO(y)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("combinational cycle accepted")
+	}
+}
+
+func TestDFFSelfLoop(t *testing.T) {
+	// A flop holding its own value (Q wired to D) is legal sequential
+	// logic; a combinational self-loop is not.
+	c := New("hold")
+	c.MustAddGate("a", Input)
+	q := c.MustAddGate("q", DFF)
+	if err := c.Connect(q, q); err != nil {
+		t.Fatalf("flop self-loop rejected: %v", err)
+	}
+	c.MarkPO(q)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	bad := New("comb-self")
+	g := bad.MustAddGate("g", Buf)
+	if err := bad.Connect(g, g); err == nil {
+		t.Fatal("combinational self-loop accepted")
+	}
+}
+
+func TestDFFValidateArity(t *testing.T) {
+	c := New("arity")
+	a := c.MustAddGate("a", Input)
+	q := c.MustAddGate("q", DFF)
+	c.MustConnect(a, q)
+	c.MustConnect(a, q)
+	c.MarkPO(q)
+	if err := c.Validate(); err == nil {
+		t.Fatal("DFF with two D pins accepted")
+	}
+}
+
+func TestDFFLevelsAndDepth(t *testing.T) {
+	c := buildSeq(t)
+	lv := c.Levels()
+	q, _ := c.GateByName("q")
+	o, _ := c.GateByName("o")
+	n1, _ := c.GateByName("n1")
+	if lv[q] != 0 {
+		t.Errorf("flop level = %d, want 0 (frame source)", lv[q])
+	}
+	if lv[o] != 1 || lv[n1] != 1 {
+		t.Errorf("levels o=%d n1=%d, want 1, 1", lv[o], lv[n1])
+	}
+	depth := c.DepthFromPO()
+	if depth[n1] != -1 {
+		// n1 only reaches the PO through the flop, i.e. in another
+		// cycle: combinational depth must not cross the boundary.
+		t.Errorf("DepthFromPO crossed the flop: n1 depth = %d", depth[n1])
+	}
+}
+
+func TestDFFCloneAndStats(t *testing.T) {
+	c := buildSeq(t)
+	nc := c.Clone()
+	if len(nc.DFFs()) != 1 || nc.DFFs()[0] != c.DFFs()[0] {
+		t.Fatalf("Clone lost flop list: %v", nc.DFFs())
+	}
+	s := c.Summary()
+	if s.DFFs != 1 {
+		t.Fatalf("Summary DFFs = %d, want 1", s.DFFs)
+	}
+}
+
+func TestDFFParseGateType(t *testing.T) {
+	for _, s := range []string{"DFF", "dff", "FF"} {
+		gt, err := ParseGateType(s)
+		if err != nil || gt != DFF {
+			t.Errorf("ParseGateType(%q) = %v, %v", s, gt, err)
+		}
+	}
+	if DFF.String() != "DFF" {
+		t.Errorf("DFF.String() = %q", DFF.String())
+	}
+	if !DFF.IsSource() || !Input.IsSource() || And.IsSource() {
+		t.Error("IsSource misclassifies")
+	}
+}
+
+func TestDFFPathsStopAtFlops(t *testing.T) {
+	c := buildSeq(t)
+	// The only PI->PO path would cross the flop; none may be reported
+	// and the enumeration must terminate despite the sequential loop.
+	paths := c.EnumeratePaths(100)
+	for _, p := range paths {
+		for _, id := range p {
+			if c.Gates[id].Type == DFF {
+				t.Fatalf("path crosses flop: %v", p)
+			}
+		}
+	}
+	if n := c.CountPaths(); n != 0 {
+		t.Fatalf("CountPaths = %d, want 0 (all paths cross the flop)", n)
+	}
+}

@@ -1,9 +1,15 @@
-// Package ckt provides the gate-level combinational netlist substrate:
-// gate types, the circuit DAG, topological orders, level assignment,
-// path enumeration and 64-way bit-parallel logic evaluation.
+// Package ckt provides the gate-level netlist substrate: gate types,
+// the circuit graph, topological orders, level assignment, path
+// enumeration and 64-way bit-parallel logic evaluation.
+//
+// Circuits are combinational DAGs, optionally extended with DFF state
+// elements (the ISCAS-89 .bench format). A DFF's output is a cut
+// point: topological orders treat it as a frame source alongside the
+// primary inputs, so the combinational frame of a sequential circuit
+// is still a DAG even though the full graph is cyclic through flops.
 //
 // Every higher layer (characterization, logic simulation, ASERTA,
-// SERTOPT) operates on ckt.Circuit.
+// SERTOPT, the sequential engine) operates on ckt.Circuit.
 package ckt
 
 import "fmt"
@@ -11,7 +17,7 @@ import "fmt"
 // GateType identifies the logic function of a gate.
 type GateType uint8
 
-// Gate types supported by the ISCAS-85 .bench format.
+// Gate types supported by the ISCAS-85/89 .bench formats.
 const (
 	Input GateType = iota // primary input pseudo-gate
 	Buf
@@ -22,6 +28,10 @@ const (
 	Nor
 	Xor
 	Xnor
+	// DFF is a D flip-flop state element (ISCAS-89). Its single fanin
+	// is the D pin; its output is the Q value latched at the previous
+	// clock edge, so combinational passes treat it as a frame source.
+	DFF
 	numGateTypes
 )
 
@@ -35,6 +45,7 @@ var gateTypeNames = [numGateTypes]string{
 	Nor:   "NOR",
 	Xor:   "XOR",
 	Xnor:  "XNOR",
+	DFF:   "DFF",
 }
 
 // String returns the canonical .bench name of the gate type.
@@ -67,6 +78,8 @@ func ParseGateType(s string) (GateType, error) {
 		return Xor, nil
 	case "XNOR":
 		return Xnor, nil
+	case "DFF", "FF":
+		return DFF, nil
 	}
 	return Input, fmt.Errorf("ckt: unknown gate type %q", s)
 }
@@ -80,6 +93,11 @@ func upper(s string) string {
 	}
 	return string(b)
 }
+
+// IsSource reports whether the gate supplies a value to the
+// combinational frame rather than computing one: primary inputs and
+// flip-flop outputs (whose value is the previously latched state).
+func (t GateType) IsSource() bool { return t == Input || t == DFF }
 
 // Inverting reports whether the gate complements its AND/OR core
 // (NAND, NOR, NOT, XNOR are inverting).
@@ -119,6 +137,8 @@ func (t GateType) Eval(in []bool) bool {
 	switch t {
 	case Input:
 		panic("ckt: Eval on INPUT gate")
+	case DFF:
+		panic("ckt: Eval on DFF gate (state is supplied by frame simulation, not computed from D)")
 	case Buf:
 		return in[0]
 	case Not:
@@ -160,6 +180,8 @@ func (t GateType) EvalWord(in []uint64) uint64 {
 	switch t {
 	case Input:
 		panic("ckt: EvalWord on INPUT gate")
+	case DFF:
+		panic("ckt: EvalWord on DFF gate (state is supplied by frame simulation, not computed from D)")
 	case Buf:
 		return in[0]
 	case Not:

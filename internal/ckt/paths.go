@@ -27,6 +27,9 @@ func (c *Circuit) EnumeratePaths(maxPaths int) []Path {
 	var walk func(id int, cur []int) bool
 	walk = func(id int, cur []int) bool {
 		g := c.Gates[id]
+		if g.Type == DFF {
+			return true // the path ends at the flop boundary (next cycle)
+		}
 		if g.Type != Input {
 			cur = append(cur, id)
 		}
@@ -73,6 +76,11 @@ func (c *Circuit) CountPaths() int64 {
 		g := c.Gates[id]
 		if g.Type == Input {
 			count[id] = 1
+			continue
+		}
+		if g.Type == DFF {
+			// No combinational PI->PO path crosses a flop.
+			count[id] = 0
 			continue
 		}
 		var s int64

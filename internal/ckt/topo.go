@@ -2,13 +2,20 @@ package ckt
 
 import "fmt"
 
-// TopoOrder returns gate IDs in topological order (fanin before
-// fanout), primary inputs first. It returns an error if the netlist
-// contains a combinational cycle.
+// TopoOrder returns gate IDs in topological order of the combinational
+// frame (fanin before fanout), frame sources — primary inputs and DFF
+// outputs — first. A DFF is a cut point: its D-pin fanin edge crosses
+// a clock boundary and does not constrain the order, so a sequential
+// circuit orders cleanly even though the full graph is cyclic through
+// its flops. TopoOrder returns an error if the netlist contains a
+// purely combinational cycle (one not broken by a DFF).
 func (c *Circuit) TopoOrder() ([]int, error) {
 	n := len(c.Gates)
 	indeg := make([]int, n)
 	for _, g := range c.Gates {
+		if g.Type == DFF {
+			continue // frame source: D fanin does not gate the order
+		}
 		indeg[g.ID] = len(g.Fanin)
 	}
 	order := make([]int, 0, n)
@@ -23,6 +30,9 @@ func (c *Circuit) TopoOrder() ([]int, error) {
 		queue = queue[1:]
 		order = append(order, id)
 		for _, s := range c.Gates[id].Fanout {
+			if c.Gates[s].Type == DFF {
+				continue // its indegree was never counted
+			}
 			indeg[s]--
 			if indeg[s] == 0 {
 				queue = append(queue, s)
@@ -60,7 +70,8 @@ func (c *Circuit) ReverseTopoOrder() ([]int, error) {
 }
 
 // Levels assigns each gate its longest distance (in gates) from a
-// primary input; inputs are level 0. The result is indexed by gate ID.
+// frame source (primary input or DFF output); sources are level 0.
+// The result is indexed by gate ID.
 func (c *Circuit) Levels() []int {
 	lv := make([]int, len(c.Gates))
 	order, err := c.TopoOrder()
@@ -70,6 +81,9 @@ func (c *Circuit) Levels() []int {
 	}
 	for _, id := range order {
 		g := c.Gates[id]
+		if g.Type == DFF {
+			continue // frame source: level 0 regardless of the D cone
+		}
 		for _, f := range g.Fanin {
 			if lv[f]+1 > lv[id] {
 				lv[id] = lv[f] + 1
@@ -96,6 +110,9 @@ func (c *Circuit) DepthFromPO() []int {
 	for len(queue) > 0 {
 		id := queue[0]
 		queue = queue[1:]
+		if c.Gates[id].Type == DFF {
+			continue // the D cone is a different clock cycle
+		}
 		for _, f := range c.Gates[id].Fanin {
 			if depth[f] == -1 {
 				depth[f] = depth[id] + 1
@@ -119,6 +136,11 @@ func (c *Circuit) TransitiveFanoutReach(id int) []int {
 			continue
 		}
 		seen[v] = true
+		if v != id && c.Gates[v].Type == DFF {
+			// A value change at id reaches the flop's Q only in the
+			// next cycle; the combinational reach stops here.
+			continue
+		}
 		if c.Gates[v].PO {
 			pos = append(pos, v)
 		}

@@ -148,3 +148,100 @@ func TestNamesOrdered(t *testing.T) {
 		t.Fatalf("Names() = %v", names)
 	}
 }
+
+func TestS27Genuine(t *testing.T) {
+	c := S27()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Summary()
+	if s.PIs != 4 || s.POs != 1 || s.DFFs != 3 || s.Gates-s.DFFs != 10 {
+		t.Fatalf("s27 = %+v", s)
+	}
+	// The three flops close loops: the full graph is cyclic, the
+	// frame is not.
+	if _, err := c.TopoOrder(); err != nil {
+		t.Fatalf("frame topo: %v", err)
+	}
+}
+
+func TestISCAS89Profiles(t *testing.T) {
+	for _, name := range SeqNames() {
+		if name == "s9234" || name == "s38417" {
+			continue // large members are exercised by benches, not unit tests
+		}
+		c, err := ISCAS89(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", name, err)
+		}
+		if name == "s27" {
+			continue
+		}
+		p := iscas89Profiles[name]
+		s := c.Summary()
+		if s.PIs != p.PIs {
+			t.Errorf("%s: PIs = %d, want %d", name, s.PIs, p.PIs)
+		}
+		if s.DFFs != p.Flops {
+			t.Errorf("%s: flops = %d, want %d", name, s.DFFs, p.Flops)
+		}
+		if s.POs < p.POs {
+			t.Errorf("%s: POs = %d, want >= %d", name, s.POs, p.POs)
+		}
+		gates := s.Gates - s.DFFs
+		if gates < p.Gates || gates > p.Gates+p.PIs+p.Flops {
+			t.Errorf("%s: gates = %d, want ~%d", name, gates, p.Gates)
+		}
+		// Every flop has exactly one D pin and a live Q.
+		for _, id := range c.DFFs() {
+			if len(c.Gates[id].Fanin) != 1 {
+				t.Errorf("%s: flop %s has %d D pins", name, c.Gates[id].Name, len(c.Gates[id].Fanin))
+			}
+			if len(c.Gates[id].Fanout) == 0 {
+				t.Errorf("%s: flop %s drives nothing", name, c.Gates[id].Name)
+			}
+		}
+		// POs stay terminal, as in the combinational suite.
+		for _, po := range c.Outputs() {
+			if len(c.Gates[po].Fanout) != 0 {
+				t.Errorf("%s: PO %s has fanout", name, c.Gates[po].Name)
+			}
+		}
+	}
+}
+
+func TestGenerateFlopsDeterministic(t *testing.T) {
+	p := iscas89Profiles["s344"]
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Gates) != len(b.Gates) {
+		t.Fatal("sequential generation not deterministic in size")
+	}
+	for i := range a.Gates {
+		ga, gb := a.Gates[i], b.Gates[i]
+		if ga.Type != gb.Type || len(ga.Fanin) != len(gb.Fanin) {
+			t.Fatal("sequential generation not deterministic in structure")
+		}
+		for k := range ga.Fanin {
+			if ga.Fanin[k] != gb.Fanin[k] {
+				t.Fatal("sequential generation not deterministic in wiring")
+			}
+		}
+	}
+}
+
+func TestSeqNamesOrdered(t *testing.T) {
+	names := SeqNames()
+	if names[0] != "s27" || names[len(names)-1] != "s38417" {
+		t.Fatalf("SeqNames() = %v", names)
+	}
+}

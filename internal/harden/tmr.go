@@ -32,6 +32,9 @@ func TMR(c *ckt.Circuit) (*TMRResult, error) {
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("harden: input circuit invalid: %v", err)
 	}
+	if c.Sequential() {
+		return nil, fmt.Errorf("harden: circuit %q has flip-flops; TMR supports combinational logic only", c.Name)
+	}
 	nc := ckt.New(c.Name + "-tmr")
 	res := &TMRResult{Circuit: nc}
 	copyOf := func(orig int) { res.CopyOf = append(res.CopyOf, orig) }
@@ -110,6 +113,9 @@ func TMR(c *ckt.Circuit) (*TMRResult, error) {
 func Duplicate(c *ckt.Circuit) (*ckt.Circuit, error) {
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("harden: input circuit invalid: %v", err)
+	}
+	if c.Sequential() {
+		return nil, fmt.Errorf("harden: circuit %q has flip-flops; duplication supports combinational logic only", c.Name)
 	}
 	nc := ckt.New(c.Name + "-dwc")
 	piMap := make(map[int]int)

@@ -1,0 +1,217 @@
+package logicsim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ckt"
+	"repro/internal/gen"
+	"repro/internal/stats"
+)
+
+// unroll expands a sequential circuit into a purely combinational one
+// covering K cycles: gate g at cycle t becomes "g@t", a primary input
+// becomes a fresh input per cycle, and a reference to flop f's Q at
+// cycle t resolves to f's D driver at cycle t-1 (at t == 0, to a
+// dedicated "<f>@init" input). This is the classical time-frame
+// expansion; evaluating it one vector at a time is an independent
+// reference for SimulateFrames' word-level state carrying.
+func unroll(t *testing.T, c *ckt.Circuit, K int) *ckt.Circuit {
+	t.Helper()
+	u := ckt.New(c.Name + "-unrolled")
+	var nodeName func(id, cycle int) string
+	nodeName = func(id, cycle int) string {
+		g := c.Gates[id]
+		switch g.Type {
+		case ckt.Input:
+			return fmt.Sprintf("%s@%d", g.Name, cycle)
+		case ckt.DFF:
+			if cycle == 0 {
+				return g.Name + "@init"
+			}
+			return nodeName(g.Fanin[0], cycle-1)
+		default:
+			return fmt.Sprintf("%s@%d", g.Name, cycle)
+		}
+	}
+	for _, id := range c.DFFs() {
+		u.MustAddGate(c.Gates[id].Name+"@init", ckt.Input)
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 0; cycle < K; cycle++ {
+		for _, id := range c.Inputs() {
+			u.MustAddGate(nodeName(id, cycle), ckt.Input)
+		}
+		for _, id := range order {
+			g := c.Gates[id]
+			if g.Type.IsSource() {
+				continue
+			}
+			nid := u.MustAddGate(nodeName(id, cycle), g.Type)
+			for _, f := range g.Fanin {
+				src, ok := u.GateByName(nodeName(f, cycle))
+				if !ok {
+					t.Fatalf("unroll: %s missing fanin %s", nodeName(id, cycle), nodeName(f, cycle))
+				}
+				u.MustConnect(src, nid)
+			}
+		}
+		for _, id := range c.Outputs() {
+			poID, ok := u.GateByName(nodeName(id, cycle))
+			if !ok {
+				t.Fatalf("unroll: missing PO node %s", nodeName(id, cycle))
+			}
+			u.MarkPO(poID)
+		}
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatalf("unrolled circuit invalid: %v", err)
+	}
+	return u
+}
+
+// TestSimulateFramesMatchesUnrolledS27 is the golden test for frame
+// simulation: K frames of s27 must be bit-identical to per-vector
+// boolean evaluation of the hand-unrolled combinational expansion.
+func TestSimulateFramesMatchesUnrolledS27(t *testing.T) {
+	c := gen.S27()
+	const K = 5
+	const nVec = 130 // exercises a partial last word
+	const seed = 42
+
+	tr, err := SimulateFrames(c, K, nVec, stats.NewRNG(seed), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Regenerate the PI stream independently: SimulateFrames consumes
+	// rng cycle by cycle, input by input, word by word.
+	rng := stats.NewRNG(seed)
+	nW := (nVec + 63) / 64
+	nPIs := len(c.Inputs())
+	piWords := make([][]uint64, K)
+	for cyc := 0; cyc < K; cyc++ {
+		w := make([]uint64, nPIs*nW)
+		for i := 0; i < nPIs; i++ {
+			for k := 0; k < nW; k++ {
+				w[i*nW+k] = rng.Uint64()
+			}
+		}
+		piWords[cyc] = w
+	}
+	bit := func(words []uint64, col, v int) bool {
+		return words[col*nW+v/64]>>(uint(v)%64)&1 == 1
+	}
+
+	u := unroll(t, c, K)
+	uInputs := u.Inputs()
+	inVals := make([]bool, len(uInputs))
+	piIdx := make(map[string]int, nPIs)
+	for i, id := range c.Inputs() {
+		piIdx[c.Gates[id].Name] = i
+	}
+
+	for v := 0; v < nVec; v++ {
+		for i, id := range uInputs {
+			name := u.Gates[id].Name
+			var val bool
+			var cyc, pi int
+			if n, _ := fmt.Sscanf(name, "G%d@%d", &pi, &cyc); n == 2 {
+				val = bit(piWords[cyc], piIdx[fmt.Sprintf("G%d", pi)], v)
+			} else {
+				val = false // "<f>@init": all-zero reset
+			}
+			inVals[i] = val
+		}
+		got, err := Evaluate(u, inVals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cyc := 0; cyc < K; cyc++ {
+			for p, poID := range c.Outputs() {
+				uid, _ := u.GateByName(fmt.Sprintf("%s@%d", c.Gates[poID].Name, cyc))
+				want := got[uid]
+				have := bit(tr.PO[cyc], p, v)
+				if want != have {
+					t.Fatalf("cycle %d PO %s vector %d: frames=%v unrolled=%v",
+						cyc, c.Gates[poID].Name, v, have, want)
+				}
+			}
+			// State entering cycle cyc+1 must equal the D-driver value
+			// at cycle cyc.
+			for fi, ffID := range c.DFFs() {
+				d := c.Gates[ffID].Fanin[0]
+				uid, ok := u.GateByName(fmt.Sprintf("%s@%d", c.Gates[d].Name, cyc))
+				if !ok {
+					t.Fatalf("unroll: missing D node %s@%d", c.Gates[d].Name, cyc)
+				}
+				want := got[uid]
+				have := bit(tr.State[cyc+1], fi, v)
+				if want != have {
+					t.Fatalf("state after cycle %d flop %s vector %d: frames=%v unrolled=%v",
+						cyc, c.Gates[ffID].Name, v, have, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSimulateFramesInitState(t *testing.T) {
+	c := gen.S27()
+	init := []bool{true, false, true}
+	tr, err := SimulateFrames(c, 2, 70, stats.NewRNG(1), init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nW := tr.NWords()
+	for fi, want := range init {
+		for v := 0; v < 70; v++ {
+			got := tr.State[0][fi*nW+v/64]>>(uint(v)%64)&1 == 1
+			if got != want {
+				t.Fatalf("flop %d lane %d initial state = %v, want %v", fi, v, got, want)
+			}
+		}
+	}
+	// Padding lanes beyond N must stay zero (masked).
+	if tr.State[0][nW-1]>>uint(70%64) != 0 {
+		t.Fatal("initial state leaks into masked lanes")
+	}
+	if _, err := SimulateFrames(c, 2, 70, stats.NewRNG(1), []bool{true}); err == nil {
+		t.Fatal("wrong-length initState accepted")
+	}
+	if _, err := SimulateFrames(c, 0, 70, stats.NewRNG(1), nil); err == nil {
+		t.Fatal("cycles=0 accepted")
+	}
+}
+
+func TestSimulateFramesDeterministic(t *testing.T) {
+	c := gen.S27()
+	a, err := SimulateFrames(c, 4, 256, stats.NewRNG(7), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateFrames(c, 4, 256, stats.NewRNG(7), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cyc := 0; cyc < 4; cyc++ {
+		for i := range a.PO[cyc] {
+			if a.PO[cyc][i] != b.PO[cyc][i] {
+				t.Fatalf("PO words differ at cycle %d", cyc)
+			}
+		}
+	}
+}
+
+func TestAnalyzeRejectsSequential(t *testing.T) {
+	c := gen.S27()
+	if _, err := Analyze(c, 100, stats.NewRNG(1)); err == nil {
+		t.Fatal("Analyze accepted a sequential circuit")
+	}
+	if _, err := Evaluate(c, make([]bool, len(c.Inputs()))); err == nil {
+		t.Fatal("Evaluate accepted a sequential circuit")
+	}
+}

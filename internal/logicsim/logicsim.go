@@ -47,6 +47,9 @@ func Evaluate(c *ckt.Circuit, inputs []bool) ([]bool, error) {
 	if len(inputs) != len(c.Inputs()) {
 		return nil, fmt.Errorf("logicsim: %d inputs for %d PIs", len(inputs), len(c.Inputs()))
 	}
+	if c.Sequential() {
+		return nil, fmt.Errorf("logicsim: circuit %q has flip-flops; use SimulateFrames", c.Name)
+	}
 	val := make([]bool, len(c.Gates))
 	for i, id := range c.Inputs() {
 		val[id] = inputs[i]
@@ -106,6 +109,9 @@ func Analyze(c *ckt.Circuit, nVectors int, rng *stats.RNG) (*Result, error) {
 func AnalyzeWorkers(c *ckt.Circuit, nVectors int, rng *stats.RNG, workers int) (*Result, error) {
 	if nVectors <= 0 {
 		nVectors = DefaultVectors
+	}
+	if c.Sequential() {
+		return nil, fmt.Errorf("logicsim: circuit %q has flip-flops; analyze its combinational frame (seq.BuildFrame) or use SimulateFrames", c.Name)
 	}
 	order, err := c.TopoOrder()
 	if err != nil {

@@ -1,0 +1,354 @@
+// Package seq is the sequential-circuit soft-error engine: it extends
+// the paper's combinational ASERTA analysis across flip-flop
+// boundaries, opening the ISCAS-89 family as a workload.
+//
+// The model follows the paper's masking chain, applied per clock
+// cycle. A particle strike at gate i in cycle t is
+//
+//  1. filtered by the Eq. 1 electrical ladder and the Eq. 2 π-split
+//     within cycle t's combinational frame (flop outputs are frame
+//     sources, D-pin drivers are frame outputs — see BuildFrame);
+//  2. latched with the Eq. 3 window probability: at a genuine primary
+//     output the expected latched glitch width min(W_ij, Tclk) counts
+//     directly (exactly the combinational Eq. 3), while at a flop's D
+//     pin the glitch is captured into state with probability
+//     min(W_if, Tclk)/Tclk;
+//  3. once captured, propagated as a full-cycle logical fault through
+//     subsequent frames — bit-parallel fault simulation against the
+//     fault-free trace (logicsim.SimulateFrames) — until it reaches a
+//     primary output or dies, each wrong latched PO value counting as
+//     one full clock period of error width.
+//
+// The per-cycle unreliability is therefore
+//
+//	U = Σ_i flux_i/1ps · [ Σ_{p∈PO} min(W_ip,T)
+//	                     + Σ_{f∈FF} min(W_if,T) · E_f ]
+//
+// where E_f is the expected number of erroneous latched PO values per
+// captured fault in flop f within the analysis horizon, and the
+// whole-circuit soft-error rate follows via serrate.FIT.
+//
+// Determinism: for a fixed seed the result is bit-identical between
+// the serial and worker-pool paths — the sensitization statistics
+// reuse logicsim's order-stable arenas and the per-flop fault
+// propagation writes disjoint slots.
+package seq
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/aserta"
+	"repro/internal/charlib"
+	"repro/internal/ckt"
+	"repro/internal/logicsim"
+	"repro/internal/par"
+	"repro/internal/serrate"
+	"repro/internal/sertopt"
+	"repro/internal/stats"
+)
+
+// DefaultCycles is the default multi-cycle fault-propagation horizon.
+const DefaultCycles = 4
+
+// DefaultFluxPerHour is the nominal particle-strike rate per
+// flux-weight unit per hour used for the FIT conversion when the
+// caller does not supply one.
+const DefaultFluxPerHour = 1e-5
+
+// faultSeedOffset decorrelates the fault-propagation RNG stream from
+// the sensitization stream derived from the same user seed.
+const faultSeedOffset = 0x9e3779b97f4a7c15
+
+// Options tune a sequential analysis. Zero values take the documented
+// defaults.
+type Options struct {
+	// Cycles is the multi-cycle horizon K: captured faults are chased
+	// through K frames (default DefaultCycles). Longer horizons count
+	// longer-lived state corruption; E_f is censored at the horizon.
+	Cycles int
+	// Vectors is the random-vector count for both the sensitization
+	// statistics and the frame trace (default logicsim.DefaultVectors).
+	Vectors int
+	// Seed feeds the deterministic RNGs.
+	Seed uint64
+	// POLoad is the latch input capacitance at every frame output —
+	// genuine POs and flop D pins alike (default 2 fF).
+	POLoad float64
+	// ClockPeriod is T in the Eq. 3 window clamp (default 300 ps).
+	ClockPeriod float64
+	// FluxPerHour scales the FIT conversion (default
+	// DefaultFluxPerHour).
+	FluxPerHour float64
+	// InitState is the flops' reset state in Circuit.DFFs() order; nil
+	// means all zeros.
+	InitState []bool
+	// Workers bounds the worker pools (<= 0: one per CPU). Results are
+	// bit-identical for any count.
+	Workers int
+	// Cells overrides the per-gate cell assignment (indexed by gate
+	// ID, which the frame preserves). Nil selects the speed-driven
+	// baseline sizing, as ser.Analyze does.
+	Cells aserta.Assignment
+}
+
+func (o Options) withDefaults() Options {
+	if o.Cycles <= 0 {
+		o.Cycles = DefaultCycles
+	}
+	if o.Vectors <= 0 {
+		o.Vectors = logicsim.DefaultVectors
+	}
+	if o.POLoad <= 0 {
+		o.POLoad = 2e-15
+	}
+	if o.ClockPeriod <= 0 {
+		o.ClockPeriod = 300e-12
+	}
+	if o.FluxPerHour <= 0 {
+		o.FluxPerHour = DefaultFluxPerHour
+	}
+	return o
+}
+
+// GateReport is one gate's sequential analysis summary.
+type GateReport struct {
+	Name string
+	// U = DirectU + LatchedU is the gate's per-cycle unreliability
+	// contribution (ps units, as in the combinational Eq. 3).
+	U float64
+	// DirectU counts strike glitches latched at genuine primary
+	// outputs in the strike cycle.
+	DirectU float64
+	// LatchedU counts strike glitches captured into flops and
+	// re-emitted at primary outputs in later cycles.
+	LatchedU float64
+	// GenWidth and Delay mirror the combinational report.
+	GenWidth, Delay float64
+}
+
+// FlopReport is one flip-flop's summary.
+type FlopReport struct {
+	Name string
+	// CaptureU is Σ_i flux_i · min(W_if, T) / 1ps: the flop's
+	// per-cycle capture pressure from the electrical stage.
+	CaptureU float64
+	// ErrorsPerFault is E_f: the expected number of wrong latched PO
+	// values caused by one captured fault, within the cycle horizon.
+	ErrorsPerFault float64
+}
+
+// Result is the full sequential analysis outcome.
+type Result struct {
+	Circuit string
+	Cycles  int
+	Flops   int
+	// U is the per-cycle circuit unreliability; DirectU and LatchedU
+	// are its two components (U = DirectU + LatchedU).
+	U, DirectU, LatchedU float64
+	// FIT is the whole-circuit soft-error rate (failures per 1e9
+	// device-hours) via serrate.FIT.
+	FIT float64
+	// Gates lists per-gate results for the frame's logic gates, in
+	// netlist order.
+	Gates []GateReport
+	// FlopReports lists per-flop capture pressure and fault
+	// visibility, in Circuit.DFFs() order.
+	FlopReports []FlopReport
+	// Frame exposes the underlying combinational frame analysis.
+	Frame *aserta.Analysis
+}
+
+// Analyze runs the sequential SER analysis. The library must already
+// cover (or lazily characterize) the frame's gate classes;
+// ser.AnalyzeSequential wraps this with context-aware
+// precharacterization.
+func Analyze(c *ckt.Circuit, lib *charlib.Library, opts Options) (*Result, error) {
+	return AnalyzeContext(context.Background(), c, lib, opts)
+}
+
+// AnalyzeContext is Analyze with cooperative cancellation: ctx is
+// checked between pipeline stages (sizing, sensitization, the
+// electrical pass, fault propagation). A stage already running is not
+// interrupted, so cancellation latency is bounded by the longest
+// single stage, and all state is call-local.
+func AnalyzeContext(ctx context.Context, c *ckt.Circuit, lib *charlib.Library, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.InitState != nil && len(opts.InitState) != len(c.DFFs()) {
+		// SimulateFrames checks this too, but only when flops exist;
+		// validating here keeps a bogus InitState from being silently
+		// ignored on combinational circuits.
+		return nil, fmt.Errorf("seq: initState has %d bits for %d flops", len(opts.InitState), len(c.DFFs()))
+	}
+	fr, err := BuildFrame(c)
+	if err != nil {
+		return nil, err
+	}
+	cells := opts.Cells
+	if cells == nil {
+		cells, err = sertopt.InitialSizing(fr.Comb, lib, 0, opts.POLoad)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Sensitization statistics over the frame: flop Qs are frame
+	// sources and draw p=0.5 random words exactly like PIs (the
+	// standard state approximation for combinational-frame analysis).
+	sens, err := logicsim.AnalyzeWorkers(fr.Comb, opts.Vectors, stats.NewRNG(opts.Seed), opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	an, err := aserta.Analyze(fr.Comb, lib, cells, aserta.Config{
+		Vectors:         opts.Vectors,
+		Seed:            opts.Seed,
+		POLoad:          opts.POLoad,
+		ClockPeriod:     opts.ClockPeriod,
+		PrecomputedSens: sens,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	epf, err := errorsPerFault(ctx, c, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	flops := c.DFFs()
+	res := &Result{
+		Circuit:     c.Name,
+		Cycles:      opts.Cycles,
+		Flops:       len(flops),
+		Frame:       an,
+		FlopReports: make([]FlopReport, len(flops)),
+	}
+	for fi, id := range flops {
+		res.FlopReports[fi] = FlopReport{Name: c.Gates[id].Name, ErrorsPerFault: epf[fi]}
+	}
+	T := opts.ClockPeriod
+	for _, g := range fr.Comb.Gates {
+		if g.Type.IsSource() {
+			continue
+		}
+		wij := an.Wij[g.ID]
+		flux := cells[g.ID].FluxWeight()
+		direct := 0.0
+		for k := 0; k < fr.NumRealPOs; k++ {
+			direct += clampT(wij[k], T)
+		}
+		latched := 0.0
+		for fi, col := range fr.FlopCols {
+			w := clampT(wij[col], T)
+			latched += w * epf[fi]
+			res.FlopReports[fi].CaptureU += flux * w / 1e-12
+		}
+		gr := GateReport{
+			Name:     g.Name,
+			DirectU:  flux * direct / 1e-12,
+			LatchedU: flux * latched / 1e-12,
+			GenWidth: an.GenWidth[g.ID],
+			Delay:    an.Delays[g.ID],
+		}
+		gr.U = gr.DirectU + gr.LatchedU
+		res.Gates = append(res.Gates, gr)
+		res.DirectU += gr.DirectU
+		res.LatchedU += gr.LatchedU
+	}
+	res.U = res.DirectU + res.LatchedU
+	res.FIT = serrate.FIT(res.U, T, opts.FluxPerHour)
+	return res, nil
+}
+
+func clampT(w, t float64) float64 {
+	if w > t {
+		return t
+	}
+	return w
+}
+
+// errorsPerFault runs the multi-cycle logical fault propagation: for
+// each flop, a captured fault (its state column flipped in every
+// vector lane) is chased through the frames of a fault-free K-cycle
+// trace, counting wrong latched PO values until the fault dies or the
+// horizon ends. Flops are independent given the shared trace, so the
+// sweep fans out over a worker pool; each flop writes only its own
+// slot, keeping the result bit-identical for any worker count. This
+// is the dominant stage on big circuits (flops × cycles frame
+// evaluations), so ctx is polled at every flop boundary.
+func errorsPerFault(ctx context.Context, c *ckt.Circuit, opts Options) ([]float64, error) {
+	flops := c.DFFs()
+	nFlops := len(flops)
+	epf := make([]float64, nFlops)
+	if nFlops == 0 {
+		return epf, nil
+	}
+	tr, err := logicsim.SimulateFrames(c, opts.Cycles, opts.Vectors,
+		stats.NewRNG(opts.Seed+faultSeedOffset), opts.InitState)
+	if err != nil {
+		return nil, err
+	}
+	nW := tr.NWords()
+	lastMask := tr.LastMask()
+	nGates := len(c.Gates)
+	pos := c.Outputs()
+	par.ForChunks(nFlops, opts.Workers, 1, func(lo, hi int) {
+		vals := make([]uint64, nGates*nW)
+		st := make([]uint64, nFlops*nW)
+		next := make([]uint64, nFlops*nW)
+		for fi := lo; fi < hi; fi++ {
+			if ctx.Err() != nil {
+				return // the post-pool ctx check reports the cancellation
+			}
+			copy(st, tr.State[0])
+			row := st[fi*nW : (fi+1)*nW]
+			for k := range row {
+				row[k] = ^row[k]
+			}
+			row[nW-1] &= lastMask
+			errs := 0
+			for t := 0; t < tr.Cycles; t++ {
+				if equalWords(st, tr.State[t]) {
+					break // the fault died: the faulty run rejoined the trace
+				}
+				tr.EvalFrame(vals, t, st)
+				for p, poID := range pos {
+					for k := 0; k < nW; k++ {
+						errs += bits.OnesCount64(vals[poID*nW+k] ^ tr.PO[t][p*nW+k])
+					}
+				}
+				tr.NextState(vals, next)
+				st, next = next, st
+			}
+			epf[fi] = float64(errs) / float64(tr.N)
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return epf, nil
+}
+
+func equalWords(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary formats a one-line sequential result.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("%s: %d flops, %d-cycle horizon: U = %.2f (direct %.2f + latched %.2f), FIT = %.3g",
+		r.Circuit, r.Flops, r.Cycles, r.U, r.DirectU, r.LatchedU, r.FIT)
+}

@@ -17,7 +17,9 @@
 //
 // Endpoints:
 //
-//	POST /v1/analyze   one ASERTA analysis (sync, or async with "async": true)
+//	POST /v1/analyze   one ASERTA analysis (sync, or async with "async": true);
+//	                   "cycles" >= 1 selects the multi-cycle sequential flow
+//	                   for ISCAS-89 netlists with DFFs
 //	POST /v1/optimize  one SERTOPT run (sync or async)
 //	POST /v1/batch     many circuits, one response
 //	GET  /v1/jobs/{id} poll an async job
@@ -53,6 +55,15 @@ type Config struct {
 	MaxGates int
 	// MaxVectors caps a request's random-vector count (default 200000).
 	MaxVectors int
+	// MaxCycles caps a sequential request's multi-cycle horizon
+	// (default 1024) — fault propagation costs one frame evaluation
+	// per flop per cycle.
+	MaxCycles int
+	// MaxSeqFrames caps a sequential request's total fault-propagation
+	// work, cycles × flops frame evaluations (default 65536). The
+	// per-axis limits alone would let one request multiply MaxGates ×
+	// MaxVectors work by another factor of millions.
+	MaxSeqFrames int
 	// MaxBatchItems caps the total item count of one batch request
 	// (default 64).
 	MaxBatchItems int
@@ -75,6 +86,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxVectors <= 0 {
 		c.MaxVectors = 200000
+	}
+	if c.MaxCycles <= 0 {
+		c.MaxCycles = 1024
+	}
+	if c.MaxSeqFrames <= 0 {
+		c.MaxSeqFrames = 65536
 	}
 	if c.MaxBatchItems <= 0 {
 		c.MaxBatchItems = 64
@@ -213,6 +230,42 @@ func (s *Server) checkVectors(vectors int) error {
 	return nil
 }
 
+// checkAnalyze enforces the analyze-specific limits (vectors plus the
+// sequential cycle horizon).
+func (s *Server) checkAnalyze(req serclient.AnalyzeRequest) error {
+	if err := s.checkVectors(req.Vectors); err != nil {
+		return err
+	}
+	if req.Cycles < 0 {
+		return fmt.Errorf("cycles must be >= 0")
+	}
+	if req.Cycles > s.cfg.MaxCycles {
+		return fmt.Errorf("cycles %d exceeds limit %d", req.Cycles, s.cfg.MaxCycles)
+	}
+	if req.Cycles == 0 && len(req.InitState) > 0 {
+		return fmt.Errorf("init_state requires cycles >= 1")
+	}
+	return nil
+}
+
+// checkSequentialShape enforces the limits that need the resolved
+// circuit: the init_state length and the joint cycles × flops work
+// budget (fault propagation costs one frame evaluation per flop per
+// cycle, so the per-axis caps alone would not bound a request's work).
+func (s *Server) checkSequentialShape(c *ser.Circuit, req serclient.AnalyzeRequest) error {
+	if req.Cycles == 0 {
+		return nil
+	}
+	flops := len(c.DFFs())
+	if n := len(req.InitState); n > 0 && n != flops {
+		return fmt.Errorf("init_state has %d bits for %d flops", n, flops)
+	}
+	if work := req.Cycles * max(flops, 1); work > s.cfg.MaxSeqFrames {
+		return fmt.Errorf("cycles x flops = %d exceeds limit %d; lower cycles or analyze a smaller netlist", work, s.cfg.MaxSeqFrames)
+	}
+	return nil
+}
+
 // submit wraps run as a job and enqueues it. base is the context the
 // job's own context derives from: the request context for synchronous
 // jobs (client disconnect cancels), the server context for async jobs.
@@ -256,41 +309,73 @@ func (s *Server) finishJob(j *job, res any, err error) {
 	j.cancel()
 }
 
-// runAnalyze builds the job body for one analysis request. The
-// characterization counter delta around the run feeds the library
-// cache-hit metric.
+// runAnalyze builds the job body for one analysis request — the
+// combinational ASERTA flow, or the multi-cycle sequential flow when
+// req.Cycles > 0. Both flows share the same shell: job timing, the
+// characterization counter delta feeding the library cache-hit
+// metric, the Top truncation and the response assembly. The flow only
+// decides the U total, the per-gate rows and the sequential block.
 func (s *Server) runAnalyze(c *ser.Circuit, req serclient.AnalyzeRequest) func(ctx context.Context) (any, error) {
 	return func(ctx context.Context) (any, error) {
 		t0 := time.Now()
 		before := s.sys.Characterizations()
-		rep, err := s.sys.AnalyzeContext(ctx, c, ser.AnalysisOptions{
-			Vectors: req.Vectors,
-			Seed:    req.Seed,
-			POLoad:  req.POLoad,
-		})
-		if err != nil {
-			return nil, err
+		resp := &serclient.AnalyzeResponse{Circuit: c.Name}
+		if req.Cycles > 0 {
+			rep, err := s.sys.AnalyzeSequentialContext(ctx, c, ser.SequentialOptions{
+				Cycles:    req.Cycles,
+				Vectors:   req.Vectors,
+				Seed:      req.Seed,
+				POLoad:    req.POLoad,
+				InitState: req.InitState,
+			})
+			if err != nil {
+				return nil, err
+			}
+			resp.Gates, resp.U = len(rep.Gates), rep.U
+			resp.Sequential = &serclient.SequentialResult{
+				Cycles:   rep.Cycles,
+				Flops:    rep.Flops,
+				DirectU:  rep.DirectU,
+				LatchedU: rep.LatchedU,
+				FIT:      rep.FIT,
+			}
+			resp.GateReports = gateRows(req.Top, rep.Gates, rep.Softest, func(g ser.SequentialGateReport) serclient.GateResult {
+				return serclient.GateResult{Name: g.Name, U: g.U, GenWidth: g.GenWidth, Delay: g.Delay}
+			})
+		} else {
+			rep, err := s.sys.AnalyzeContext(ctx, c, ser.AnalysisOptions{
+				Vectors: req.Vectors,
+				Seed:    req.Seed,
+				POLoad:  req.POLoad,
+			})
+			if err != nil {
+				return nil, err
+			}
+			resp.Gates, resp.U = len(rep.Gates), rep.U
+			resp.GateReports = gateRows(req.Top, rep.Gates, rep.Softest, func(g ser.GateReport) serclient.GateResult {
+				return serclient.GateResult{Name: g.Name, U: g.U, GenWidth: g.GenWidth, Delay: g.Delay}
+			})
 		}
 		if s.sys.Characterizations() == before {
 			s.met.cacheHits.Add(1)
 		}
-		gates := rep.Gates
-		if req.Top > 0 {
-			gates = rep.Softest(req.Top)
-		}
-		resp := &serclient.AnalyzeResponse{
-			Circuit:   c.Name,
-			Gates:     len(rep.Gates),
-			U:         rep.U,
-			ElapsedMS: float64(time.Since(t0)) / float64(time.Millisecond),
-		}
-		for _, g := range gates {
-			resp.GateReports = append(resp.GateReports, serclient.GateResult{
-				Name: g.Name, U: g.U, GenWidth: g.GenWidth, Delay: g.Delay,
-			})
-		}
+		resp.ElapsedMS = float64(time.Since(t0)) / float64(time.Millisecond)
 		return resp, nil
 	}
+}
+
+// gateRows applies the shared per-gate report shaping — Top-softest
+// truncation and wire conversion — for either analysis flow.
+func gateRows[T any](top int, all []T, softest func(int) []T, row func(T) serclient.GateResult) []serclient.GateResult {
+	gates := all
+	if top > 0 {
+		gates = softest(top)
+	}
+	out := make([]serclient.GateResult, 0, len(gates))
+	for _, g := range gates {
+		out = append(out, row(g))
+	}
+	return out
 }
 
 // runOptimize builds the job body for one optimization request.
@@ -370,12 +455,16 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	if err := s.checkVectors(req.Vectors); err != nil {
+	if err := s.checkAnalyze(req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	c, err := s.loadCircuit(req.Circuit, req.Netlist, req.Name)
 	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.checkSequentialShape(c, req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -435,12 +524,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Analyze[i].Error = "async is not supported inside a batch; submit the item to /v1/analyze instead"
 			continue
 		}
-		if err := s.checkVectors(ar.Vectors); err != nil {
+		if err := s.checkAnalyze(ar); err != nil {
 			resp.Analyze[i].Error = err.Error()
 			continue
 		}
 		c, err := s.loadCircuit(ar.Circuit, ar.Netlist, ar.Name)
 		if err != nil {
+			resp.Analyze[i].Error = err.Error()
+			continue
+		}
+		if err := s.checkSequentialShape(c, ar); err != nil {
 			resp.Analyze[i].Error = err.Error()
 			continue
 		}

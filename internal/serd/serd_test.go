@@ -327,3 +327,131 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 	}
 	t.Fatalf("timed out waiting for %s", what)
 }
+
+// TestSequentialRoundTrip is the acceptance check for the sequential
+// flow: a /v1/analyze round trip with "cycles" set must match the
+// in-process ser.AnalyzeSequential result exactly — the serving tier
+// adds transport, not arithmetic. (encoding/json round-trips float64
+// exactly, so equality here is bit-level.)
+func TestSequentialRoundTrip(t *testing.T) {
+	sys, _, cl, done := newTestServer(t, Config{Workers: 2})
+	defer done()
+
+	for _, name := range []string{"s27", "s344"} {
+		resp, err := cl.Analyze(context.Background(), serclient.AnalyzeRequest{
+			Circuit: name, Cycles: 4, Vectors: 1500, Seed: 7, Top: 5,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if resp.Sequential == nil {
+			t.Fatalf("%s: response missing sequential block", name)
+		}
+		c, err := ser.Benchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sys.AnalyzeSequential(c, ser.SequentialOptions{
+			Cycles: 4, Vectors: 1500, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.U != rep.U {
+			t.Errorf("%s: U = %v over the wire, %v in process", name, resp.U, rep.U)
+		}
+		sq := resp.Sequential
+		if sq.DirectU != rep.DirectU || sq.LatchedU != rep.LatchedU || sq.FIT != rep.FIT {
+			t.Errorf("%s: sequential block differs: %+v vs direct=%v latched=%v fit=%v",
+				name, sq, rep.DirectU, rep.LatchedU, rep.FIT)
+		}
+		if sq.Cycles != rep.Cycles || sq.Flops != rep.Flops {
+			t.Errorf("%s: shape differs: %+v vs cycles=%d flops=%d", name, sq, rep.Cycles, rep.Flops)
+		}
+		soft := rep.Softest(5)
+		if len(resp.GateReports) != len(soft) {
+			t.Fatalf("%s: %d gate reports, want %d", name, len(resp.GateReports), len(soft))
+		}
+		for i, g := range soft {
+			got := resp.GateReports[i]
+			if got.Name != g.Name || got.U != g.U || got.GenWidth != g.GenWidth || got.Delay != g.Delay {
+				t.Errorf("%s: gate report %d differs: %+v vs %+v", name, i, got, g)
+			}
+		}
+	}
+}
+
+// TestSequentialValidation covers the new request limits: cycle caps,
+// init_state without cycles, and the combinational flow rejecting
+// sequential netlists with a 4xx (not a 5xx).
+func TestSequentialValidation(t *testing.T) {
+	_, _, cl, done := newTestServer(t, Config{Workers: 1, MaxCycles: 8, MaxSeqFrames: 12})
+	defer done()
+	ctx := context.Background()
+
+	if _, err := cl.Analyze(ctx, serclient.AnalyzeRequest{Circuit: "s27", Cycles: 9}); !serclient.IsStatus(err, http.StatusBadRequest) {
+		t.Errorf("over-limit cycles: got %v, want 400", err)
+	}
+	// s27 has 3 flops: cycles=5 blows the cycles x flops budget of 12
+	// even though the per-axis cycle cap of 8 would allow it.
+	if _, err := cl.Analyze(ctx, serclient.AnalyzeRequest{Circuit: "s27", Cycles: 5}); !serclient.IsStatus(err, http.StatusBadRequest) {
+		t.Errorf("over-budget cycles x flops: got %v, want 400", err)
+	}
+	// A wrong-length init_state is a client error (400), not a job
+	// failure.
+	if _, err := cl.Analyze(ctx, serclient.AnalyzeRequest{Circuit: "s27", Cycles: 4, InitState: []bool{true}}); !serclient.IsStatus(err, http.StatusBadRequest) {
+		t.Errorf("wrong-length init_state: got %v, want 400", err)
+	}
+	if _, err := cl.Analyze(ctx, serclient.AnalyzeRequest{Circuit: "s27", Cycles: -1}); !serclient.IsStatus(err, http.StatusBadRequest) {
+		t.Errorf("negative cycles: got %v, want 400", err)
+	}
+	if _, err := cl.Analyze(ctx, serclient.AnalyzeRequest{Circuit: "c17", InitState: []bool{true}}); !serclient.IsStatus(err, http.StatusBadRequest) {
+		t.Errorf("init_state without cycles: got %v, want 400", err)
+	}
+	// A sequential netlist through the combinational flow fails the
+	// job (500 with the AnalyzeSequential hint), not the transport.
+	_, err := cl.Analyze(ctx, serclient.AnalyzeRequest{Circuit: "s27", Vectors: 200})
+	if err == nil || !strings.Contains(err.Error(), "AnalyzeSequential") {
+		t.Errorf("sequential circuit in combinational flow: got %v", err)
+	}
+	// Optimize must reject flops outright.
+	_, err = cl.Optimize(ctx, serclient.OptimizeRequest{Circuit: "s27", Vectors: 200})
+	if err == nil {
+		t.Error("optimize accepted a sequential circuit")
+	}
+}
+
+// TestSequentialInBatch: sequential and combinational items mix in one
+// batch against the same shared library.
+func TestSequentialInBatch(t *testing.T) {
+	sys, _, cl, done := newTestServer(t, Config{Workers: 4})
+	defer done()
+
+	resp, err := cl.Batch(context.Background(), serclient.BatchRequest{
+		Analyze: []serclient.AnalyzeRequest{
+			{Circuit: "c17", Vectors: 800, Seed: 3},
+			{Circuit: "s27", Cycles: 4, Vectors: 800, Seed: 3},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Failed != 0 {
+		t.Fatalf("failed items: %d (%+v)", resp.Failed, resp.Analyze)
+	}
+	if resp.Analyze[0].Result.Sequential != nil {
+		t.Error("combinational item grew a sequential block")
+	}
+	item := resp.Analyze[1].Result
+	if item.Sequential == nil {
+		t.Fatal("sequential item missing sequential block")
+	}
+	c, _ := ser.Benchmark("s27")
+	rep, err := sys.AnalyzeSequential(c, ser.SequentialOptions{Cycles: 4, Vectors: 800, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if item.U != rep.U || item.Sequential.LatchedU != rep.LatchedU {
+		t.Errorf("batch sequential result differs: %v vs %v", item.U, rep.U)
+	}
+}

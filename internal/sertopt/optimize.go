@@ -112,6 +112,9 @@ func (r *Result) Ratios() (area, energy, delay float64) {
 
 // Optimize runs the full SERTOPT flow on circuit c.
 func Optimize(c *ckt.Circuit, lib *charlib.Library, opts Options) (*Result, error) {
+	if c.Sequential() {
+		return nil, fmt.Errorf("sertopt: circuit %q has flip-flops; SERTOPT optimizes combinational logic only", c.Name)
+	}
 	opts = opts.withDefaults()
 	res := &Result{}
 

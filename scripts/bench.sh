@@ -5,7 +5,9 @@
 # figure/table at CI-friendly scale and reports the headline quantity
 # of each through b.ReportMetric; cmd/benchreport parses the go test
 # output into machine-readable JSON so the performance trajectory of
-# the repository is recorded PR over PR.
+# the repository is recorded PR over PR. BenchmarkSeqS1196 covers the
+# sequential (ISCAS-89) engine, so the bench-regression gate pins its
+# U metric and runtime alongside the paper figures.
 #
 # Usage:
 #   scripts/bench.sh                 # full suite -> BENCH_1.json

@@ -42,6 +42,7 @@ import (
 	"repro/internal/ckt"
 	"repro/internal/devmodel"
 	"repro/internal/gen"
+	"repro/internal/seq"
 	"repro/internal/sertopt"
 )
 
@@ -156,15 +157,27 @@ func (s *System) LoadLibrary(path string) error {
 	return nil
 }
 
-// Benchmark returns an ISCAS-85 circuit: the genuine c17 netlist or a
-// profile-matched synthetic circuit for the larger suite members (see
-// DESIGN.md §2 for the substitution rationale).
-func Benchmark(name string) (*Circuit, error) { return gen.ISCAS85(name) }
+// Benchmark returns a built-in benchmark circuit: an ISCAS-85 member
+// ("c17" ... "c7552", combinational) or an ISCAS-89 member ("s27" ...
+// "s38417", sequential). The genuine c17 and s27 netlists are included
+// verbatim; the larger suite members are profile-matched synthetic
+// circuits (see DESIGN.md §2 for the substitution rationale).
+func Benchmark(name string) (*Circuit, error) {
+	if len(name) > 0 && name[0] == 's' {
+		return gen.ISCAS89(name)
+	}
+	return gen.ISCAS85(name)
+}
 
-// BenchmarkNames lists available benchmark circuits.
-func BenchmarkNames() []string { return gen.Names() }
+// BenchmarkNames lists available benchmark circuits: the combinational
+// ISCAS-85 suite followed by the sequential ISCAS-89 suite.
+func BenchmarkNames() []string {
+	return append(gen.Names(), gen.SeqNames()...)
+}
 
-// ParseBench reads an ISCAS-85 ".bench" netlist.
+// ParseBench reads an ISCAS-85/89 ".bench" netlist (DFF lines declare
+// flip-flops; the result is a sequential circuit when any are
+// present).
 func ParseBench(r io.Reader, name string) (*Circuit, error) { return bench.Parse(r, name) }
 
 // LoadBenchFile reads a ".bench" netlist from disk.
@@ -270,6 +283,9 @@ func (s *System) Analyze(c *Circuit, opts AnalysisOptions) (*Report, error) {
 // longest single stage, and a cancelled call leaves the shared
 // library in a fully consistent state for concurrent callers.
 func (s *System) AnalyzeContext(ctx context.Context, c *Circuit, opts AnalysisOptions) (*Report, error) {
+	if c.Sequential() {
+		return nil, fmt.Errorf("ser: circuit %q has flip-flops; use AnalyzeSequential", c.Name)
+	}
 	if opts.POLoad == 0 {
 		opts.POLoad = 2e-15
 	}
@@ -308,6 +324,105 @@ func (s *System) AnalyzeContext(ctx context.Context, c *Circuit, opts AnalysisOp
 		})
 	}
 	return rep, nil
+}
+
+// SequentialOptions tune a sequential (ISCAS-89) analysis.
+type SequentialOptions struct {
+	// Cycles is the multi-cycle fault-propagation horizon (default 4):
+	// a strike captured into a flop is chased through this many frames.
+	Cycles int
+	// Vectors is the random-vector count (default 10,000).
+	Vectors int
+	Seed    uint64
+	// POLoad is the latch capacitance at every frame output — genuine
+	// POs and flop D pins alike (default 2 fF).
+	POLoad float64
+	// ClockPeriod is the Eq. 3 latching-window clock (default 300 ps).
+	ClockPeriod float64
+	// FluxPerHour scales the FIT conversion (default seq's nominal).
+	FluxPerHour float64
+	// InitState is the flop reset state in Circuit.DFFs() order; nil
+	// means all zeros.
+	InitState []bool
+}
+
+// SequentialGateReport is one gate's sequential summary.
+type SequentialGateReport = seq.GateReport
+
+// SequentialFlopReport is one flip-flop's summary.
+type SequentialFlopReport = seq.FlopReport
+
+// SequentialReport is the sequential analysis result.
+type SequentialReport struct {
+	// U is the per-cycle circuit unreliability (ps units); DirectU
+	// counts strike glitches latched at POs in the strike cycle,
+	// LatchedU those captured into flops and re-emitted later.
+	U, DirectU, LatchedU float64
+	// FIT is the whole-circuit soft-error rate.
+	FIT float64
+	// Cycles and Flops echo the analysis shape.
+	Cycles, Flops int
+	// Gates lists per-gate results in netlist order; FlopReports per-flop
+	// capture pressure and fault visibility.
+	Gates       []SequentialGateReport
+	FlopReports []SequentialFlopReport
+
+	raw *seq.Result
+}
+
+// Softest returns the n highest-contribution gates, most unreliable
+// first.
+func (r *SequentialReport) Softest(n int) []SequentialGateReport {
+	out := append([]SequentialGateReport(nil), r.Gates...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].U > out[j].U })
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Raw exposes the underlying seq result (frame analysis, flop
+// columns).
+func (r *SequentialReport) Raw() *seq.Result { return r.raw }
+
+// AnalyzeSequential runs the multi-cycle sequential SER analysis on a
+// circuit with flip-flops. Combinational circuits are legal inputs:
+// the result then has no latched component and U equals the
+// combinational Eq. 4 unreliability.
+func (s *System) AnalyzeSequential(c *Circuit, opts SequentialOptions) (*SequentialReport, error) {
+	return s.AnalyzeSequentialContext(context.Background(), c, opts)
+}
+
+// AnalyzeSequentialContext is AnalyzeSequential with cooperative
+// cancellation at the characterization boundary and between analysis
+// stages.
+func (s *System) AnalyzeSequentialContext(ctx context.Context, c *Circuit, opts SequentialOptions) (*SequentialReport, error) {
+	if err := s.Lib.PrecharacterizeContext(ctx, charlib.CircuitClasses(c)); err != nil {
+		return nil, err
+	}
+	res, err := seq.AnalyzeContext(ctx, c, s.Lib, seq.Options{
+		Cycles:      opts.Cycles,
+		Vectors:     opts.Vectors,
+		Seed:        opts.Seed,
+		POLoad:      opts.POLoad,
+		ClockPeriod: opts.ClockPeriod,
+		FluxPerHour: opts.FluxPerHour,
+		InitState:   opts.InitState,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SequentialReport{
+		U:           res.U,
+		DirectU:     res.DirectU,
+		LatchedU:    res.LatchedU,
+		FIT:         res.FIT,
+		Cycles:      res.Cycles,
+		Flops:       res.Flops,
+		Gates:       res.Gates,
+		FlopReports: res.FlopReports,
+		raw:         res,
+	}, nil
 }
 
 // OptimizeOptions tune a SERTOPT run.
@@ -350,6 +465,9 @@ func (s *System) Optimize(c *Circuit, opts OptimizeOptions) (*OptimizeResult, er
 // characterization boundary (the dominant cost on a cold library) and
 // before the optimizer starts.
 func (s *System) OptimizeContext(ctx context.Context, c *Circuit, opts OptimizeOptions) (*OptimizeResult, error) {
+	if c.Sequential() {
+		return nil, fmt.Errorf("ser: circuit %q has flip-flops; SERTOPT optimizes combinational logic only", c.Name)
+	}
 	if err := s.Lib.PrecharacterizeContext(ctx, charlib.CircuitClasses(c)); err != nil {
 		return nil, err
 	}
@@ -430,6 +548,10 @@ func (lc *LibraryCache) Put(level CharacterizationLevel, s *System) {
 // Summary formats a one-line circuit description.
 func Summary(c *Circuit) string {
 	s := c.Summary()
+	if s.DFFs > 0 {
+		return fmt.Sprintf("%s: %d PIs, %d POs, %d flops, %d gates, %d edges, depth %d",
+			s.Name, s.PIs, s.POs, s.DFFs, s.Gates-s.DFFs, s.Edges, s.Levels)
+	}
 	return fmt.Sprintf("%s: %d PIs, %d POs, %d gates, %d edges, depth %d",
 		s.Name, s.PIs, s.POs, s.Gates, s.Edges, s.Levels)
 }

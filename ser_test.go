@@ -257,3 +257,63 @@ func TestConcurrentAnalyzeSharedLibrary(t *testing.T) {
 		t.Fatalf("%d concurrent analyses ran %d characterizations, want 1", n, got)
 	}
 }
+
+func TestAnalyzeRejectsSequential(t *testing.T) {
+	s := NewSystem(CoarseCharacterization)
+	c, err := Benchmark("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Analyze(c, AnalysisOptions{Vectors: 100}); err == nil {
+		t.Fatal("combinational Analyze accepted a sequential circuit")
+	}
+	if _, err := s.Optimize(c, OptimizeOptions{Vectors: 100}); err == nil {
+		t.Fatal("Optimize accepted a sequential circuit")
+	}
+}
+
+func TestAnalyzeSequentialS27(t *testing.T) {
+	s := NewSystem(CoarseCharacterization)
+	c, err := Benchmark("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.AnalyzeSequential(c, SequentialOptions{Cycles: 4, Vectors: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Flops != 3 || rep.Cycles != 4 {
+		t.Fatalf("shape = %d flops, %d cycles", rep.Flops, rep.Cycles)
+	}
+	if rep.U <= 0 || rep.DirectU <= 0 || rep.LatchedU <= 0 || rep.FIT <= 0 {
+		t.Fatalf("degenerate result: %+v", rep)
+	}
+	if got := rep.DirectU + rep.LatchedU; got != rep.U {
+		t.Fatalf("U = %v != direct+latched = %v", rep.U, got)
+	}
+	if len(rep.Gates) != 10 || len(rep.FlopReports) != 3 {
+		t.Fatalf("report sizes: %d gates, %d flops", len(rep.Gates), len(rep.FlopReports))
+	}
+	soft := rep.Softest(3)
+	if len(soft) != 3 || soft[0].U < soft[1].U {
+		t.Fatalf("Softest not sorted: %+v", soft)
+	}
+	// A combinational circuit through the sequential path degenerates
+	// to the combinational result.
+	c17, err := Benchmark("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRep, err := s.AnalyzeSequential(c17, SequentialOptions{Cycles: 4, Vectors: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	combRep, err := s.Analyze(c17, AnalysisOptions{Vectors: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqRep.LatchedU != 0 || seqRep.U != combRep.U {
+		t.Fatalf("combinational degeneration broken: seq U=%v latched=%v, comb U=%v",
+			seqRep.U, seqRep.LatchedU, combRep.U)
+	}
+}

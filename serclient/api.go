@@ -22,6 +22,14 @@ type AnalyzeRequest struct {
 	// Top limits the per-gate report to the N softest gates
 	// (0 = all gates, in netlist order).
 	Top int `json:"top,omitempty"`
+	// Cycles switches to the sequential (ISCAS-89) analysis with this
+	// multi-cycle fault-propagation horizon. 0 selects the
+	// combinational ASERTA flow, which rejects circuits containing
+	// flip-flops; any sequential netlist needs cycles >= 1.
+	Cycles int `json:"cycles,omitempty"`
+	// InitState is the flop reset state in netlist DFF order (nil =
+	// all zeros). Only meaningful with Cycles > 0.
+	InitState []bool `json:"init_state,omitempty"`
 	// Async makes the server return 202 + a job id immediately; poll
 	// GET /v1/jobs/{id} for the result.
 	Async bool `json:"async,omitempty"`
@@ -35,6 +43,21 @@ type GateResult struct {
 	Delay    float64 `json:"delay"`
 }
 
+// SequentialResult carries the extra fields of a sequential (Cycles >
+// 0) analysis: the U split, the flop count and horizon, and the FIT
+// conversion.
+type SequentialResult struct {
+	Cycles int `json:"cycles"`
+	Flops  int `json:"flops"`
+	// DirectU counts strikes latched at POs in the strike cycle;
+	// LatchedU strikes captured into flops and re-emitted in later
+	// cycles. The response's top-level U is their sum.
+	DirectU  float64 `json:"direct_u"`
+	LatchedU float64 `json:"latched_u"`
+	// FIT is the whole-circuit soft-error rate (failures / 1e9 h).
+	FIT float64 `json:"fit"`
+}
+
 // AnalyzeResponse is the ASERTA result for one circuit.
 type AnalyzeResponse struct {
 	Circuit string  `json:"circuit"`
@@ -43,7 +66,10 @@ type AnalyzeResponse struct {
 	// GateReports lists per-gate results (possibly truncated to the
 	// request's Top softest gates).
 	GateReports []GateResult `json:"gate_reports,omitempty"`
-	ElapsedMS   float64      `json:"elapsed_ms"`
+	// Sequential is set when the request asked for a multi-cycle
+	// sequential analysis (Cycles > 0).
+	Sequential *SequentialResult `json:"sequential,omitempty"`
+	ElapsedMS  float64           `json:"elapsed_ms"`
 }
 
 // OptimizeRequest asks for one SERTOPT optimization run.
