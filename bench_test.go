@@ -13,6 +13,7 @@ import (
 	"repro/internal/aserta"
 	"repro/internal/charlib"
 	"repro/internal/devmodel"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/gen"
 	"repro/internal/logicsim"
@@ -225,6 +226,61 @@ func BenchmarkASERTAScaling(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkCompileOnceAnalyzeMany measures the compiled-circuit
+// engine's amortization on c7552: 32 analyses against one compiled
+// handle (the first pays the sensitization simulation, the rest reuse
+// the handle's memo) versus 32 cold calls that each re-derive
+// everything. The per-batch U values are asserted bit-identical, and
+// the warm U is reported as the pinned metric; the warm/cold speedup
+// is the ns/op ratio of the two sub-benchmarks (see BENCH_1.json).
+func BenchmarkCompileOnceAnalyzeMany(b *testing.B) {
+	lib := charlib.NewLibrary(devmodel.Tech70nm(), charlib.CoarseGrid())
+	c, err := gen.ISCAS85("c7552")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cells := aserta.NominalAssignment(c, lib, 2)
+	cfg := aserta.Config{Vectors: 10000, Seed: 1}
+	// Warm the library outside the timed loops.
+	if _, err := aserta.Analyze(c, lib, cells, aserta.Config{Vectors: 100, Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	const analyses = 32
+	var uCold, uWarm float64
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < analyses; k++ {
+				an, err := aserta.Analyze(c, lib, cells, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				uCold = an.U
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cc, err := engine.Compile(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for k := 0; k < analyses; k++ {
+				an, err := aserta.AnalyzeCompiled(cc, lib, cells, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				uWarm = an.U
+			}
+		}
+		b.ReportMetric(uWarm, "U-warm")
+	})
+	// A -bench filter may have run only one sub-benchmark; compare
+	// only when both produced a value.
+	if uWarm != 0 && uCold != 0 && uWarm != uCold {
+		b.Fatalf("warm U = %v, cold U = %v (must be bit-identical)", uWarm, uCold)
 	}
 }
 

@@ -41,6 +41,7 @@ func main() {
 		maxCycles  = flag.Int("max-cycles", 1024, "largest accepted sequential cycle horizon")
 		maxFrames  = flag.Int("max-seq-frames", 65536, "largest accepted cycles x flops work budget")
 		libcache   = flag.String("libcache", "", "JSON library cache (loaded if present, saved on shutdown)")
+		ckktCache  = flag.Int64("compiled-cache-gates", 500000, "compiled-circuit cache budget (total gate records; 0 = default)")
 	)
 	flag.Parse()
 
@@ -59,13 +60,14 @@ func main() {
 	}
 
 	srv := serd.New(serd.Config{
-		System:       sys,
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		MaxGates:     *maxGates,
-		MaxVectors:   *maxVectors,
-		MaxCycles:    *maxCycles,
-		MaxSeqFrames: *maxFrames,
+		System:             sys,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		MaxGates:           *maxGates,
+		MaxVectors:         *maxVectors,
+		MaxCycles:          *maxCycles,
+		MaxSeqFrames:       *maxFrames,
+		CompiledCacheGates: *ckktCache,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

@@ -21,15 +21,15 @@ import (
 
 	"repro/internal/charlib"
 	"repro/internal/ckt"
+	"repro/internal/engine"
 	"repro/internal/logicsim"
 	"repro/internal/lut"
 	"repro/internal/par"
-	"repro/internal/stats"
 )
 
 // DefaultSampleWidths is the paper's sample-width count (§3.2: "the
 // expected output glitch widths, WSijk, for 10 sample glitch widths").
-const DefaultSampleWidths = 10
+const DefaultSampleWidths = engine.DefaultSampleWidths
 
 // Config controls an ASERTA analysis.
 type Config struct {
@@ -65,23 +65,21 @@ type Config struct {
 	FullRecomputeEvery int
 }
 
-// withDefaults fills zero fields.
+// withDefaults fills zero fields with the shared engine defaults.
 func (cfg Config) withDefaults() Config {
-	if cfg.Vectors <= 0 {
-		cfg.Vectors = logicsim.DefaultVectors
+	p := engine.Params{
+		Vectors:      cfg.Vectors,
+		SampleWidths: cfg.SampleWidths,
+		POLoad:       cfg.POLoad,
+		ClockPeriod:  cfg.ClockPeriod,
+		WideWidth:    cfg.WideWidth,
 	}
-	if cfg.SampleWidths <= 0 {
-		cfg.SampleWidths = DefaultSampleWidths
-	}
-	if cfg.POLoad <= 0 {
-		cfg.POLoad = 2e-15
-	}
-	if cfg.WideWidth <= 0 {
-		cfg.WideWidth = 2.56e-9
-	}
-	if cfg.ClockPeriod <= 0 {
-		cfg.ClockPeriod = 300e-12
-	}
+	p.Normalize()
+	cfg.Vectors = p.Vectors
+	cfg.SampleWidths = p.SampleWidths
+	cfg.POLoad = p.POLoad
+	cfg.ClockPeriod = p.ClockPeriod
+	cfg.WideWidth = p.WideWidth
 	if cfg.FullRecomputeEvery == 0 {
 		cfg.FullRecomputeEvery = 64
 	}
@@ -114,6 +112,10 @@ type Analysis struct {
 	Circuit *ckt.Circuit
 	Cells   Assignment
 	Config  Config
+
+	// cc is the compiled artifact the analysis ran against; the static
+	// pipeline caches below are derived from it.
+	cc *engine.CompiledCircuit
 
 	// Loads[i] is the capacitive load on gate i's output (F).
 	Loads []float64
@@ -202,16 +204,33 @@ func GateLoads(c *ckt.Circuit, lib *charlib.Library, cells Assignment, poLoad fl
 	return loads, nil
 }
 
-// Analyze runs the full ASERTA flow.
+// Analyze runs the full ASERTA flow, compiling the circuit on the
+// fly. Callers analyzing one netlist repeatedly should compile once
+// (engine.Compile) and use AnalyzeCompiled, which additionally shares
+// the memoized sensitization statistics across analyses.
 func Analyze(c *ckt.Circuit, lib *charlib.Library, cells Assignment, cfg Config) (*Analysis, error) {
+	cc, err := engine.Compile(c)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeCompiled(cc, lib, cells, cfg)
+}
+
+// AnalyzeCompiled runs the full ASERTA flow against a compiled
+// circuit. Results are bit-identical to Analyze; the netlist-derived
+// work (topological orders, fanout-cone arenas, and — unless
+// cfg.PrecomputedSens overrides it — the sensitization simulation) is
+// served from the handle.
+func AnalyzeCompiled(cc *engine.CompiledCircuit, lib *charlib.Library, cells Assignment, cfg Config) (*Analysis, error) {
 	cfg = cfg.withDefaults()
+	c := cc.Circuit()
 	if c.Sequential() {
 		return nil, fmt.Errorf("aserta: circuit %q has flip-flops; analyze its combinational frame (internal/seq)", c.Name)
 	}
 	if len(cells) != len(c.Gates) {
 		return nil, fmt.Errorf("aserta: %d cells for %d gates", len(cells), len(c.Gates))
 	}
-	a := &Analysis{Circuit: c, Cells: cells, Config: cfg}
+	a := &Analysis{Circuit: c, cc: cc, Cells: cells, Config: cfg}
 
 	var err error
 	a.Loads, err = GateLoads(c, lib, cells, cfg.POLoad)
@@ -241,7 +260,11 @@ func Analyze(c *ckt.Circuit, lib *charlib.Library, cells Assignment, cfg Config)
 	if cfg.PrecomputedSens != nil {
 		a.Sens = cfg.PrecomputedSens
 	} else {
-		a.Sens, err = logicsim.Analyze(c, cfg.Vectors, stats.NewRNG(cfg.Seed))
+		// Memoized on the handle: repeated analyses of one compiled
+		// circuit (the serving tier's warm path, SERTOPT's cost loop,
+		// the sequential engine's frames) run the simulation once per
+		// (vectors, seed) pair.
+		a.Sens, err = logicsim.Sensitization(cc, cfg.Vectors, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -294,16 +317,10 @@ func (a *Analysis) ensureStatic() error {
 		return nil
 	}
 	c := a.Circuit
-	order, err := c.ReverseTopoOrder()
-	if err != nil {
-		return err
-	}
+	order := a.cc.ReverseTopoOrder()
 	nGates := len(c.Gates)
 	nPOs := len(c.Outputs())
-	a.foutOff = make([]int, nGates+1)
-	for id, g := range c.Gates {
-		a.foutOff[id+1] = a.foutOff[id] + len(g.Fanout)
-	}
+	a.foutOff = a.cc.FanoutOffsets()
 	a.sis = make([]float64, a.foutOff[nGates])
 	a.den = make([]float64, nGates*nPOs)
 	a.genIdx = make([]int32, nGates)
@@ -397,7 +414,7 @@ func (a *Analysis) computeGateColumns(i, jLo, jHi int, accK []float64, wsDst, wi
 		// drivers that usually DO drive further logic, so a
 		// fanout-bearing PO falls through and combines successors for
 		// the remaining columns like any internal gate.
-		j, _ := a.Sens.POColumn(i)
+		j, _ := a.cc.POColumn(i)
 		ownCol = j
 		if j >= jLo && j < jHi {
 			row := wsDst[(i*nPOs+j)*K : (i*nPOs+j+1)*K]

@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"container/heap"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ckt"
+)
+
+// Canonicalize returns a structurally canonical copy of c, the basis
+// of content-addressed caching: two netlists that differ only in
+// whitespace, comments, or declaration/line order canonicalize to
+// byte-identical circuits (same gate IDs, same Inputs()/Outputs()
+// order), so every derived analysis result is identical too.
+//
+// The canonical form is: primary inputs first, sorted by name; then
+// flops and logic gates in topological order of the combinational
+// frame with lexicographic name tie-breaking; primary outputs marked
+// in sorted-name order. Each gate's fanin (operand) order is preserved
+// from the source netlist — operand order is part of the content.
+func Canonicalize(c *ckt.Circuit) (*ckt.Circuit, error) {
+	if _, err := c.TopoOrder(); err != nil {
+		return nil, err
+	}
+	nc := ckt.New(c.Name)
+	idMap := make([]int, len(c.Gates))
+	for i := range idMap {
+		idMap[i] = -1
+	}
+
+	// Primary inputs, sorted by name.
+	inputs := append([]int(nil), c.Inputs()...)
+	sortByName(c, inputs)
+	for _, id := range inputs {
+		nid, err := nc.AddGate(c.Gates[id].Name, ckt.Input)
+		if err != nil {
+			return nil, fmt.Errorf("bench: canonicalize %q: %v", c.Name, err)
+		}
+		idMap[id] = nid
+	}
+
+	// Remaining gates: Kahn's algorithm over the combinational frame
+	// with a name-ordered ready heap. DFF outputs are frame sources
+	// (indegree 0, like TopoOrder); the pop sequence depends only on
+	// the graph and the names, never on source declaration order.
+	indeg := make([]int, len(c.Gates))
+	ready := &nameHeap{c: c}
+	for _, g := range c.Gates {
+		if g.Type == ckt.Input {
+			continue
+		}
+		if g.Type == ckt.DFF {
+			heap.Push(ready, g.ID)
+			continue
+		}
+		n := 0
+		for _, f := range g.Fanin {
+			if c.Gates[f].Type != ckt.Input {
+				n++
+			}
+		}
+		indeg[g.ID] = n
+		if n == 0 {
+			heap.Push(ready, g.ID)
+		}
+	}
+	for ready.Len() > 0 {
+		id := heap.Pop(ready).(int)
+		g := c.Gates[id]
+		nid, err := nc.AddGate(g.Name, g.Type)
+		if err != nil {
+			return nil, fmt.Errorf("bench: canonicalize %q: %v", c.Name, err)
+		}
+		idMap[id] = nid
+		for _, s := range g.Fanout {
+			if c.Gates[s].Type == ckt.DFF {
+				continue // D edge crosses the clock boundary
+			}
+			indeg[s]--
+			if indeg[s] == 0 {
+				heap.Push(ready, s)
+			}
+		}
+	}
+
+	// Fanin edges, in original operand order (forward references are
+	// fine: every gate already exists).
+	for _, g := range c.Gates {
+		if g.Type == ckt.Input {
+			continue
+		}
+		for _, f := range g.Fanin {
+			if err := nc.Connect(idMap[f], idMap[g.ID]); err != nil {
+				return nil, fmt.Errorf("bench: canonicalize %q: %v", c.Name, err)
+			}
+		}
+	}
+
+	// Primary outputs, sorted by name.
+	outputs := append([]int(nil), c.Outputs()...)
+	sortByName(c, outputs)
+	for _, id := range outputs {
+		nc.MarkPO(idMap[id])
+	}
+	if err := nc.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: canonical form of %q invalid: %v", c.Name, err)
+	}
+	return nc, nil
+}
+
+// CanonicalContent canonicalizes c once and returns both the
+// canonical circuit and its content address — what a serving tier
+// needs per request (Canonicalize + ContentHash share one pass).
+func CanonicalContent(c *ckt.Circuit) (*ckt.Circuit, string, error) {
+	cc, err := Canonicalize(c)
+	if err != nil {
+		return nil, "", err
+	}
+	sum := sha256.Sum256(renderCanonical(cc))
+	return cc, "sha256:" + hex.EncodeToString(sum[:]), nil
+}
+
+// CanonicalBytes renders the canonical form of c as deterministic
+// .bench text: no comments, no circuit name, inputs and outputs in
+// sorted-name order, gate assignments in canonical topological order.
+// Permuting, re-commenting or re-spacing a source netlist never
+// changes these bytes.
+func CanonicalBytes(c *ckt.Circuit) ([]byte, error) {
+	cc, err := Canonicalize(c)
+	if err != nil {
+		return nil, err
+	}
+	return renderCanonical(cc), nil
+}
+
+// renderCanonical emits the canonical text of an already-canonical
+// circuit (it trusts the caller: gate, input and output orders are
+// written as stored).
+func renderCanonical(cc *ckt.Circuit) []byte {
+	var sb strings.Builder
+	for _, id := range cc.Inputs() {
+		fmt.Fprintf(&sb, "INPUT(%s)\n", cc.Gates[id].Name)
+	}
+	for _, id := range cc.Outputs() {
+		fmt.Fprintf(&sb, "OUTPUT(%s)\n", cc.Gates[id].Name)
+	}
+	for _, g := range cc.Gates {
+		if g.Type == ckt.Input {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			names[i] = cc.Gates[f].Name
+		}
+		fmt.Fprintf(&sb, "%s = %s(%s)\n", g.Name, g.Type, strings.Join(names, ", "))
+	}
+	return []byte(sb.String())
+}
+
+// ContentHash returns the content address of a circuit:
+// "sha256:" + hex SHA-256 of its canonical .bench bytes. Two netlists
+// hash equal exactly when their canonical forms are byte-identical.
+func ContentHash(c *ckt.Circuit) (string, error) {
+	_, h, err := CanonicalContent(c)
+	return h, err
+}
+
+func sortByName(c *ckt.Circuit, ids []int) {
+	sort.Slice(ids, func(i, j int) bool {
+		return c.Gates[ids[i]].Name < c.Gates[ids[j]].Name
+	})
+}
+
+// nameHeap is a min-heap of gate IDs ordered by gate name.
+type nameHeap struct {
+	c   *ckt.Circuit
+	ids []int
+}
+
+func (h *nameHeap) Len() int { return len(h.ids) }
+func (h *nameHeap) Less(i, j int) bool {
+	return h.c.Gates[h.ids[i]].Name < h.c.Gates[h.ids[j]].Name
+}
+func (h *nameHeap) Swap(i, j int) { h.ids[i], h.ids[j] = h.ids[j], h.ids[i] }
+func (h *nameHeap) Push(x any)    { h.ids = append(h.ids, x.(int)) }
+func (h *nameHeap) Pop() (x any)  { n := len(h.ids) - 1; x = h.ids[n]; h.ids = h.ids[:n]; return }

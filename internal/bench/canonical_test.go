@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// canonSeed is the corpus netlist (also checked in as fuzz seed
+// seed_canonical): a small sequential circuit exercising inputs,
+// flops, shared fanout and multiple outputs.
+const canonSeed = `# canonical-form seed
+INPUT(b)
+INPUT(a)
+OUTPUT(y)
+OUTPUT(q)
+q = DFF(g2)
+g1 = NAND(a, b)
+g2 = NOR(g1, q)
+y = NOT(g2)
+`
+
+// permutations of canonSeed: line order scrambled, comments added,
+// whitespace varied. All must hash identically.
+var canonPermutations = []string{
+	// Declarations re-ordered, gates bottom-up.
+	`INPUT(a)
+INPUT(b)
+y = NOT(g2)
+g2 = NOR(g1, q)
+g1 = NAND(a, b)
+q = DFF(g2)
+OUTPUT(q)
+OUTPUT(y)
+`,
+	// Comments and blank lines sprinkled in.
+	`# a comment
+INPUT(b)
+
+# another comment
+INPUT(a)
+OUTPUT(y)
+g1 = NAND(a, b)
+# mid-netlist comment
+g2 = NOR(g1, q)
+OUTPUT(q)
+q = DFF(g2)
+y = NOT(g2)
+`,
+	// Whitespace permuted.
+	"INPUT( a )\nINPUT( b )\nOUTPUT( y )\nOUTPUT( q )\n" +
+		"g1  =  NAND( a , b )\r\ng2=NOR(g1,q)\ny = NOT( g2 )\nq = DFF( g2 )\n",
+}
+
+func TestContentHashCanonicalFormStable(t *testing.T) {
+	base, err := Parse(strings.NewReader(canonSeed), "seed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ContentHash(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(want, "sha256:") || len(want) != len("sha256:")+64 {
+		t.Fatalf("malformed content hash %q", want)
+	}
+	for i, p := range canonPermutations {
+		c, err := Parse(strings.NewReader(p), "perm")
+		if err != nil {
+			t.Fatalf("permutation %d: %v", i, err)
+		}
+		got, err := ContentHash(c)
+		if err != nil {
+			t.Fatalf("permutation %d: %v", i, err)
+		}
+		if got != want {
+			cb, _ := CanonicalBytes(base)
+			pb, _ := CanonicalBytes(c)
+			t.Errorf("permutation %d hashed %s, want %s\nbase canonical:\n%s\nperm canonical:\n%s",
+				i, got, want, cb, pb)
+		}
+	}
+}
+
+func TestContentHashDistinguishesContent(t *testing.T) {
+	base, _ := Parse(strings.NewReader(canonSeed), "seed")
+	want, _ := ContentHash(base)
+
+	// A genuinely different circuit (NAND -> AND) must hash apart.
+	other, err := Parse(strings.NewReader(strings.Replace(canonSeed, "NAND", "AND", 1)), "other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ContentHash(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == want {
+		t.Error("different logic functions hashed equal")
+	}
+
+	// Operand order is content: NAND(b, a) is structurally distinct
+	// from NAND(a, b) in the canonical form (symmetric gates are not
+	// normalized — the analysis consumes operand order as-is).
+	swapped, err := Parse(strings.NewReader(strings.Replace(canonSeed, "NAND(a, b)", "NAND(b, a)", 1)), "swap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := ContentHash(swapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 == want {
+		t.Error("swapped operands hashed equal")
+	}
+}
+
+// TestCanonicalizePreservesAnalysisShape asserts the canonical rebuild
+// is the same circuit: same gate set, same edges, same PO set, valid,
+// and a fixed point (canonicalizing twice is byte-identical).
+func TestCanonicalizeFixedPoint(t *testing.T) {
+	for i, src := range append([]string{canonSeed}, canonPermutations...) {
+		c, err := Parse(strings.NewReader(src), "fp")
+		if err != nil {
+			t.Fatalf("source %d: %v", i, err)
+		}
+		c1, err := Canonicalize(c)
+		if err != nil {
+			t.Fatalf("source %d: %v", i, err)
+		}
+		if c1.NumGates() != c.NumGates() || c1.NumEdges() != c.NumEdges() ||
+			len(c1.Outputs()) != len(c.Outputs()) || len(c1.Inputs()) != len(c.Inputs()) {
+			t.Fatalf("source %d: canonical shape differs: %v vs %v", i, c1.Summary(), c.Summary())
+		}
+		b1, err := CanonicalBytes(c1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b0, err := CanonicalBytes(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b0) != string(b1) {
+			t.Fatalf("source %d: canonicalization is not a fixed point", i)
+		}
+	}
+}

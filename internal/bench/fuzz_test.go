@@ -51,6 +51,11 @@ var fuzzSeeds = []string{
 	"INPUT(G0)\nOUTPUT(G1)\nG1 = DFF(",
 	// A combinational cycle that no flop breaks (must be rejected).
 	"INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = AND(a, x)\n",
+	// Canonical-form seed (see canonical_test.go): scrambled
+	// declaration order, comments and irregular whitespace that must
+	// canonicalize to the same content hash as its tidy form — the
+	// cache-key property the serving tier relies on.
+	"# canon seed\ny  =  NOT( g2 )\nOUTPUT(q)\nINPUT( b )\ng2=NOR(g1,q)\nOUTPUT( y )\nq = DFF(g2)\nINPUT(a)\ng1 = NAND(a, b)\n",
 }
 
 // FuzzParse exercises the .bench parser: any input must either return
@@ -85,6 +90,28 @@ func FuzzParse(f *testing.F) {
 		}
 		if len(c2.DFFs()) != len(c.DFFs()) {
 			t.Fatalf("round trip changed flop count: %d -> %d", len(c.DFFs()), len(c2.DFFs()))
+		}
+		// Canonicalization must accept every valid circuit, preserve
+		// its structure, and be hash-stable: the canonical form of the
+		// canonical form is the same content address (the cache-key
+		// property of the serving tier).
+		h1, err := ContentHash(c)
+		if err != nil {
+			t.Fatalf("ContentHash of valid circuit failed: %v\ninput:\n%s", err, data)
+		}
+		cn, err := Canonicalize(c)
+		if err != nil {
+			t.Fatalf("Canonicalize of valid circuit failed: %v\ninput:\n%s", err, data)
+		}
+		if cn.NumGates() != c.NumGates() || cn.NumEdges() != c.NumEdges() {
+			t.Fatalf("canonicalization changed structure\ninput:\n%s", data)
+		}
+		h2, err := ContentHash(cn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Fatalf("content hash not canonical-form-stable: %s vs %s\ninput:\n%s", h1, h2, data)
 		}
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ckt"
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
@@ -52,6 +53,18 @@ func (tr *FrameTrace) LastMask() uint64 { return tr.lastMask }
 // state is applied to every one of the 64·⌈nVectors/64⌉ parallel
 // vector lanes.
 func SimulateFrames(c *ckt.Circuit, cycles, nVectors int, rng *stats.RNG, initState []bool) (*FrameTrace, error) {
+	cc, err := engine.Compile(c)
+	if err != nil {
+		return nil, err
+	}
+	return SimulateFramesCompiled(cc, cycles, nVectors, rng, initState)
+}
+
+// SimulateFramesCompiled is SimulateFrames over a pre-compiled
+// circuit, reusing the handle's topological order instead of
+// re-deriving it per trace.
+func SimulateFramesCompiled(cc *engine.CompiledCircuit, cycles, nVectors int, rng *stats.RNG, initState []bool) (*FrameTrace, error) {
+	c := cc.Circuit()
 	if cycles < 1 {
 		return nil, fmt.Errorf("logicsim: SimulateFrames needs cycles >= 1, got %d", cycles)
 	}
@@ -62,10 +75,7 @@ func SimulateFrames(c *ckt.Circuit, cycles, nVectors int, rng *stats.RNG, initSt
 	if initState != nil && len(initState) != len(flops) {
 		return nil, fmt.Errorf("logicsim: initState has %d bits for %d flops", len(initState), len(flops))
 	}
-	order, err := c.TopoOrder()
-	if err != nil {
-		return nil, err
-	}
+	order := cc.TopoOrder()
 	nWords := (nVectors + 63) / 64
 	lastMask := ^uint64(0)
 	if r := nVectors % 64; r != 0 {

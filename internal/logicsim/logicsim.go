@@ -21,13 +21,14 @@ import (
 	"math/bits"
 
 	"repro/internal/ckt"
+	"repro/internal/engine"
 	"repro/internal/par"
 	"repro/internal/stats"
 )
 
 // DefaultVectors is the paper's random-vector count for estimating
 // sensitization probabilities.
-const DefaultVectors = 10000
+const DefaultVectors = engine.DefaultVectors
 
 // maxConeEntries bounds the memory of the precomputed fanout-cone
 // arena (entries are int32 gate IDs). Past the budget the DP falls
@@ -97,6 +98,19 @@ func (r *Result) POColumn(poGate int) (int, bool) {
 	return k, ok
 }
 
+// MemoWeight reports the result's retained size in cache-weight units
+// (engine.MemoWeigher, ~128 bytes per unit): the flat Pij arena
+// dominates, so a serving tier's compiled-circuit cache charges
+// memoized sensitization results against its budget instead of
+// letting seed-cycling clients retain them for free.
+func (r *Result) MemoWeight() int64 {
+	bytes := int64(len(r.P1)+len(r.Activity)) * 8
+	if len(r.Pij) > 0 {
+		bytes += int64(len(r.Pij)) * int64(len(r.Pij[0])) * 8
+	}
+	return bytes / 128
+}
+
 // Analyze runs nVectors random vectors (PI probability 0.5, as in the
 // paper) and estimates static probabilities and sensitization
 // probabilities for every gate, using one DP worker per available CPU.
@@ -106,17 +120,60 @@ func Analyze(c *ckt.Circuit, nVectors int, rng *stats.RNG) (*Result, error) {
 
 // AnalyzeWorkers is Analyze with an explicit worker count (<= 0 means
 // one per available CPU). Results are bit-identical for any count.
+// It compiles the circuit on the fly; callers analyzing one netlist
+// repeatedly should compile once and use AnalyzeCompiled (or the
+// memoized Sensitization).
 func AnalyzeWorkers(c *ckt.Circuit, nVectors int, rng *stats.RNG, workers int) (*Result, error) {
+	cc, err := engine.Compile(c)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeCompiled(cc, nVectors, rng, workers)
+}
+
+// sensKey memoizes Sensitization results on the compiled handle.
+type sensKey struct {
+	vectors int
+	seed    uint64
+}
+
+// conesKey memoizes the fanout-cone CSR arena on the compiled handle.
+type conesKey struct{}
+
+// Sensitization returns the sensitization statistics for the compiled
+// circuit at the given vector count and seed, memoized on the handle:
+// the 10,000-vector simulation — the dominant cost of a warm analysis —
+// runs once per (vectors, seed) pair no matter how many analyses share
+// the handle, and concurrent callers coalesce on one run. The result
+// is bit-identical to Analyze(cc.Circuit(), vectors,
+// stats.NewRNG(seed)) and must be treated as read-only.
+func Sensitization(cc *engine.CompiledCircuit, vectors int, seed uint64) (*Result, error) {
+	if vectors <= 0 {
+		vectors = DefaultVectors
+	}
+	v, err := cc.Memo(sensKey{vectors, seed}, func() (any, error) {
+		return AnalyzeCompiled(cc, vectors, stats.NewRNG(seed), 0)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Result), nil
+}
+
+// AnalyzeCompiled is AnalyzeWorkers over a pre-compiled circuit: the
+// topological order, fanin-edge offsets and fanout-cone arena come
+// from (or are memoized on) the handle instead of being re-derived per
+// call. Results are bit-identical to AnalyzeWorkers for any worker
+// count.
+func AnalyzeCompiled(cc *engine.CompiledCircuit, nVectors int, rng *stats.RNG, workers int) (*Result, error) {
+	c := cc.Circuit()
 	if nVectors <= 0 {
 		nVectors = DefaultVectors
 	}
 	if c.Sequential() {
 		return nil, fmt.Errorf("logicsim: circuit %q has flip-flops; analyze its combinational frame (seq.BuildFrame) or use SimulateFrames", c.Name)
 	}
-	order, err := c.TopoOrder()
-	if err != nil {
-		return nil, err
-	}
+	order := cc.TopoOrder()
 	nGates := len(c.Gates)
 	nWords := (nVectors + 63) / 64
 	lastMask := ^uint64(0)
@@ -204,14 +261,7 @@ func AnalyzeWorkers(c *ckt.Circuit, nVectors int, rng *stats.RNG, workers int) (
 	for i, id := range order {
 		posIdx[id] = i
 	}
-	edgeOff := make([]int, nGates+1)
-	for id, g := range c.Gates {
-		n := 0
-		if g.Type != ckt.Input {
-			n = len(g.Fanin)
-		}
-		edgeOff[id+1] = edgeOff[id] + n
-	}
+	edgeOff := cc.FaninEdgeOffsets()
 	sideOK := make([]uint64, edgeOff[nGates]*nWords)
 	par.ForChunks(nGates, workers, 0, func(lo, hi int) {
 		for id := lo; id < hi; id++ {
@@ -252,7 +302,7 @@ func AnalyzeWorkers(c *ckt.Circuit, nVectors int, rng *stats.RNG, workers int) (
 		}
 	}
 
-	cones := precomputeCones(c, order, posIdx, sources, workers)
+	cones := conesFor(cc, order, posIdx, sources, workers)
 
 	nw := par.Workers(workers)
 	if nw > len(sources) {
@@ -363,6 +413,31 @@ func dpGate(g *ckt.Gate, id int, sc *dpScratch, sideOK []uint64, edgeOff []int, 
 	if any != 0 {
 		sc.mark[id] = sc.epoch
 	}
+}
+
+// coneBox wraps the memoized cone arena: the arena is legitimately nil
+// past the memory budget, and a typed wrapper keeps that distinct from
+// a missing memo value.
+type coneBox struct{ cs *coneSet }
+
+// MemoWeight reports the cone arena's retained size in cache-weight
+// units (engine.MemoWeigher).
+func (b coneBox) MemoWeight() int64 {
+	if b.cs == nil {
+		return 0
+	}
+	return int64(len(b.cs.gates)) * 4 / 128
+}
+
+// conesFor returns the fanout-cone CSR arena for the compiled circuit,
+// memoized on the handle — the arena depends only on the netlist, so
+// every sensitization run against one handle shares it. The build is
+// deterministic in the netlist regardless of the worker count.
+func conesFor(cc *engine.CompiledCircuit, order, posIdx, sources []int, workers int) *coneSet {
+	v, _ := cc.Memo(conesKey{}, func() (any, error) {
+		return coneBox{precomputeCones(cc.Circuit(), order, posIdx, sources, workers)}, nil
+	})
+	return v.(coneBox).cs
 }
 
 // coneSet is a CSR arena of precomputed fanout cones: cone i holds the

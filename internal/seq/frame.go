@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ckt"
+	"repro/internal/engine"
 )
 
 // Frame is the combinational frame of a sequential circuit: the same
@@ -19,6 +20,10 @@ type Frame struct {
 	// combinational frame.
 	Seq  *ckt.Circuit
 	Comb *ckt.Circuit
+	// CC is the compiled artifact of Comb: built once per frame and
+	// shared by the sensitization run, the electrical pass and every
+	// strike source across all K cycles.
+	CC *engine.CompiledCircuit
 	// NumRealPOs is the count of genuine primary outputs; the first
 	// NumRealPOs columns of Comb.Outputs() are exactly Seq.Outputs()
 	// in order. The remaining columns are flop-capture taps.
@@ -83,5 +88,33 @@ func BuildFrame(c *ckt.Circuit) (*Frame, error) {
 	if err := comb.Validate(); err != nil {
 		return nil, fmt.Errorf("seq: frame of %q invalid: %v", c.Name, err)
 	}
+	cc, err := engine.Compile(comb)
+	if err != nil {
+		return nil, fmt.Errorf("seq: frame of %q: %v", c.Name, err)
+	}
+	fr.CC = cc
 	return fr, nil
+}
+
+// MemoWeight reports the frame's retained size in cache-weight units
+// (engine.MemoWeigher): the compiled frame circuit plus everything
+// memoized on it (its own sensitization results, cone arenas), so a
+// cached sequential handle's weight reflects the whole nest.
+func (fr *Frame) MemoWeight() int64 { return fr.CC.Weight() }
+
+// frameKey memoizes the compiled frame on the sequential handle.
+type frameKey struct{}
+
+// CompiledFrame returns the combinational frame of a compiled
+// sequential circuit, memoized on the handle: repeat analyses of one
+// handle (a serving tier's warm path) build and compile the frame
+// exactly once.
+func CompiledFrame(cc *engine.CompiledCircuit) (*Frame, error) {
+	v, err := cc.Memo(frameKey{}, func() (any, error) {
+		return BuildFrame(cc.Circuit())
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Frame), nil
 }

@@ -42,6 +42,7 @@ import (
 	"repro/internal/aserta"
 	"repro/internal/charlib"
 	"repro/internal/ckt"
+	"repro/internal/engine"
 	"repro/internal/logicsim"
 	"repro/internal/par"
 	"repro/internal/serrate"
@@ -84,7 +85,9 @@ type Options struct {
 	// InitState is the flops' reset state in Circuit.DFFs() order; nil
 	// means all zeros.
 	InitState []bool
-	// Workers bounds the worker pools (<= 0: one per CPU). Results are
+	// Workers bounds the fault-propagation worker pool (<= 0: one per
+	// CPU); the sensitization simulation runs through the compiled
+	// handle's memo at full parallelism either way. Results are
 	// bit-identical for any count.
 	Workers int
 	// Cells overrides the per-gate cell assignment (indexed by gate
@@ -94,17 +97,13 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	p := engine.Params{Vectors: o.Vectors, POLoad: o.POLoad, ClockPeriod: o.ClockPeriod}
+	p.Normalize()
+	o.Vectors = p.Vectors
+	o.POLoad = p.POLoad
+	o.ClockPeriod = p.ClockPeriod
 	if o.Cycles <= 0 {
 		o.Cycles = DefaultCycles
-	}
-	if o.Vectors <= 0 {
-		o.Vectors = logicsim.DefaultVectors
-	}
-	if o.POLoad <= 0 {
-		o.POLoad = 2e-15
-	}
-	if o.ClockPeriod <= 0 {
-		o.ClockPeriod = 300e-12
 	}
 	if o.FluxPerHour <= 0 {
 		o.FluxPerHour = DefaultFluxPerHour
@@ -168,20 +167,38 @@ func Analyze(c *ckt.Circuit, lib *charlib.Library, opts Options) (*Result, error
 	return AnalyzeContext(context.Background(), c, lib, opts)
 }
 
-// AnalyzeContext is Analyze with cooperative cancellation: ctx is
-// checked between pipeline stages (sizing, sensitization, the
-// electrical pass, fault propagation). A stage already running is not
-// interrupted, so cancellation latency is bounded by the longest
-// single stage, and all state is call-local.
+// AnalyzeContext is Analyze with cooperative cancellation; it compiles
+// the circuit on the fly. A serving tier analyzing one netlist
+// repeatedly should compile once and use AnalyzeCompiledContext.
 func AnalyzeContext(ctx context.Context, c *ckt.Circuit, lib *charlib.Library, opts Options) (*Result, error) {
+	cc, err := engine.Compile(c)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeCompiledContext(ctx, cc, lib, opts)
+}
+
+// AnalyzeCompiledContext runs the sequential analysis against a
+// compiled circuit with cooperative cancellation: ctx is checked
+// between pipeline stages (frame build, sizing, the frame analysis,
+// fault propagation). A stage already running is not interrupted, so
+// cancellation latency is bounded by the longest single stage. The
+// combinational frame is compiled once and memoized on the handle, so
+// repeat analyses (and every strike source across all K cycles within
+// one analysis) share one artifact; the frame's sensitization
+// statistics — flop Qs are frame sources drawing p=0.5 random words
+// exactly like PIs — are memoized per (vectors, seed) the same way.
+// Results are bit-identical to AnalyzeContext.
+func AnalyzeCompiledContext(ctx context.Context, cc *engine.CompiledCircuit, lib *charlib.Library, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	c := cc.Circuit()
 	if opts.InitState != nil && len(opts.InitState) != len(c.DFFs()) {
 		// SimulateFrames checks this too, but only when flops exist;
 		// validating here keeps a bogus InitState from being silently
 		// ignored on combinational circuits.
 		return nil, fmt.Errorf("seq: initState has %d bits for %d flops", len(opts.InitState), len(c.DFFs()))
 	}
-	fr, err := BuildFrame(c)
+	fr, err := CompiledFrame(cc)
 	if err != nil {
 		return nil, err
 	}
@@ -195,22 +212,11 @@ func AnalyzeContext(ctx context.Context, c *ckt.Circuit, lib *charlib.Library, o
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	// Sensitization statistics over the frame: flop Qs are frame
-	// sources and draw p=0.5 random words exactly like PIs (the
-	// standard state approximation for combinational-frame analysis).
-	sens, err := logicsim.AnalyzeWorkers(fr.Comb, opts.Vectors, stats.NewRNG(opts.Seed), opts.Workers)
-	if err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	an, err := aserta.Analyze(fr.Comb, lib, cells, aserta.Config{
-		Vectors:         opts.Vectors,
-		Seed:            opts.Seed,
-		POLoad:          opts.POLoad,
-		ClockPeriod:     opts.ClockPeriod,
-		PrecomputedSens: sens,
+	an, err := aserta.AnalyzeCompiled(fr.CC, lib, cells, aserta.Config{
+		Vectors:     opts.Vectors,
+		Seed:        opts.Seed,
+		POLoad:      opts.POLoad,
+		ClockPeriod: opts.ClockPeriod,
 	})
 	if err != nil {
 		return nil, err
@@ -219,7 +225,7 @@ func AnalyzeContext(ctx context.Context, c *ckt.Circuit, lib *charlib.Library, o
 		return nil, err
 	}
 
-	epf, err := errorsPerFault(ctx, c, opts)
+	epf, err := errorsPerFault(ctx, cc, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -285,14 +291,15 @@ func clampT(w, t float64) float64 {
 // slot, keeping the result bit-identical for any worker count. This
 // is the dominant stage on big circuits (flops × cycles frame
 // evaluations), so ctx is polled at every flop boundary.
-func errorsPerFault(ctx context.Context, c *ckt.Circuit, opts Options) ([]float64, error) {
+func errorsPerFault(ctx context.Context, cc *engine.CompiledCircuit, opts Options) ([]float64, error) {
+	c := cc.Circuit()
 	flops := c.DFFs()
 	nFlops := len(flops)
 	epf := make([]float64, nFlops)
 	if nFlops == 0 {
 		return epf, nil
 	}
-	tr, err := logicsim.SimulateFrames(c, opts.Cycles, opts.Vectors,
+	tr, err := logicsim.SimulateFramesCompiled(cc, opts.Cycles, opts.Vectors,
 		stats.NewRNG(opts.Seed+faultSeedOffset), opts.InitState)
 	if err != nil {
 		return nil, err

@@ -8,6 +8,7 @@ import (
 	"repro/internal/charlib"
 	"repro/internal/ckt"
 	"repro/internal/devmodel"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/sertopt"
 )
@@ -316,7 +317,7 @@ func TestFaultPropagationCancellable(t *testing.T) {
 		t.Fatal(err)
 	}
 	cancel()
-	if _, err := errorsPerFault(ctx, c, Options{Cycles: 4, Vectors: 256}.withDefaults()); err == nil {
+	if _, err := errorsPerFault(ctx, engine.MustCompile(c), Options{Cycles: 4, Vectors: 256}.withDefaults()); err == nil {
 		t.Fatal("cancelled errorsPerFault returned no error")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro"
 	"repro/internal/stats"
 	"repro/serclient"
 )
@@ -83,20 +84,28 @@ func (m *metrics) recordLatency(kind string, ms float64) {
 	m.mu.Unlock()
 }
 
-// snapshot assembles the wire response; queue/library observables are
-// supplied by the caller.
-func (m *metrics) snapshot(queueDepth, jobsRunning, workers int, characterizations int64) serclient.MetricsResponse {
+// snapshot assembles the wire response; queue/library/compiled-cache
+// observables are supplied by the caller.
+func (m *metrics) snapshot(queueDepth, jobsRunning, workers int, characterizations int64, cache ser.CompiledCacheStats) serclient.MetricsResponse {
 	resp := serclient.MetricsResponse{
 		UptimeS:           time.Since(m.start).Seconds(),
 		Errors:            m.errors.Load(),
 		JobsCanceled:      m.canceled.Load(),
 		LibCacheHits:      m.cacheHits.Load(),
 		Characterizations: characterizations,
-		QueueDepth:        queueDepth,
-		JobsRunning:       jobsRunning,
-		QueueWorkers:      workers,
-		Requests:          make(map[string]int64),
-		LatencyMS:         make(map[string]serclient.LatencySummary),
+		CompiledCache: serclient.CompiledCacheMetrics{
+			Hits:      cache.Hits,
+			Misses:    cache.Misses,
+			Evictions: cache.Evictions,
+			Entries:   cache.Entries,
+			Gates:     cache.Weight,
+			Budget:    cache.Budget,
+		},
+		QueueDepth:   queueDepth,
+		JobsRunning:  jobsRunning,
+		QueueWorkers: workers,
+		Requests:     make(map[string]int64),
+		LatencyMS:    make(map[string]serclient.LatencySummary),
 	}
 	m.mu.Lock()
 	for k, v := range m.requests {

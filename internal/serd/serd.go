@@ -9,6 +9,13 @@
 // uncharacterized gate class triggers exactly one characterization
 // (charlib's per-class singleflight) while concurrent requests for the
 // same class block on it and requests for other classes proceed.
+// Circuits resolve through a bounded content-addressed compiled-circuit
+// cache (built-ins by name, inline netlists by the SHA-256 of their
+// canonical .bench form, gate-count-weighted LRU, singleflight on
+// miss), so repeat analyses of one netlist skip parse, compile and the
+// sensitization simulation entirely; inline netlists are analyzed in
+// canonical form, making results stable under whitespace/comment/
+// line-order permutations of the same netlist.
 // Each job carries its own context — synchronous jobs inherit the
 // request context, so a disconnected client cancels its job whether it
 // is still queued (it then never runs) or already running (it stops at
@@ -72,6 +79,13 @@ type Config struct {
 	MaxBodyBytes int64
 	// KeepJobs bounds the job store (default 1024 finished jobs).
 	KeepJobs int
+	// CompiledCacheGates bounds the content-addressed compiled-circuit
+	// cache: total gate records across all cached netlists (default
+	// 500,000 — roughly a hundred ISCAS-scale circuits). Built-in
+	// benchmarks are keyed by name; inline netlists by the SHA-256 of
+	// their canonical .bench form, so whitespace/comment/line-order
+	// permutations of one netlist share a single compiled artifact.
+	CompiledCacheGates int64
 }
 
 func (c Config) withDefaults() Config {
@@ -108,12 +122,13 @@ func (c Config) withDefaults() Config {
 // Server is the HTTP analysis service. Create with New, mount as an
 // http.Handler, Close on shutdown.
 type Server struct {
-	cfg   Config
-	sys   *ser.System
-	queue *par.Queue
-	jobs  *jobStore
-	met   *metrics
-	mux   *http.ServeMux
+	cfg    Config
+	sys    *ser.System
+	queue  *par.Queue
+	jobs   *jobStore
+	met    *metrics
+	mux    *http.ServeMux
+	ccache *ser.CompiledCache
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -126,12 +141,13 @@ func New(cfg Config) *Server {
 		panic("serd: Config.System is required")
 	}
 	s := &Server{
-		cfg:   cfg,
-		sys:   cfg.System,
-		queue: par.NewQueue(cfg.Workers, cfg.QueueDepth),
-		jobs:  newJobStore(cfg.KeepJobs),
-		met:   newMetrics(),
-		mux:   http.NewServeMux(),
+		cfg:    cfg,
+		sys:    cfg.System,
+		queue:  par.NewQueue(cfg.Workers, cfg.QueueDepth),
+		jobs:   newJobStore(cfg.KeepJobs),
+		met:    newMetrics(),
+		mux:    http.NewServeMux(),
+		ccache: ser.NewCompiledCache(cfg.CompiledCacheGates),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /v1/analyze", s.counted("analyze", s.handleAnalyze))
@@ -191,32 +207,118 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// loadCircuit resolves a request's circuit reference — a built-in
-// benchmark name or an inline .bench netlist — and enforces the size
-// limit.
-func (s *Server) loadCircuit(circuit, netlist, name string) (*ser.Circuit, error) {
-	var c *ser.Circuit
+// loaded is a resolved circuit reference: the compiled handle, the
+// request's display name, and — for inline netlists, whose canonical
+// form may permute flop order relative to the submitted declaration
+// order — a remapper translating a declaration-order init_state into
+// the canonical circuit's DFF order.
+type loaded struct {
+	h       *ser.Compiled
+	display string
+	// remapInit is nil when no translation is needed (built-ins, or
+	// inline netlists whose flop order the canonical form preserves).
+	// It requires len(in) == flop count; callers validate first.
+	remapInit func(in []bool) []bool
+}
+
+// loadCompiled resolves a request's circuit reference — a built-in
+// benchmark name or an inline .bench netlist — through the
+// content-addressed compiled-circuit cache, and enforces the size
+// limit. Benchmarks are keyed "name:<benchmark>"; inline netlists are
+// parsed, keyed by the SHA-256 of their canonical form, and analyzed
+// in that canonical form, so any whitespace/comment/line-order
+// permutation of one netlist maps to one compiled artifact and one
+// set of results (init_state is remapped through the same
+// permutation, so its documented declaration-order meaning survives
+// canonicalization).
+func (s *Server) loadCompiled(circuit, netlist, name string) (loaded, error) {
+	var ld loaded
 	var err error
+	ld.display = circuit
 	switch {
 	case circuit != "" && netlist != "":
-		return nil, fmt.Errorf("set exactly one of circuit and netlist, not both")
+		return ld, fmt.Errorf("set exactly one of circuit and netlist, not both")
 	case circuit != "":
-		c, err = ser.Benchmark(circuit)
+		// The size check lives inside the build so an over-limit
+		// benchmark is rejected (errors are never cached) instead of
+		// polluting the cache with entries no request may analyze;
+		// cached entries therefore always satisfy the server's limit.
+		ld.h, err = s.ccache.Get("name:"+circuit, func() (*ser.Circuit, error) {
+			c, err := ser.Benchmark(circuit)
+			if err != nil {
+				return nil, err
+			}
+			return c, s.checkGates(c)
+		})
 	case netlist != "":
 		if name == "" {
 			name = "inline"
 		}
+		ld.display = name
+		var c *ser.Circuit
 		c, err = ser.ParseBench(strings.NewReader(netlist), name)
+		if err != nil {
+			return ld, err
+		}
+		// Enforce the size limit before hashing/compiling: an oversized
+		// netlist must cost parse time only.
+		if err = s.checkGates(c); err != nil {
+			return ld, err
+		}
+		var canon *ser.Circuit
+		var key string
+		canon, key, err = ser.CanonicalContent(c)
+		if err != nil {
+			return ld, err
+		}
+		ld.h, err = s.ccache.Get(key, func() (*ser.Circuit, error) {
+			return canon, nil
+		})
+		if err == nil {
+			ld.remapInit = initRemapper(c, ld.h.Circuit())
+		}
 	default:
-		return nil, fmt.Errorf("set one of circuit (benchmark name) or netlist (.bench body)")
+		return ld, fmt.Errorf("set one of circuit (benchmark name) or netlist (.bench body)")
 	}
-	if err != nil {
-		return nil, err
+	return ld, err
+}
+
+// initRemapper returns a permutation from the submitted circuit's
+// declaration-order DFF list to the canonical circuit's DFF order
+// (matching by flop name — canonicalization preserves names), or nil
+// when the orders already agree. Flop counts always match: the
+// canonical form is a structural copy.
+func initRemapper(submitted, canonical *ser.Circuit) func([]bool) []bool {
+	canonIdx := make(map[string]int, len(canonical.DFFs()))
+	for j, id := range canonical.DFFs() {
+		canonIdx[canonical.Gates[id].Name] = j
 	}
+	perm := make([]int, len(submitted.DFFs()))
+	identity := true
+	for i, id := range submitted.DFFs() {
+		perm[i] = canonIdx[submitted.Gates[id].Name]
+		if perm[i] != i {
+			identity = false
+		}
+	}
+	if identity {
+		return nil
+	}
+	return func(in []bool) []bool {
+		out := make([]bool, len(in))
+		for i, v := range in {
+			out[perm[i]] = v
+		}
+		return out
+	}
+}
+
+// checkGates enforces the circuit-size limit.
+func (s *Server) checkGates(c *ser.Circuit) error {
 	if n := c.NumGates(); n > s.cfg.MaxGates {
-		return nil, fmt.Errorf("circuit has %d gates, limit is %d", n, s.cfg.MaxGates)
+		return fmt.Errorf("circuit has %d gates, limit is %d", n, s.cfg.MaxGates)
 	}
-	return c, nil
+	return nil
 }
 
 // checkVectors enforces the vector-count limit.
@@ -315,13 +417,13 @@ func (s *Server) finishJob(j *job, res any, err error) {
 // characterization counter delta feeding the library cache-hit
 // metric, the Top truncation and the response assembly. The flow only
 // decides the U total, the per-gate rows and the sequential block.
-func (s *Server) runAnalyze(c *ser.Circuit, req serclient.AnalyzeRequest) func(ctx context.Context) (any, error) {
+func (s *Server) runAnalyze(h *ser.Compiled, name string, req serclient.AnalyzeRequest) func(ctx context.Context) (any, error) {
 	return func(ctx context.Context) (any, error) {
 		t0 := time.Now()
 		before := s.sys.Characterizations()
-		resp := &serclient.AnalyzeResponse{Circuit: c.Name}
+		resp := &serclient.AnalyzeResponse{Circuit: name}
 		if req.Cycles > 0 {
-			rep, err := s.sys.AnalyzeSequentialContext(ctx, c, ser.SequentialOptions{
+			rep, err := s.sys.AnalyzeSequentialCompiledContext(ctx, h, ser.SequentialOptions{
 				Cycles:    req.Cycles,
 				Vectors:   req.Vectors,
 				Seed:      req.Seed,
@@ -343,7 +445,7 @@ func (s *Server) runAnalyze(c *ser.Circuit, req serclient.AnalyzeRequest) func(c
 				return serclient.GateResult{Name: g.Name, U: g.U, GenWidth: g.GenWidth, Delay: g.Delay}
 			})
 		} else {
-			rep, err := s.sys.AnalyzeContext(ctx, c, ser.AnalysisOptions{
+			rep, err := s.sys.AnalyzeCompiledContext(ctx, h, ser.AnalysisOptions{
 				Vectors: req.Vectors,
 				Seed:    req.Seed,
 				POLoad:  req.POLoad,
@@ -379,11 +481,11 @@ func gateRows[T any](top int, all []T, softest func(int) []T, row func(T) sercli
 }
 
 // runOptimize builds the job body for one optimization request.
-func (s *Server) runOptimize(c *ser.Circuit, req serclient.OptimizeRequest) func(ctx context.Context) (any, error) {
+func (s *Server) runOptimize(h *ser.Compiled, name string, req serclient.OptimizeRequest) func(ctx context.Context) (any, error) {
 	return func(ctx context.Context) (any, error) {
 		t0 := time.Now()
 		before := s.sys.Characterizations()
-		res, err := s.sys.OptimizeContext(ctx, c, ser.OptimizeOptions{
+		res, err := s.sys.OptimizeCompiledContext(ctx, h, ser.OptimizeOptions{
 			VDDs:       req.VDDs,
 			Vths:       req.Vths,
 			Iterations: req.Iterations,
@@ -399,7 +501,7 @@ func (s *Server) runOptimize(c *ser.Circuit, req serclient.OptimizeRequest) func
 			s.met.cacheHits.Add(1)
 		}
 		return &serclient.OptimizeResponse{
-			Circuit:     c.Name,
+			Circuit:     name,
 			UDecrease:   res.UDecrease,
 			AreaRatio:   res.AreaRatio,
 			EnergyRatio: res.EnergyRatio,
@@ -459,16 +561,19 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	c, err := s.loadCircuit(req.Circuit, req.Netlist, req.Name)
+	ld, err := s.loadCompiled(req.Circuit, req.Netlist, req.Name)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if err := s.checkSequentialShape(c, req); err != nil {
+	if err := s.checkSequentialShape(ld.h.Circuit(), req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.dispatch(w, r, "analyze", req.Async, s.runAnalyze(c, req))
+	if ld.remapInit != nil && len(req.InitState) > 0 {
+		req.InitState = ld.remapInit(req.InitState)
+	}
+	s.dispatch(w, r, "analyze", req.Async, s.runAnalyze(ld.h, ld.display, req))
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
@@ -480,12 +585,12 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	c, err := s.loadCircuit(req.Circuit, req.Netlist, req.Name)
+	ld, err := s.loadCompiled(req.Circuit, req.Netlist, req.Name)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.dispatch(w, r, "optimize", req.Async, s.runOptimize(c, req))
+	s.dispatch(w, r, "optimize", req.Async, s.runOptimize(ld.h, ld.display, req))
 }
 
 // handleBatch fans a batch's items onto the worker pool and reports
@@ -528,16 +633,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Analyze[i].Error = err.Error()
 			continue
 		}
-		c, err := s.loadCircuit(ar.Circuit, ar.Netlist, ar.Name)
+		ld, err := s.loadCompiled(ar.Circuit, ar.Netlist, ar.Name)
 		if err != nil {
 			resp.Analyze[i].Error = err.Error()
 			continue
 		}
-		if err := s.checkSequentialShape(c, ar); err != nil {
+		if err := s.checkSequentialShape(ld.h.Circuit(), ar); err != nil {
 			resp.Analyze[i].Error = err.Error()
 			continue
 		}
-		j, err := s.submit("analyze", r.Context(), true, s.runAnalyze(c, ar))
+		if ld.remapInit != nil && len(ar.InitState) > 0 {
+			ar.InitState = ld.remapInit(ar.InitState)
+		}
+		j, err := s.submit("analyze", r.Context(), true, s.runAnalyze(ld.h, ld.display, ar))
 		if err != nil {
 			resp.Analyze[i].Error = err.Error()
 			continue
@@ -553,12 +661,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Optimize[i].Error = err.Error()
 			continue
 		}
-		c, err := s.loadCircuit(or.Circuit, or.Netlist, or.Name)
+		ld, err := s.loadCompiled(or.Circuit, or.Netlist, or.Name)
 		if err != nil {
 			resp.Optimize[i].Error = err.Error()
 			continue
 		}
-		j, err := s.submit("optimize", r.Context(), true, s.runOptimize(c, or))
+		j, err := s.submit("optimize", r.Context(), true, s.runOptimize(ld.h, ld.display, or))
 		if err != nil {
 			resp.Optimize[i].Error = err.Error()
 			continue
@@ -621,6 +729,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.met.snapshot(
 		s.queue.Depth(), s.queue.Running(), s.queue.Workers(),
-		s.sys.Characterizations(),
+		s.sys.Characterizations(), s.ccache.Stats(),
 	))
 }

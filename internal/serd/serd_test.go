@@ -315,6 +315,180 @@ func TestAsyncJobLifecycleAndMetrics(t *testing.T) {
 	}
 }
 
+// TestCompiledCacheSecondRequestHits is the acceptance check for the
+// compiled-circuit cache: a second identical request must be served
+// from the cache — a compiled-cache hit, zero new characterizations,
+// zero new cache entries — with a bit-identical result, and /metrics
+// must expose the counters plus per-endpoint request counts.
+func TestCompiledCacheSecondRequestHits(t *testing.T) {
+	sys, _, cl, done := newTestServer(t, Config{Workers: 2})
+	defer done()
+	ctx := context.Background()
+
+	req := serclient.AnalyzeRequest{Circuit: "c432", Vectors: 1200, Seed: 9}
+	first, err := cl.Analyze(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.CompiledCache.Misses != 1 || m1.CompiledCache.Entries != 1 {
+		t.Fatalf("cold request: cache = %+v, want 1 miss / 1 entry", m1.CompiledCache)
+	}
+	chars := sys.Characterizations()
+	if chars == 0 {
+		t.Fatal("cold request characterized nothing")
+	}
+
+	second, err := cl.Analyze(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.U != first.U {
+		t.Fatalf("warm U = %v, cold U = %v (must be bit-identical)", second.U, first.U)
+	}
+	m2, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.CompiledCache.Hits != m1.CompiledCache.Hits+1 {
+		t.Fatalf("second identical request was not a cache hit: %+v -> %+v", m1.CompiledCache, m2.CompiledCache)
+	}
+	if m2.CompiledCache.Misses != m1.CompiledCache.Misses || m2.CompiledCache.Entries != 1 {
+		t.Fatalf("second identical request changed cache occupancy: %+v", m2.CompiledCache)
+	}
+	if got := sys.Characterizations(); got != chars {
+		t.Fatalf("warm request ran %d new characterizations", got-chars)
+	}
+	if m2.CompiledCache.Gates <= 0 || m2.CompiledCache.Budget <= 0 {
+		t.Fatalf("cache occupancy not reported: %+v", m2.CompiledCache)
+	}
+	// Per-endpoint request counts: two analyzes and the metrics probes.
+	if m2.Requests["analyze"] != 2 {
+		t.Fatalf("analyze request count = %d, want 2 (%+v)", m2.Requests["analyze"], m2.Requests)
+	}
+	if m2.Requests["metrics"] < 2 {
+		t.Fatalf("metrics request count = %d, want >= 2", m2.Requests["metrics"])
+	}
+}
+
+// TestCompiledCacheCanonicalKey: whitespace/comment/line-order
+// permutations of one inline netlist share a single cache entry and
+// return identical results — the content address is computed on the
+// canonical form.
+func TestCompiledCacheCanonicalKey(t *testing.T) {
+	_, _, cl, done := newTestServer(t, Config{Workers: 2})
+	defer done()
+	ctx := context.Background()
+
+	tidy := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ng1 = NAND(a, b)\ny = NOT(g1)\n"
+	permuted := "# same circuit, scrambled\ny = NOT( g1 )\nOUTPUT(y)\nINPUT( b )\nINPUT(a)\n\ng1=NAND(a,b)\n"
+
+	r1, err := cl.Analyze(ctx, serclient.AnalyzeRequest{Netlist: tidy, Name: "tidy", Vectors: 800, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := cl.Analyze(ctx, serclient.AnalyzeRequest{Netlist: permuted, Name: "scrambled", Vectors: 800, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.U != r1.U {
+		t.Fatalf("permuted netlist U = %v, tidy U = %v (must be bit-identical)", r2.U, r1.U)
+	}
+	if r1.Circuit != "tidy" || r2.Circuit != "scrambled" {
+		t.Fatalf("display names not preserved: %q, %q", r1.Circuit, r2.Circuit)
+	}
+	m, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CompiledCache.Misses != 1 || m.CompiledCache.Hits != 1 || m.CompiledCache.Entries != 1 {
+		t.Fatalf("permutations did not share one cache entry: %+v", m.CompiledCache)
+	}
+}
+
+// TestInlineSequentialInitStateCanonicalRemap: inline netlists are
+// analyzed in canonical form, whose DFF order may differ from the
+// submitted declaration order — init_state is documented as
+// declaration-order, so the server must remap it through the
+// canonical permutation. The wire result must equal the in-process
+// analysis of the canonical circuit with the correctly permuted
+// init_state, and differ from the unpermuted one (proving the test
+// can actually detect a missing remap).
+func TestInlineSequentialInitStateCanonicalRemap(t *testing.T) {
+	sys, _, cl, done := newTestServer(t, Config{Workers: 2})
+	defer done()
+	ctx := context.Background()
+
+	// qb is declared before qa, but the canonical Kahn order sorts by
+	// name, so the canonical DFF order is [qa qb] — a real permutation.
+	// The single AND output makes a flipped flop visible only when the
+	// OTHER flop's value is 1, and the two capture taps (ba vs nb) sit
+	// at different electrical positions, so swapping the reset bits
+	// measurably changes the latched unreliability.
+	netlist := "INPUT(a)\nOUTPUT(y1)\n" +
+		"qb = DFF(nb)\nqa = DFF(ba)\n" +
+		"ba = BUFF(a)\nnb = NOT(ba)\n" +
+		"y1 = AND(qa, qb)\n"
+	init := []bool{true, false} // declaration order: qb=1, qa=0
+
+	resp, err := cl.Analyze(ctx, serclient.AnalyzeRequest{
+		Netlist: netlist, Name: "perm", Cycles: 3, Vectors: 1000, Seed: 5, InitState: init,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parsed, err := ser.ParseBench(strings.NewReader(netlist), "perm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, _, err := ser.CanonicalContent(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Permute init from declaration order into canonical DFF order by
+	// flop name.
+	canonIdx := map[string]int{}
+	for j, id := range canon.DFFs() {
+		canonIdx[canon.Gates[id].Name] = j
+	}
+	want := make([]bool, len(init))
+	permuted := false
+	for i, id := range parsed.DFFs() {
+		j := canonIdx[parsed.Gates[id].Name]
+		want[j] = init[i]
+		if j != i {
+			permuted = true
+		}
+	}
+	if !permuted {
+		t.Fatal("test circuit's canonical DFF order equals declaration order; pick a permuting netlist")
+	}
+	opts := ser.SequentialOptions{Cycles: 3, Vectors: 1000, Seed: 5}
+	opts.InitState = want
+	ref, err := sys.AnalyzeSequential(canon, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.U != ref.U || resp.Sequential.LatchedU != ref.LatchedU {
+		t.Errorf("wire U/latched = %v/%v, canonical+remapped reference %v/%v",
+			resp.U, resp.Sequential.LatchedU, ref.U, ref.LatchedU)
+	}
+	// Guard against vacuity: the unpermuted init must give a different
+	// answer on this circuit.
+	opts.InitState = init
+	refWrong, err := sys.AnalyzeSequential(canon, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refWrong.U == ref.U {
+		t.Fatal("init permutation does not affect U on this circuit; the remap assertion is vacuous")
+	}
+}
+
 // waitFor polls cond for up to 5 seconds.
 func waitFor(t *testing.T, what string, cond func() bool) {
 	t.Helper()

@@ -6,6 +6,7 @@ import (
 	"repro/internal/aserta"
 	"repro/internal/charlib"
 	"repro/internal/ckt"
+	"repro/internal/engine"
 )
 
 // MatchConfig bounds the discrete cell search during delay matching.
@@ -39,6 +40,18 @@ type MatchConfig struct {
 // and fanin of each cell are fixed by the netlist; only the four
 // design variables change.
 func MatchDelays(c *ckt.Circuit, lib *charlib.Library, desired []float64, cfg MatchConfig) (aserta.Assignment, error) {
+	cc, err := engine.Compile(c)
+	if err != nil {
+		return nil, err
+	}
+	return MatchDelaysCompiled(cc, lib, desired, cfg)
+}
+
+// MatchDelaysCompiled is MatchDelays over a pre-compiled circuit,
+// reusing the handle's reverse topological order — the optimizer calls
+// it once per cost evaluation.
+func MatchDelaysCompiled(cc *engine.CompiledCircuit, lib *charlib.Library, desired []float64, cfg MatchConfig) (aserta.Assignment, error) {
+	c := cc.Circuit()
 	if len(desired) != len(c.Gates) {
 		return nil, fmt.Errorf("sertopt: %d desired delays for %d gates", len(desired), len(c.Gates))
 	}
@@ -48,10 +61,7 @@ func MatchDelays(c *ckt.Circuit, lib *charlib.Library, desired []float64, cfg Ma
 	if len(cfg.Vths) == 0 {
 		cfg.Vths = []float64{lib.Tech.Vthnom}
 	}
-	order, err := c.ReverseTopoOrder()
-	if err != nil {
-		return nil, err
-	}
+	order := cc.ReverseTopoOrder()
 	cells := make(aserta.Assignment, len(c.Gates))
 	assigned := make([]bool, len(c.Gates))
 	for _, id := range order {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/aserta"
 	"repro/internal/charlib"
 	"repro/internal/ckt"
+	"repro/internal/engine"
 	"repro/internal/logicsim"
 )
 
@@ -29,6 +30,18 @@ const ClockPeriodFactor = 1.2
 // act supplies per-gate toggle activities (from logicsim); sens may be
 // nil, in which case activity 0.2 is assumed for every gate.
 func EvaluateMetrics(c *ckt.Circuit, lib *charlib.Library, cells aserta.Assignment, sens *logicsim.Result, poLoad float64) (Metrics, error) {
+	cc, err := engine.Compile(c)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return EvaluateMetricsCompiled(cc, lib, cells, sens, poLoad)
+}
+
+// EvaluateMetricsCompiled is EvaluateMetrics over a pre-compiled
+// circuit, reusing the handle's topological order — the optimizer
+// calls it once per cost evaluation.
+func EvaluateMetricsCompiled(cc *engine.CompiledCircuit, lib *charlib.Library, cells aserta.Assignment, sens *logicsim.Result, poLoad float64) (Metrics, error) {
+	c := cc.Circuit()
 	var m Metrics
 	loads, err := aserta.GateLoads(c, lib, cells, poLoad)
 	if err != nil {
@@ -36,10 +49,7 @@ func EvaluateMetrics(c *ckt.Circuit, lib *charlib.Library, cells aserta.Assignme
 	}
 	// Critical path: longest arrival over the DAG.
 	arrival := make([]float64, len(c.Gates))
-	order, err := c.TopoOrder()
-	if err != nil {
-		return m, err
-	}
+	order := cc.TopoOrder()
 	for _, id := range order {
 		g := c.Gates[id]
 		if g.Type == ckt.Input {

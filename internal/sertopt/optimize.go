@@ -2,14 +2,14 @@ package sertopt
 
 import (
 	"fmt"
-
 	"math"
+
 	"repro/internal/aserta"
 	"repro/internal/charlib"
 	"repro/internal/ckt"
+	"repro/internal/engine"
 	"repro/internal/logicsim"
 	"repro/internal/matrix"
-
 	"repro/internal/stats"
 )
 
@@ -58,7 +58,7 @@ func (o Options) withDefaults() Options {
 		o.Iterations = 8
 	}
 	if o.Vectors == 0 {
-		o.Vectors = logicsim.DefaultVectors
+		o.Vectors = engine.DefaultVectors
 	}
 	if o.Method == "" {
 		o.Method = "sqp"
@@ -70,7 +70,7 @@ func (o Options) withDefaults() Options {
 		o.StepInit = 20e-12
 	}
 	if o.Match.POLoad == 0 {
-		o.Match.POLoad = 2e-15
+		o.Match.POLoad = engine.DefaultPOLoad
 	}
 	return o
 }
@@ -110,8 +110,26 @@ func (r *Result) Ratios() (area, energy, delay float64) {
 		r.OptMetrics.Delay / r.BaseMetrics.Delay
 }
 
-// Optimize runs the full SERTOPT flow on circuit c.
+// Optimize runs the full SERTOPT flow on circuit c, compiling it on
+// the fly. Callers holding a compiled handle should use
+// OptimizeCompiled, which shares the handle's memoized sensitization
+// with every other analysis of the same netlist.
 func Optimize(c *ckt.Circuit, lib *charlib.Library, opts Options) (*Result, error) {
+	cc, err := engine.Compile(c)
+	if err != nil {
+		return nil, err
+	}
+	return OptimizeCompiled(cc, lib, opts)
+}
+
+// OptimizeCompiled runs the full SERTOPT flow against a compiled
+// circuit. The one-time sensitization statistics come from the
+// handle's memo (shared with ASERTA analyses of the same netlist at
+// the same vectors/seed), and every inner cost evaluation reuses the
+// compiled topological orders instead of re-deriving them. Results
+// are bit-identical to Optimize.
+func OptimizeCompiled(cc *engine.CompiledCircuit, lib *charlib.Library, opts Options) (*Result, error) {
+	c := cc.Circuit()
 	if c.Sequential() {
 		return nil, fmt.Errorf("sertopt: circuit %q has flip-flops; SERTOPT optimizes combinational logic only", c.Name)
 	}
@@ -136,27 +154,29 @@ func Optimize(c *ckt.Circuit, lib *charlib.Library, opts Options) (*Result, erro
 		opts.Match.MaxSize = maxSize
 	}
 
-	// One-time logic analysis, shared by every cost evaluation.
-	sens, err := logicsim.Analyze(c, opts.Vectors, stats.NewRNG(opts.Seed))
+	// One-time logic analysis, shared by every cost evaluation: the
+	// handle's memo replaces the old private PrecomputedSens plumbing —
+	// the embedded ASERTA analyses below resolve the same (vectors,
+	// seed) entry.
+	sens, err := logicsim.Sensitization(cc, opts.Vectors, opts.Seed)
 	if err != nil {
 		return nil, err
 	}
 	acfg := aserta.Config{
-		Vectors:         opts.Vectors,
-		Seed:            opts.Seed,
-		SampleWidths:    opts.SampleWidths,
-		POLoad:          opts.Match.POLoad,
-		PrecomputedSens: sens,
+		Vectors:      opts.Vectors,
+		Seed:         opts.Seed,
+		SampleWidths: opts.SampleWidths,
+		POLoad:       opts.Match.POLoad,
 	}
 
-	res.BaseMetrics, err = EvaluateMetrics(c, lib, baseline, sens, opts.Match.POLoad)
+	res.BaseMetrics, err = EvaluateMetricsCompiled(cc, lib, baseline, sens, opts.Match.POLoad)
 	if err != nil {
 		return nil, err
 	}
 	// Latch-capture saturation at the circuit's own clock (1.2x the
 	// baseline critical path), for both baseline and candidates.
 	acfg.ClockPeriod = ClockPeriodFactor * res.BaseMetrics.Delay
-	res.BaseAnalysis, err = aserta.Analyze(c, lib, baseline, acfg)
+	res.BaseAnalysis, err = aserta.AnalyzeCompiled(cc, lib, baseline, acfg)
 	if err != nil {
 		return nil, err
 	}
@@ -223,15 +243,15 @@ func Optimize(c *ckt.Circuit, lib *charlib.Library, opts Options) (*Result, erro
 				perGate[i] = minDelay
 			}
 		}
-		cells, err := MatchDelays(c, lib, perGate, opts.Match)
+		cells, err := MatchDelaysCompiled(cc, lib, perGate, opts.Match)
 		if err != nil {
 			return nil, err
 		}
-		an, err := aserta.Analyze(c, lib, cells, acfg)
+		an, err := aserta.AnalyzeCompiled(cc, lib, cells, acfg)
 		if err != nil {
 			return nil, err
 		}
-		m, err := EvaluateMetrics(c, lib, cells, sens, opts.Match.POLoad)
+		m, err := EvaluateMetricsCompiled(cc, lib, cells, sens, opts.Match.POLoad)
 		if err != nil {
 			return nil, err
 		}
@@ -254,7 +274,7 @@ func Optimize(c *ckt.Circuit, lib *charlib.Library, opts Options) (*Result, erro
 	// descent direction onto the nullspace, and line-search it before
 	// the main loop.
 	if len(basis) > 0 {
-		seed, err := gradientSeed(c, lib, topo, basis, res.BaseAnalysis, d0, opts)
+		seed, err := gradientSeed(cc, lib, topo, basis, res.BaseAnalysis, d0, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -302,10 +322,10 @@ func Optimize(c *ckt.Circuit, lib *charlib.Library, opts Options) (*Result, erro
 // probed for gates within a few levels of the POs — electrical and
 // logical masking make deeper gates' contributions (and sensitivities)
 // negligible, and this bounds the seeding cost on large circuits.
-func gradientSeed(c *ckt.Circuit, lib *charlib.Library, topo *Topology, basis [][]float64, base *aserta.Analysis, d0 []float64, opts Options) ([]float64, error) {
+func gradientSeed(cc *engine.CompiledCircuit, lib *charlib.Library, topo *Topology, basis [][]float64, base *aserta.Analysis, d0 []float64, opts Options) ([]float64, error) {
 	const sensDepth = 8
 	const h = 2e-12
-	depth := c.DepthFromPO()
+	depth := cc.DepthFromPO()
 	u0 := base.U
 	grad := make([]float64, len(topo.GateOf))
 	any := false

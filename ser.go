@@ -25,6 +25,15 @@
 //	c, _ := ser.Benchmark("c432")
 //	rep, _ := sys.Analyze(c, ser.AnalysisOptions{})
 //	fmt.Printf("U = %.1f, softest gate %s\n", rep.U, rep.Softest(1)[0].Name)
+//
+// Analyzing one netlist repeatedly? Compile it once — the handle
+// carries every netlist-derived artifact (topological orders, cone
+// arenas, memoized sensitization statistics) and is safe to share
+// across concurrent Analyze/AnalyzeSequential/Optimize calls:
+//
+//	h, _ := ser.Compile(c)
+//	rep, _ = sys.AnalyzeCompiled(h, ser.AnalysisOptions{})
+//	opt, _ := sys.OptimizeCompiled(h, ser.OptimizeOptions{})
 package ser
 
 import (
@@ -41,13 +50,57 @@ import (
 	"repro/internal/charlib"
 	"repro/internal/ckt"
 	"repro/internal/devmodel"
+	"repro/internal/engine"
 	"repro/internal/gen"
+	"repro/internal/harden"
 	"repro/internal/seq"
 	"repro/internal/sertopt"
 )
 
 // Circuit is the public alias for the gate-level netlist type.
 type Circuit = ckt.Circuit
+
+// Compiled is a reusable analysis handle: the circuit plus every
+// artifact derivable from the netlist alone (topological orders,
+// levelization, fanout-cone arenas, PO/flop column maps and — lazily,
+// keyed by vector count and seed — the sensitization statistics).
+// Compile once, then run any number of Analyze/AnalyzeSequential/
+// Optimize calls against the handle, concurrently if desired: the
+// expensive netlist-only precomputation is paid once and shared, and
+// results are bit-identical to the compile-on-the-fly entry points.
+//
+// A Compiled handle is immutable and safe for concurrent use. Do not
+// mutate the underlying Circuit after compiling it.
+type Compiled struct {
+	c  *Circuit
+	cc *engine.CompiledCircuit
+}
+
+// Compile builds the reusable analysis handle for a circuit. It fails
+// on structurally invalid netlists, so a handle is always analyzable.
+func Compile(c *Circuit) (*Compiled, error) {
+	cc, err := engine.Compile(c)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{c: c, cc: cc}, nil
+}
+
+// Circuit returns the underlying netlist (read-only).
+func (h *Compiled) Circuit() *Circuit { return h.c }
+
+// TMR returns a compiled handle for the triple-modular-redundancy
+// hardened version of the circuit (shared primary inputs, triplicated
+// logic, a 2-level AND-OR majority voter per primary output) — the
+// classical defense the paper argues against, kept as the comparison
+// baseline for SERTOPT. The input handle is not modified.
+func TMR(h *Compiled) (*Compiled, error) {
+	res, err := harden.TMR(h.c)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(res.Circuit)
+}
 
 // CharacterizationLevel selects how densely the cell library is
 // characterized (transient simulations per gate class).
@@ -175,6 +228,63 @@ func BenchmarkNames() []string {
 	return append(gen.Names(), gen.SeqNames()...)
 }
 
+// Canonicalize returns the canonical structural form of a circuit:
+// inputs and outputs in sorted-name order, gates in name-tie-broken
+// topological order, operand order preserved. Netlists differing only
+// in whitespace, comments or line order canonicalize to byte-identical
+// circuits — and therefore to bit-identical analysis results.
+func Canonicalize(c *Circuit) (*Circuit, error) { return bench.Canonicalize(c) }
+
+// CanonicalKey returns a circuit's content address — "sha256:" plus
+// the hex SHA-256 of its canonical .bench bytes — the key a serving
+// tier uses to cache compiled circuits across requests.
+func CanonicalKey(c *Circuit) (string, error) { return bench.ContentHash(c) }
+
+// CanonicalContent returns the canonical form and the content address
+// together, canonicalizing once — the per-request path of a serving
+// tier (Canonicalize + CanonicalKey share one pass).
+func CanonicalContent(c *Circuit) (*Circuit, string, error) { return bench.CanonicalContent(c) }
+
+// CompiledCacheStats snapshots a CompiledCache's counters.
+type CompiledCacheStats = engine.CacheStats
+
+// CompiledCache is a bounded content-addressed cache of compiled
+// circuits for a serving tier: keys are content addresses (CanonicalKey)
+// or stable names, values are Compiled handles, eviction is LRU
+// weighted by gate count, and concurrent misses for one key coalesce
+// on a single build. Safe for concurrent use.
+type CompiledCache struct {
+	cache *engine.Cache
+}
+
+// NewCompiledCache creates a cache bounded by a total gate-record
+// budget across all cached circuits (<= 0 selects 500,000 — roughly a
+// hundred ISCAS-scale circuits).
+func NewCompiledCache(budgetGates int64) *CompiledCache {
+	return &CompiledCache{cache: engine.NewCache(budgetGates)}
+}
+
+// Get returns the compiled handle for key, building (and compiling)
+// the circuit at most once per cached lifetime: concurrent callers for
+// one missing key block on a single build, and build errors are
+// returned without being cached.
+func (cc *CompiledCache) Get(key string, build func() (*Circuit, error)) (*Compiled, error) {
+	h, err := cc.cache.Get(key, func() (*engine.CompiledCircuit, error) {
+		c, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return engine.Compile(c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{c: h.Circuit(), cc: h}, nil
+}
+
+// Stats snapshots the hit/miss/eviction counters.
+func (cc *CompiledCache) Stats() CompiledCacheStats { return cc.cache.Stats() }
+
 // ParseBench reads an ISCAS-85/89 ".bench" netlist (DFF lines declare
 // flip-flops; the result is a sequential circuit when any are
 // present).
@@ -271,7 +381,9 @@ func (r *Report) SpectrumU(sys *System, spectrum []ChargeWeight) (float64, []flo
 }
 
 // Analyze runs ASERTA on the circuit with a speed-sized baseline
-// assignment (or opts.Cells when provided).
+// assignment (or opts.Cells when provided), compiling the circuit on
+// the fly. Callers analyzing one netlist repeatedly should Compile
+// once and use AnalyzeCompiled.
 func (s *System) Analyze(c *Circuit, opts AnalysisOptions) (*Report, error) {
 	return s.AnalyzeContext(context.Background(), c, opts)
 }
@@ -283,11 +395,31 @@ func (s *System) Analyze(c *Circuit, opts AnalysisOptions) (*Report, error) {
 // longest single stage, and a cancelled call leaves the shared
 // library in a fully consistent state for concurrent callers.
 func (s *System) AnalyzeContext(ctx context.Context, c *Circuit, opts AnalysisOptions) (*Report, error) {
+	h, err := Compile(c)
+	if err != nil {
+		return nil, err
+	}
+	return s.AnalyzeCompiledContext(ctx, h, opts)
+}
+
+// AnalyzeCompiled runs ASERTA against a compiled handle: the
+// netlist-derived precomputation (orders, cones, the sensitization
+// simulation at the requested vectors/seed) is served from the handle,
+// so warm analyses skip it entirely. Results are bit-identical to
+// Analyze.
+func (s *System) AnalyzeCompiled(h *Compiled, opts AnalysisOptions) (*Report, error) {
+	return s.AnalyzeCompiledContext(context.Background(), h, opts)
+}
+
+// AnalyzeCompiledContext is AnalyzeCompiled with cooperative
+// cancellation (same stage boundaries as AnalyzeContext).
+func (s *System) AnalyzeCompiledContext(ctx context.Context, h *Compiled, opts AnalysisOptions) (*Report, error) {
+	c := h.c
 	if c.Sequential() {
 		return nil, fmt.Errorf("ser: circuit %q has flip-flops; use AnalyzeSequential", c.Name)
 	}
 	if opts.POLoad == 0 {
-		opts.POLoad = 2e-15
+		opts.POLoad = engine.DefaultPOLoad
 	}
 	if err := s.Lib.PrecharacterizeContext(ctx, charlib.CircuitClasses(c)); err != nil {
 		return nil, err
@@ -303,7 +435,7 @@ func (s *System) AnalyzeContext(ctx context.Context, c *Circuit, opts AnalysisOp
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	an, err := aserta.Analyze(c, s.Lib, cells, aserta.Config{
+	an, err := aserta.AnalyzeCompiled(h.cc, s.Lib, cells, aserta.Config{
 		Vectors: opts.Vectors,
 		Seed:    opts.Seed,
 		POLoad:  opts.POLoad,
@@ -397,10 +529,30 @@ func (s *System) AnalyzeSequential(c *Circuit, opts SequentialOptions) (*Sequent
 // cancellation at the characterization boundary and between analysis
 // stages.
 func (s *System) AnalyzeSequentialContext(ctx context.Context, c *Circuit, opts SequentialOptions) (*SequentialReport, error) {
+	h, err := Compile(c)
+	if err != nil {
+		return nil, err
+	}
+	return s.AnalyzeSequentialCompiledContext(ctx, h, opts)
+}
+
+// AnalyzeSequentialCompiled runs the sequential analysis against a
+// compiled handle: the combinational frame is built and compiled once
+// per handle and its sensitization statistics are memoized per
+// (vectors, seed), so warm analyses skip both. Results are
+// bit-identical to AnalyzeSequential.
+func (s *System) AnalyzeSequentialCompiled(h *Compiled, opts SequentialOptions) (*SequentialReport, error) {
+	return s.AnalyzeSequentialCompiledContext(context.Background(), h, opts)
+}
+
+// AnalyzeSequentialCompiledContext is AnalyzeSequentialCompiled with
+// cooperative cancellation.
+func (s *System) AnalyzeSequentialCompiledContext(ctx context.Context, h *Compiled, opts SequentialOptions) (*SequentialReport, error) {
+	c := h.c
 	if err := s.Lib.PrecharacterizeContext(ctx, charlib.CircuitClasses(c)); err != nil {
 		return nil, err
 	}
-	res, err := seq.AnalyzeContext(ctx, c, s.Lib, seq.Options{
+	res, err := seq.AnalyzeCompiledContext(ctx, h.cc, s.Lib, seq.Options{
 		Cycles:      opts.Cycles,
 		Vectors:     opts.Vectors,
 		Seed:        opts.Seed,
@@ -456,7 +608,8 @@ type OptimizeResult struct {
 // Raw exposes the full optimizer result (assignments, history).
 func (r *OptimizeResult) Raw() *sertopt.Result { return r.raw }
 
-// Optimize runs SERTOPT on the circuit.
+// Optimize runs SERTOPT on the circuit, compiling it on the fly.
+// Callers holding a compiled handle should use OptimizeCompiled.
 func (s *System) Optimize(c *Circuit, opts OptimizeOptions) (*OptimizeResult, error) {
 	return s.OptimizeContext(context.Background(), c, opts)
 }
@@ -465,6 +618,24 @@ func (s *System) Optimize(c *Circuit, opts OptimizeOptions) (*OptimizeResult, er
 // characterization boundary (the dominant cost on a cold library) and
 // before the optimizer starts.
 func (s *System) OptimizeContext(ctx context.Context, c *Circuit, opts OptimizeOptions) (*OptimizeResult, error) {
+	h, err := Compile(c)
+	if err != nil {
+		return nil, err
+	}
+	return s.OptimizeCompiledContext(ctx, h, opts)
+}
+
+// OptimizeCompiled runs SERTOPT against a compiled handle, sharing the
+// handle's memoized sensitization with every other analysis of the
+// same netlist. Results are bit-identical to Optimize.
+func (s *System) OptimizeCompiled(h *Compiled, opts OptimizeOptions) (*OptimizeResult, error) {
+	return s.OptimizeCompiledContext(context.Background(), h, opts)
+}
+
+// OptimizeCompiledContext is OptimizeCompiled with cooperative
+// cancellation.
+func (s *System) OptimizeCompiledContext(ctx context.Context, h *Compiled, opts OptimizeOptions) (*OptimizeResult, error) {
+	c := h.c
 	if c.Sequential() {
 		return nil, fmt.Errorf("ser: circuit %q has flip-flops; SERTOPT optimizes combinational logic only", c.Name)
 	}
@@ -488,7 +659,7 @@ func (s *System) OptimizeContext(ctx context.Context, c *Circuit, opts OptimizeO
 	if opts.Weights != nil {
 		sopts.Weights = *opts.Weights
 	}
-	res, err := sertopt.Optimize(c, s.Lib, sopts)
+	res, err := sertopt.OptimizeCompiled(h.cc, s.Lib, sopts)
 	if err != nil {
 		return nil, err
 	}

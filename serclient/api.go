@@ -166,6 +166,21 @@ type LatencySummary struct {
 	Max   float64 `json:"max"`
 }
 
+// CompiledCacheMetrics reports the server's content-addressed
+// compiled-circuit cache: a hit means a request's netlist skipped
+// parse+compile+sensitization entirely (built-ins are keyed by name,
+// inline netlists by the SHA-256 of their canonical .bench form).
+type CompiledCacheMetrics struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	// Entries and Gates describe current occupancy; Budget is the
+	// gate-record capacity evictions enforce.
+	Entries int   `json:"entries"`
+	Gates   int64 `json:"gates"`
+	Budget  int64 `json:"budget"`
+}
+
 // MetricsResponse is the GET /metrics body.
 type MetricsResponse struct {
 	UptimeS float64 `json:"uptime_s"`
@@ -186,6 +201,8 @@ type MetricsResponse struct {
 	// ran entirely against already-characterized tables.
 	Characterizations int64 `json:"characterizations"`
 	LibCacheHits      int64 `json:"lib_cache_hits"`
+	// CompiledCache reports the compiled-circuit cache counters.
+	CompiledCache CompiledCacheMetrics `json:"compiled_cache"`
 	// LatencyMS maps job kind ("analyze", "optimize") to a latency
 	// summary over recent jobs.
 	LatencyMS map[string]LatencySummary `json:"latency_ms"`
