@@ -309,6 +309,42 @@ func BenchmarkSeqS1196(b *testing.B) {
 	b.ReportMetric(u, "U-seq")
 }
 
+// BenchmarkSusceptibilityC7552 measures the per-gate susceptibility
+// product's hot path on the largest ISCAS-85 member: a warm compiled
+// handle (characterization done, sensitization memoized) re-analyzed
+// and re-ranked per iteration — the serving tier's /v1/susceptibility
+// steady state. The pinned metric is the cumulative share of the top
+// 10 gates, so the regression gate tracks the ranking itself, not
+// just its runtime.
+func BenchmarkSusceptibilityC7552(b *testing.B) {
+	s := NewSystem(CoarseCharacterization)
+	c, err := Benchmark("c7552")
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := Compile(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := AnalysisOptions{Vectors: 10000, Seed: 1}
+	// Warm the library and the handle's memoized sensitization outside
+	// the timed loop.
+	if _, err := s.AnalyzeCompiled(h, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var top10 float64
+	for i := 0; i < b.N; i++ {
+		rep, err := s.AnalyzeCompiled(h, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sus := rep.Susceptibility()
+		top10 = sus[9].CumShare
+	}
+	b.ReportMetric(100*top10, "top10-share-pct")
+}
+
 // BenchmarkIntroTrend regenerates the introduction's motivation claim:
 // combinational-logic SER rising ~9 orders of magnitude 1992→2011,
 // crossing unprotected-memory SER (the paper's reference [2]).

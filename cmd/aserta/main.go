@@ -5,10 +5,16 @@
 // circuits with flip-flops (strikes captured into flops propagate as
 // logical faults through subsequent clock cycles).
 //
+// With -susceptibility it prints the ranked per-gate susceptibility
+// report instead: each gate's share of the circuit unreliability and
+// the cumulative share through its rank — the selective-hardening
+// shopping list ("the top N gates carry X% of the susceptibility").
+//
 // Usage:
 //
 //	aserta -circuit c432 [-vectors 10000] [-top 10]
-//	aserta -circuit s27 -cycles 4
+//	aserta -circuit c432 -susceptibility -top 20
+//	aserta -circuit s27 -cycles 4 [-susceptibility]
 //	aserta -bench path/to/netlist.bench [-libcache lib.json]
 package main
 
@@ -31,6 +37,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "RNG seed")
 		top      = flag.Int("top", 10, "number of softest gates to list")
 		cycles   = flag.Int("cycles", 0, "sequential analysis horizon in clock cycles (0 = combinational ASERTA; required >=1 for circuits with DFFs)")
+		susc     = flag.Bool("susceptibility", false, "print the ranked per-gate susceptibility report (share + cumulative share) instead of the default tables")
 		coarse   = flag.Bool("coarse", false, "use the coarse characterization grid (faster)")
 		libcache = flag.String("libcache", "", "path to a JSON library cache (loaded if present, saved after)")
 	)
@@ -77,13 +84,17 @@ func main() {
 		}
 		fmt.Printf("sequential unreliability over %d cycles: U = %.2f (direct %.2f + latched %.2f), FIT = %.3g\n",
 			rep.Cycles, rep.U, rep.DirectU, rep.LatchedU, rep.FIT)
-		fmt.Printf("%-12s %12s %12s %12s\n", "gate", "U_i", "direct", "latched")
-		for _, g := range rep.Softest(*top) {
-			fmt.Printf("%-12s %12.3f %12.3f %12.3f\n", g.Name, g.U, g.DirectU, g.LatchedU)
-		}
-		fmt.Printf("%-12s %14s %18s\n", "flop", "capture U", "errors per fault")
-		for _, f := range rep.FlopReports {
-			fmt.Printf("%-12s %14.3f %18.3f\n", f.Name, f.CaptureU, f.ErrorsPerFault)
+		if *susc {
+			printSusceptibility(rep.Susceptibility(), *top)
+		} else {
+			fmt.Printf("%-12s %12s %12s %12s\n", "gate", "U_i", "direct", "latched")
+			for _, g := range rep.Softest(*top) {
+				fmt.Printf("%-12s %12.3f %12.3f %12.3f\n", g.Name, g.U, g.DirectU, g.LatchedU)
+			}
+			fmt.Printf("%-12s %14s %18s\n", "flop", "capture U", "errors per fault")
+			for _, f := range rep.FlopReports {
+				fmt.Printf("%-12s %14.3f %18.3f\n", f.Name, f.CaptureU, f.ErrorsPerFault)
+			}
 		}
 	} else {
 		rep, err := sys.Analyze(c, ser.AnalysisOptions{Vectors: *vectors, Seed: *seed})
@@ -91,9 +102,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("circuit unreliability U = %.2f (Eq. 4; area-weighted expected PO glitch width, ps scale)\n", rep.U)
-		fmt.Printf("%-12s %12s %14s %12s\n", "gate", "U_i", "gen width ps", "delay ps")
-		for _, g := range rep.Softest(*top) {
-			fmt.Printf("%-12s %12.3f %14.2f %12.2f\n", g.Name, g.U, g.GenWidth/1e-12, g.Delay/1e-12)
+		if *susc {
+			printSusceptibility(rep.Susceptibility(), *top)
+		} else {
+			fmt.Printf("%-12s %12s %14s %12s\n", "gate", "U_i", "gen width ps", "delay ps")
+			for _, g := range rep.Softest(*top) {
+				fmt.Printf("%-12s %12.3f %14.2f %12.2f\n", g.Name, g.U, g.GenWidth/1e-12, g.Delay/1e-12)
+			}
 		}
 	}
 
@@ -102,5 +117,24 @@ func main() {
 			log.Fatalf("save library cache: %v", err)
 		}
 		fmt.Printf("saved library cache %s\n", *libcache)
+	}
+}
+
+// printSusceptibility renders the ranked per-gate report: absolute
+// contribution, share of the circuit total and the running cumulative
+// share.
+func printSusceptibility(entries []ser.SusceptibilityEntry, top int) {
+	n := len(entries)
+	if top > 0 && top < n {
+		n = top
+	}
+	fmt.Printf("%-6s %-12s %12s %9s %9s\n", "rank", "gate", "U_i", "share", "cum")
+	for i := 0; i < n; i++ {
+		e := entries[i]
+		fmt.Printf("%-6d %-12s %12.3f %8.2f%% %8.2f%%\n", i+1, e.Name, e.U, 100*e.Share, 100*e.CumShare)
+	}
+	if n < len(entries) {
+		fmt.Printf("(%d more gates carry the remaining %.2f%%)\n",
+			len(entries)-n, 100*(1-entries[n-1].CumShare))
 	}
 }

@@ -46,6 +46,7 @@ func main() {
 		vectors = flag.Int("vectors", 10000, "random vectors for sensitization")
 		seed    = flag.Uint64("seed", 1, "RNG seed")
 		method  = flag.String("method", "sqp", `optimizer: "sqp" or "anneal"`)
+		top     = flag.Int("top", 5, "susceptibility entries to show in the before/after soft-spot table (0 disables)")
 		coarse  = flag.Bool("coarse", false, "use the coarse characterization grid (faster)")
 	)
 	flag.Parse()
@@ -101,4 +102,22 @@ func main() {
 		res.AreaRatio, res.EnergyRatio, res.DelayRatio, 100*res.UDecrease)
 	fmt.Printf("\nbaseline U = %.2f, optimized U = %.2f (%d cost evaluations)\n",
 		res.BaselineU, res.OptimizedU, res.Raw().Evaluations)
+
+	if *top > 0 {
+		// Where the soft spots were and where the optimizer left them:
+		// the ranked per-gate susceptibility before and after.
+		base, opt := res.Susceptibility()
+		n := *top
+		if n > len(base) {
+			n = len(base)
+		}
+		fmt.Printf("\ntop %d soft spots (baseline -> optimized)\n", n)
+		fmt.Printf("%-6s %-12s %9s %9s   %-12s %9s %9s\n",
+			"rank", "gate", "share", "cum", "gate", "share", "cum")
+		for i := 0; i < n; i++ {
+			fmt.Printf("%-6d %-12s %8.2f%% %8.2f%%   %-12s %8.2f%% %8.2f%%\n",
+				i+1, base[i].Name, 100*base[i].Share, 100*base[i].CumShare,
+				opt[i].Name, 100*opt[i].Share, 100*opt[i].CumShare)
+		}
+	}
 }

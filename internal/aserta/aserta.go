@@ -13,6 +13,11 @@
 //     reverse-topological pass over 10 sample glitch widths (§3.2);
 //   - latching-window masking: capture probability proportional to
 //     the glitch width arriving at the PO, scaled by gate area Z_i.
+//
+// ASERTA is the combinational configuration of the shared
+// strike-propagation pipeline (internal/strike): EnumerateSources →
+// ElectricalFilter → Reduce, with no flop-capture window stage and the
+// optimizer's incremental re-reduction exposed through RecomputeU.
 package aserta
 
 import (
@@ -23,8 +28,7 @@ import (
 	"repro/internal/ckt"
 	"repro/internal/engine"
 	"repro/internal/logicsim"
-	"repro/internal/lut"
-	"repro/internal/par"
+	"repro/internal/strike"
 )
 
 // DefaultSampleWidths is the paper's sample-width count (§3.2: "the
@@ -113,8 +117,7 @@ type Analysis struct {
 	Cells   Assignment
 	Config  Config
 
-	// cc is the compiled artifact the analysis ran against; the static
-	// pipeline caches below are derived from it.
+	// cc is the compiled artifact the analysis ran against.
 	cc *engine.CompiledCircuit
 
 	// Loads[i] is the capacitive load on gate i's output (F).
@@ -123,6 +126,8 @@ type Analysis struct {
 	Delays []float64
 	// GenWidth[i] is the strike-induced glitch width w_i at gate i (s).
 	GenWidth []float64
+	// Flux[i] is gate i's Eq. 3 flux weight Z_i.
+	Flux []float64
 	// Sens carries static and sensitization probabilities.
 	Sens *logicsim.Result
 	// Wij[i][k] is the expected glitch width at the k-th PO for a
@@ -140,68 +145,25 @@ type Analysis struct {
 	Samples []float64
 	WS      [][][]float64
 
-	// Static pipeline caches, valid for the lifetime of the Analysis
-	// (they depend only on the netlist and sensitization statistics,
-	// never on delays): reverse topological order, per-fanout-edge side
-	// sensitizations S_is, the Eq. 2 denominators Σ_s S_is·P_sj, and
-	// the prepared interpolation of each gate's generated width on the
-	// sample ladder.
-	rorder  []int
-	foutOff []int
-	sis     []float64
-	den     []float64
-	genIdx  []int32
-	genFrac []float64
+	// prop is the shared pipeline's ElectricalFilter stage; delta its
+	// incremental re-reduce configuration. RecomputeU shares the
+	// delta's scratch arenas and is therefore not safe for concurrent
+	// use on one Analysis.
+	prop  *strike.Propagator
+	delta *strike.Delta
 	// wsFlat/wijFlat back the exposed WS/Wij views.
 	wsFlat, wijFlat []float64
-	// Per-call scratch for RecomputeU (incremental WS/Wij arenas, the
-	// affected/changed sets and the prepared attenuation table).
-	// RecomputeU is therefore not safe for concurrent use on one
-	// Analysis.
-	incrWS, incrWij []float64
-	affected        []bool
-	changed         []bool
-	changedIDs      []int
-	attIdx          []int32
-	attFrac         []float64
-	// attIsBase/attDirty track which attenuation rows correspond to
-	// the baseline delays, so delta calls refresh only changed rows.
-	attIsBase bool
-	attDirty  []int
-	incrEvals int
 }
 
 // Attenuate applies the paper's Equation 1: a glitch of width wi
 // passing a gate of delay d emerges with width 0 (wi < d),
 // 2(wi−d) (d ≤ wi ≤ 2d), or wi (wi > 2d).
-func Attenuate(wi, d float64) float64 {
-	switch {
-	case wi < d:
-		return 0
-	case wi <= 2*d:
-		return 2 * (wi - d)
-	default:
-		return wi
-	}
-}
+func Attenuate(wi, d float64) float64 { return strike.Attenuate(wi, d) }
 
 // GateLoads computes each gate's output load: the input capacitance of
 // every fanout pin plus the PO latch load where applicable.
 func GateLoads(c *ckt.Circuit, lib *charlib.Library, cells Assignment, poLoad float64) ([]float64, error) {
-	loads := make([]float64, len(c.Gates))
-	for _, g := range c.Gates {
-		for _, s := range g.Fanout {
-			cap, err := lib.InputCap(cells[s])
-			if err != nil {
-				return nil, fmt.Errorf("aserta: input cap of gate %s: %v", c.Gates[s].Name, err)
-			}
-			loads[g.ID] += cap
-		}
-		if g.PO {
-			loads[g.ID] += poLoad
-		}
-	}
-	return loads, nil
+	return strike.GateLoads(c, lib, cells, poLoad)
 }
 
 // Analyze runs the full ASERTA flow, compiling the circuit on the
@@ -232,30 +194,13 @@ func AnalyzeCompiled(cc *engine.CompiledCircuit, lib *charlib.Library, cells Ass
 	}
 	a := &Analysis{Circuit: c, cc: cc, Cells: cells, Config: cfg}
 
-	var err error
-	a.Loads, err = GateLoads(c, lib, cells, cfg.POLoad)
+	// Stage 1: EnumerateSources — loads, delays, generated widths and
+	// flux weights from the cell assignment.
+	src, err := strike.EnumerateSources(cc, lib, cells, cfg.POLoad)
 	if err != nil {
 		return nil, err
 	}
-
-	nGates := len(c.Gates)
-	a.Delays = make([]float64, nGates)
-	a.GenWidth = make([]float64, nGates)
-	for _, g := range c.Gates {
-		if g.Type == ckt.Input {
-			continue
-		}
-		d, err := lib.Delay(cells[g.ID], a.Loads[g.ID])
-		if err != nil {
-			return nil, fmt.Errorf("aserta: delay of %s: %v", g.Name, err)
-		}
-		a.Delays[g.ID] = d
-		w, err := lib.GlitchGen(cells[g.ID], a.Loads[g.ID])
-		if err != nil {
-			return nil, fmt.Errorf("aserta: glitch gen of %s: %v", g.Name, err)
-		}
-		a.GenWidth[g.ID] = w
-	}
+	a.Loads, a.Delays, a.GenWidth, a.Flux = src.Loads, src.Delays, src.GenWidth, src.Flux
 
 	if cfg.PrecomputedSens != nil {
 		a.Sens = cfg.PrecomputedSens
@@ -270,21 +215,34 @@ func AnalyzeCompiled(cc *engine.CompiledCircuit, lib *charlib.Library, cells Ass
 		}
 	}
 
-	if err := a.electricalPass(lib); err != nil {
-		return nil, err
+	// Stage 2: ElectricalFilter — the §3.2 reverse-topological pass
+	// for the baseline delays, publishing the WS/Wij views.
+	a.Samples = cfg.sampleWidths()
+	a.prop = strike.NewPropagator(cc, a.Sens, a.GenWidth, a.Samples)
+	nGates := len(c.Gates)
+	nPOs := len(c.Outputs())
+	K := len(a.Samples)
+	a.wsFlat = make([]float64, nGates*nPOs*K)
+	a.wijFlat = make([]float64, nGates*nPOs)
+	a.prop.Run(a.Delays, a.wsFlat, a.wijFlat)
+
+	// Publish the arena through the historical slice-of-slices views.
+	rows := make([][]float64, nGates*nPOs)
+	for r := range rows {
+		rows[r] = a.wsFlat[r*K : (r+1)*K]
+	}
+	a.WS = make([][][]float64, nGates)
+	a.Wij = make([][]float64, nGates)
+	for i := 0; i < nGates; i++ {
+		a.WS[i] = rows[i*nPOs : (i+1)*nPOs]
+		a.Wij[i] = a.wijFlat[i*nPOs : (i+1)*nPOs]
 	}
 
-	// Latching-window masking + flux scaling (Eq. 3) and circuit
-	// total (Eq. 4) via uiOf — the single implementation the
-	// incremental RecomputeU delta also relies on.
-	a.Ui = make([]float64, nGates)
-	for _, g := range c.Gates {
-		if g.Type == ckt.Input {
-			continue
-		}
-		a.Ui[g.ID] = a.uiOf(g.ID, a.Wij[g.ID])
-		a.U += a.Ui[g.ID]
-	}
+	// Stage 3: LatchingWindow + Reduce — Eq. 3 per-gate contributions
+	// and the Eq. 4 circuit total, with the incremental delta
+	// configuration armed for RecomputeU.
+	a.Ui, a.U = strike.Reduce(c, a.Flux, a.Wij, cfg.ClockPeriod)
+	a.delta = a.prop.NewDelta(a.Delays, a.wsFlat, a.wijFlat, a.Ui, a.U, a.uiOf)
 	return a, nil
 }
 
@@ -308,215 +266,11 @@ func (cfg Config) sampleWidths() []float64 {
 	return ws
 }
 
-// ensureStatic fills the delay-independent pipeline caches: reverse
-// topological order, per-fanout-edge side sensitizations, the Eq. 2
-// denominators and the prepared generated-width interpolations. Safe
-// to call repeatedly; work happens once per Analysis.
-func (a *Analysis) ensureStatic() error {
-	if a.rorder != nil {
-		return nil
-	}
-	c := a.Circuit
-	order := a.cc.ReverseTopoOrder()
-	nGates := len(c.Gates)
-	nPOs := len(c.Outputs())
-	a.foutOff = a.cc.FanoutOffsets()
-	a.sis = make([]float64, a.foutOff[nGates])
-	a.den = make([]float64, nGates*nPOs)
-	a.genIdx = make([]int32, nGates)
-	a.genFrac = make([]float64, nGates)
-	par.ForChunks(nGates, 0, 0, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			g := c.Gates[i]
-			if g.Type == ckt.Input {
-				continue
-			}
-			sis := a.sis[a.foutOff[i]:a.foutOff[i+1]]
-			for si, s := range g.Fanout {
-				sis[si] = logicsim.SideSensitization(c, a.Sens, i, s)
-			}
-			// π_isj = S_is · P_ij / Σ_k S_ik · P_kj  (Eq. 2), which
-			// satisfies the paper's normalization
-			// Σ_s π_isj · P_sj = P_ij. The denominator is
-			// delay-independent, so it is computed once here.
-			den := a.den[i*nPOs : (i+1)*nPOs]
-			for j := 0; j < nPOs; j++ {
-				d := 0.0
-				for si, s := range g.Fanout {
-					d += sis[si] * a.Sens.Pij[s][j]
-				}
-				den[j] = d
-			}
-			gi, gf := lut.PrepInterp1D(a.Samples, a.GenWidth[i])
-			a.genIdx[i] = int32(gi)
-			a.genFrac[i] = gf
-		}
-	})
-	a.rorder = order
-	return nil
-}
-
-// prepAtten prepares, for every gate s and sample index k, the
-// interpolation of the Eq. 1-attenuated width Attenuate(ws[k],
-// delays[s]) on the sample ladder. attIdx -2 marks a fully masked
-// glitch (wo <= 0), which contributes nothing.
-func (a *Analysis) prepAtten(delays []float64) {
-	K := len(a.Samples)
-	nGates := len(a.Circuit.Gates)
-	if a.attIdx == nil {
-		a.attIdx = make([]int32, nGates*K)
-		a.attFrac = make([]float64, nGates*K)
-	}
-	for _, g := range a.Circuit.Gates {
-		if g.Type == ckt.Input {
-			continue
-		}
-		a.prepAttenGate(g.ID, delays[g.ID])
-	}
-}
-
-// prepAttenGate fills one gate's attenuation row for delay d.
-func (a *Analysis) prepAttenGate(id int, d float64) {
-	ws := a.Samples
-	K := len(ws)
-	row := id * K
-	for k := 0; k < K; k++ {
-		wo := Attenuate(ws[k], d)
-		if wo <= 0 {
-			a.attIdx[row+k] = -2
-			continue
-		}
-		i, f := lut.PrepInterp1D(ws, wo)
-		a.attIdx[row+k] = int32(i)
-		a.attFrac[row+k] = f
-	}
-}
-
-// computeGateColumns evaluates gate i's §3.2 step (iii)/(iv) rows for
-// PO columns [jLo, jHi): WS rows into wsDst and expected widths into
-// wijDst. Successor rows are read from wsDst, except that when
-// affected is non-nil the rows of unaffected successors come from
-// wsBase (the incremental delta evaluation). accK is caller scratch of
-// K floats. The accumulation order (ascending successor index per
-// sample) matches the historical serial pass, so results are
-// bit-identical to it.
-func (a *Analysis) computeGateColumns(i, jLo, jHi int, accK []float64, wsDst, wijDst, wsBase []float64, affected []bool) {
-	c := a.Circuit
-	g := c.Gates[i]
-	ws := a.Samples
-	K := len(ws)
-	nPOs := len(c.Outputs())
-	ownCol := -1
-	if g.PO {
-		// Step (ii): a PO gate presents the glitch directly at its own
-		// column. ISCAS-85 POs are terminal, so the paper stops here;
-		// a sequential frame's flop-capture columns sit on D-pin
-		// drivers that usually DO drive further logic, so a
-		// fanout-bearing PO falls through and combines successors for
-		// the remaining columns like any internal gate.
-		j, _ := a.cc.POColumn(i)
-		ownCol = j
-		if j >= jLo && j < jHi {
-			row := wsDst[(i*nPOs+j)*K : (i*nPOs+j+1)*K]
-			copy(row, ws)
-			wijDst[i*nPOs+j] = a.GenWidth[i]
-		}
-		if len(g.Fanout) == 0 {
-			return
-		}
-	}
-	// Step (iii): combine successors.
-	succs := g.Fanout
-	sis := a.sis[a.foutOff[i]:a.foutOff[i+1]]
-	den := a.den[i*nPOs : (i+1)*nPOs]
-	for j := jLo; j < jHi; j++ {
-		if j == ownCol {
-			continue
-		}
-		pij := a.Sens.Pij[i][j]
-		if pij == 0 || den[j] == 0 {
-			continue
-		}
-		for k := 0; k < K; k++ {
-			accK[k] = 0
-		}
-		for si, s := range succs {
-			w := sis[si]
-			src := wsDst
-			if affected != nil && !affected[s] {
-				src = wsBase
-			}
-			sj := src[(s*nPOs+j)*K : (s*nPOs+j+1)*K]
-			att := s * K
-			for k := 0; k < K; k++ {
-				idx := a.attIdx[att+k]
-				if idx == -2 {
-					continue
-				}
-				// WE_sjk: interpolate successor s's table at the
-				// attenuated width (§3.2 step iii), via the
-				// prepared coefficients.
-				var v float64
-				if f := a.attFrac[att+k]; f < 0 {
-					v = sj[idx]
-				} else {
-					v = sj[idx] + f*(sj[idx+1]-sj[idx])
-				}
-				accK[k] += w * v
-			}
-		}
-		row := wsDst[(i*nPOs+j)*K : (i*nPOs+j+1)*K]
-		for k := 0; k < K; k++ {
-			row[k] = pij * accK[k] / den[j]
-		}
-		// Step (iv): expected width for the actual generated
-		// glitch width w_i.
-		wijDst[i*nPOs+j] = lut.ApplyInterp1D(row, int(a.genIdx[i]), a.genFrac[i])
-	}
-}
-
-// runElectrical executes the full reverse-topological pass for the
-// given delay vector into the provided arenas. PO columns are
-// independent of one another, so the pass fans out over column chunks;
-// each chunk owns all rows of its columns, making the parallel result
-// identical to the serial one.
-func (a *Analysis) runElectrical(delays, wsDst, wijDst []float64) {
-	a.prepAtten(delays)
-	K := len(a.Samples)
-	nPOs := len(a.Circuit.Outputs())
-	for i := range wsDst {
-		wsDst[i] = 0
-	}
-	for i := range wijDst {
-		wijDst[i] = 0
-	}
-	nw := par.Workers(0)
-	accs := make([][]float64, nw)
-	for w := range accs {
-		accs[w] = make([]float64, K)
-	}
-	par.Each(nPOs, nw, 0, func(worker, jLo, jHi int) {
-		accK := accs[worker]
-		for _, i := range a.rorder {
-			if a.Circuit.Gates[i].Type == ckt.Input {
-				continue
-			}
-			a.computeGateColumns(i, jLo, jHi, accK, wsDst, wijDst, nil, nil)
-		}
-	})
-}
-
-// uiOf returns gate i's Eq. 3 unreliability contribution for a Wij row.
+// uiOf returns gate i's Eq. 3 unreliability contribution for a Wij
+// row — the GateReducer the incremental delta re-applies per changed
+// gate.
 func (a *Analysis) uiOf(i int, wij []float64) float64 {
-	clock := a.Config.ClockPeriod
-	sum := 0.0
-	for _, w := range wij {
-		if w > clock {
-			w = clock
-		}
-		sum += w
-	}
-	return a.Cells[i].FluxWeight() * sum / 1e-12
+	return strike.GateU(a.Flux[i], wij, a.Config.ClockPeriod)
 }
 
 // RecomputeU re-evaluates the §3.2 electrical pass with an alternative
@@ -525,112 +279,14 @@ func (a *Analysis) uiOf(i int, wij []float64) float64 {
 // unreliability. This is the cheap delay-sensitivity oracle SERTOPT's
 // gradient seeding uses, and it is incremental: only the fanin cones
 // of gates whose delays differ from the analysis baseline are
-// re-propagated, with unaffected rows served from the baseline arena.
-// The delta evaluation always starts from the pristine Analyze
-// baseline, so error cannot accumulate across calls; as a belt-and-
-// braces bound, every Config.FullRecomputeEvery-th call performs an
-// exact full re-evaluation (RecomputeUFull) instead. Not safe for
-// concurrent use on one Analysis (shared scratch arenas).
+// re-propagated, with unaffected rows served from the baseline arena
+// (strike.Delta). The delta evaluation always starts from the pristine
+// Analyze baseline, so error cannot accumulate across calls; as a
+// belt-and-braces bound, every Config.FullRecomputeEvery-th call
+// performs an exact full re-evaluation (RecomputeUFull) instead. Not
+// safe for concurrent use on one Analysis (shared scratch arenas).
 func (a *Analysis) RecomputeU(lib *charlib.Library, delays []float64) (float64, error) {
-	if err := a.ensureStatic(); err != nil {
-		return 0, err
-	}
-	c := a.Circuit
-	nGates := len(c.Gates)
-	if a.changed == nil {
-		a.changed = make([]bool, nGates)
-		a.affected = make([]bool, nGates)
-	}
-	changedIDs := a.changedIDs[:0]
-	for _, g := range c.Gates {
-		ch := g.Type != ckt.Input && delays[g.ID] != a.Delays[g.ID]
-		a.changed[g.ID] = ch
-		if ch {
-			changedIDs = append(changedIDs, g.ID)
-		}
-	}
-	a.changedIDs = changedIDs
-	if len(changedIDs) == 0 {
-		return a.U, nil
-	}
-	a.incrEvals++
-	full := a.Config.FullRecomputeEvery > 0 && a.incrEvals%a.Config.FullRecomputeEvery == 0
-	nAffected := 0
-	if !full {
-		// affected(i) = some successor's delay changed, or some
-		// successor is itself affected; one reverse-topological pass.
-		// Terminal PO gates are never affected (no successors): their
-		// only row is the fixed sample ladder regardless of delays, so
-		// they serve baseline reads. A fanout-bearing PO (a sequential
-		// frame's D-pin tap) has delay-dependent non-own columns and
-		// propagates normally.
-		for _, i := range a.rorder {
-			aff := false
-			for _, s := range c.Gates[i].Fanout {
-				if a.changed[s] || a.affected[s] {
-					aff = true
-					break
-				}
-			}
-			a.affected[i] = aff
-			if aff {
-				nAffected++
-			}
-		}
-		// When most of the circuit moved, the parallel full pass is
-		// cheaper than the serial delta walk.
-		if 2*nAffected > nGates {
-			full = true
-		}
-	}
-	if full {
-		return a.RecomputeUFull(delays)
-	}
-	nPOs := len(c.Outputs())
-	K := len(a.Samples)
-	if a.incrWS == nil {
-		a.incrWS = make([]float64, nGates*nPOs*K)
-		a.incrWij = make([]float64, nGates*nPOs)
-	}
-	// Refresh only the attenuation rows that differ from the baseline
-	// table: restore rows dirtied by the previous delta call, then
-	// prepare the rows of this call's changed gates. After a full pass
-	// at foreign delays the whole table is rebuilt once.
-	if !a.attIsBase {
-		a.prepAtten(a.Delays)
-		a.attIsBase = true
-		a.attDirty = a.attDirty[:0]
-	}
-	for _, id := range a.attDirty {
-		a.prepAttenGate(id, a.Delays[id])
-	}
-	a.attDirty = a.attDirty[:0]
-	for _, id := range changedIDs {
-		a.prepAttenGate(id, delays[id])
-		a.attDirty = append(a.attDirty, id)
-	}
-	accK := make([]float64, K)
-	u := a.U
-	for _, i := range a.rorder {
-		if !a.affected[i] {
-			continue
-		}
-		g := c.Gates[i]
-		if g.Type == ckt.Input {
-			// Input pseudo-gates carry no rows at all. (Terminal POs
-			// never appear here — they have no successors, so they are
-			// never affected; fanout-bearing POs recompute their
-			// non-own columns like any internal gate.)
-			continue
-		}
-		wij := a.incrWij[i*nPOs : (i+1)*nPOs]
-		for j := range wij {
-			wij[j] = 0
-		}
-		a.computeGateColumns(i, 0, nPOs, accK, a.incrWS, a.incrWij, a.wsFlat, a.affected)
-		u += a.uiOf(i, wij) - a.Ui[i]
-	}
-	return u, nil
+	return a.delta.Recompute(delays, a.Config.FullRecomputeEvery)
 }
 
 // RecomputeUFull is RecomputeU without the incremental shortcut: the
@@ -638,57 +294,5 @@ func (a *Analysis) RecomputeU(lib *charlib.Library, delays []float64) (float64, 
 // arenas — the analysis baseline is untouched). It is the exactness
 // reference for the incremental path and its periodic fallback.
 func (a *Analysis) RecomputeUFull(delays []float64) (float64, error) {
-	if err := a.ensureStatic(); err != nil {
-		return 0, err
-	}
-	c := a.Circuit
-	nGates := len(c.Gates)
-	nPOs := len(c.Outputs())
-	K := len(a.Samples)
-	if a.incrWS == nil {
-		a.incrWS = make([]float64, nGates*nPOs*K)
-		a.incrWij = make([]float64, nGates*nPOs)
-	}
-	a.runElectrical(delays, a.incrWS, a.incrWij)
-	a.attIsBase = false // the attenuation table now reflects foreign delays
-	u := 0.0
-	for _, g := range c.Gates {
-		if g.Type == ckt.Input {
-			continue
-		}
-		u += a.uiOf(g.ID, a.incrWij[g.ID*nPOs:(g.ID+1)*nPOs])
-	}
-	return u, nil
-}
-
-// electricalPass implements the paper's §3.2 reverse-topological
-// computation of expected output glitch widths for the analysis
-// baseline delays, publishing the WS/Wij views.
-func (a *Analysis) electricalPass(lib *charlib.Library) error {
-	c := a.Circuit
-	a.Samples = a.Config.sampleWidths()
-	if err := a.ensureStatic(); err != nil {
-		return err
-	}
-	K := len(a.Samples)
-	nGates := len(c.Gates)
-	nPOs := len(c.Outputs())
-	a.wsFlat = make([]float64, nGates*nPOs*K)
-	a.wijFlat = make([]float64, nGates*nPOs)
-	a.runElectrical(a.Delays, a.wsFlat, a.wijFlat)
-	a.attIsBase = true
-	a.attDirty = a.attDirty[:0]
-
-	// Publish the arena through the historical slice-of-slices views.
-	rows := make([][]float64, nGates*nPOs)
-	for r := range rows {
-		rows[r] = a.wsFlat[r*K : (r+1)*K]
-	}
-	a.WS = make([][][]float64, nGates)
-	a.Wij = make([][]float64, nGates)
-	for i := 0; i < nGates; i++ {
-		a.WS[i] = rows[i*nPOs : (i+1)*nPOs]
-		a.Wij[i] = a.wijFlat[i*nPOs : (i+1)*nPOs]
-	}
-	return nil
+	return a.delta.RecomputeFull(delays)
 }

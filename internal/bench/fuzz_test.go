@@ -58,6 +58,55 @@ var fuzzSeeds = []string{
 	"# canon seed\ny  =  NOT( g2 )\nOUTPUT(q)\nINPUT( b )\ng2=NOR(g1,q)\nOUTPUT( y )\nq = DFF(g2)\nINPUT(a)\ng1 = NAND(a, b)\n",
 }
 
+// FuzzCanonicalHash is the canonical-hash fixed-point fuzz the CI
+// smoke job runs alongside FuzzParse: for any input the parser
+// accepts, the canonical form must be a true fixed point —
+// byte-identical canonical renderings and an unchanged content hash
+// under repeated canonicalization — because the serving tier's
+// compiled-circuit cache keys on exactly this property.
+func FuzzCanonicalHash(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		c, err := ParseString(data, "fuzz")
+		if err != nil {
+			return
+		}
+		cn, key, err := CanonicalContent(c)
+		if err != nil {
+			t.Fatalf("CanonicalContent of valid circuit failed: %v\ninput:\n%s", err, data)
+		}
+		b1, err := CanonicalBytes(cn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cn2, key2, err := CanonicalContent(cn)
+		if err != nil {
+			t.Fatalf("re-canonicalization failed: %v\ninput:\n%s", err, data)
+		}
+		if key2 != key {
+			t.Fatalf("content hash not a fixed point: %s -> %s\ninput:\n%s", key, key2, data)
+		}
+		b2, err := CanonicalBytes(cn2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("canonical bytes not a fixed point\nfirst:\n%s\nsecond:\n%s", b1, b2)
+		}
+		// The key must also be derivable from the bytes path: hashing
+		// the already-canonical circuit gives the same address.
+		h, err := ContentHash(cn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != key {
+			t.Fatalf("ContentHash(canonical) = %s, CanonicalContent key = %s", h, key)
+		}
+	})
+}
+
 // FuzzParse exercises the .bench parser: any input must either return
 // an error or produce a circuit that validates and survives a
 // write/re-parse round trip with identical structure.

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCacheReweighBudgetUnderConcurrentSeedCycling simulates the
+// serving-tier abuse case the re-weigh-on-access design exists for:
+// many concurrent clients cycling (vectors, seed) pairs against a few
+// cached handles, each request memoizing a fresh weighted derivation
+// on its handle. The invariant under test: the cache's charged weight
+// never exceeds the budget (no single entry here is oversized), at
+// every observation point during the storm and after it settles —
+// seed-cycling clients cannot retain memory past the budget.
+func TestCacheReweighBudgetUnderConcurrentSeedCycling(t *testing.T) {
+	const budget = 200
+	// 11 gate records per handle + bounded memo (16 entries x weight
+	// 10) keeps every single entry under the budget, so the <= budget
+	// invariant is exact — eviction must enforce it.
+	ca := NewCache(budget)
+	var builds [3]atomic.Int64
+	get := func(k int) *CompiledCircuit {
+		cc, err := ca.Get(fmt.Sprintf("c%d", k), func() (*CompiledCircuit, error) {
+			builds[k].Add(1)
+			return Compile(chain(fmt.Sprintf("c%d", k), 10))
+		})
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		return cc
+	}
+
+	type seedKey struct{ seed int }
+	const workers = 8
+	const seedsPerWorker = 60
+	var exceeded atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for s := 0; s < seedsPerWorker; s++ {
+				seed := w*seedsPerWorker + s
+				h := get(seed % 3)
+				if h == nil {
+					return
+				}
+				// A request memoizes its (vectors, seed) derivation...
+				if _, err := h.Memo(seedKey{seed}, func() (any, error) {
+					return heavyValue{10}, nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				// ...and the next access re-weighs the entry, charging
+				// the growth against the budget.
+				get(seed % 3)
+				if got := ca.Stats().Weight; got > budget {
+					exceeded.Store(got)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := exceeded.Load(); got != 0 {
+		t.Fatalf("charged weight reached %d during the storm, budget %d", got, budget)
+	}
+
+	// Settle: touch every key once so each surviving entry's weight is
+	// current, then check the steady state.
+	for k := 0; k < 3; k++ {
+		get(k)
+	}
+	st := ca.Stats()
+	if st.Weight > budget {
+		t.Fatalf("settled weight %d exceeds budget %d: %+v", st.Weight, budget, st)
+	}
+	if st.Entries == 0 {
+		t.Fatalf("everything evicted: %+v", st)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("memo growth never forced an eviction; the scenario is vacuous")
+	}
+
+	// Eviction ordering after re-weigh: the entry just touched is MRU
+	// and must survive an eviction wave caused by warming the others.
+	mru := get(0)
+	before := builds[0].Load()
+	get(1)
+	get(2)
+	if h := get(0); h != mru && builds[0].Load() != before {
+		// A rebuild of c0 is only legal if its entry was genuinely the
+		// LRU victim of a wave large enough to need its records —
+		// touching two ~11-record entries against a 200 budget is not.
+		t.Fatalf("MRU entry was evicted by colder entries (builds %d -> %d)", before, builds[0].Load())
+	}
+}

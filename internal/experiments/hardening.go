@@ -19,6 +19,10 @@ type HardeningRow struct {
 	EnergyRatio float64
 	DelayRatio  float64
 	Gates       int
+	// VoterShare is the fraction of the scheme's unreliability carried
+	// by inserted checker/voter gates (strike pipeline per-gate
+	// contributions); 0 for schemes that add none.
+	VoterShare float64
 }
 
 // HardeningComparison quantifies the paper's §1 argument: classical
@@ -95,6 +99,7 @@ func HardeningComparison(circuit string, lib *charlib.Library, opts sertopt.Opti
 		EnergyRatio: mTMR.Energy / mBase.Energy,
 		DelayRatio:  mTMR.Delay / mBase.Delay,
 		Gates:       tmr.Circuit.NumGates(),
+		VoterShare:  tmr.VoterShare(anTMR.Ui),
 	})
 
 	res, err := sertopt.Optimize(c, lib, opts)

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/ckt"
+	"repro/internal/strike"
 )
 
 // TMRResult carries the transformed circuit and bookkeeping maps.
@@ -22,6 +23,17 @@ type TMRResult struct {
 	CopyOf []int
 	// VoterGates lists the IDs of all inserted voter gates.
 	VoterGates []int
+}
+
+// VoterShare is the hardening flow's configuration of the strike
+// pipeline's Reduce output: given the per-gate U contributions of the
+// TMR circuit (aserta's Ui vector), it returns the fraction carried by
+// the inserted voter gates. With the triplicated copies perfectly
+// masked by the majority vote, this is expected to approach 1 — the
+// quantitative form of the paper's §1 argument that checker-based
+// schemes relocate rather than remove the soft spot.
+func (r *TMRResult) VoterShare(ui []float64) float64 {
+	return strike.GroupShare(ui, r.VoterGates)
 }
 
 // TMR triplicates the combinational logic of c (primary inputs are

@@ -124,31 +124,18 @@ func TestTMRUnreliabilityVsOverheads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	isVoter := make(map[int]bool)
-	for _, id := range res.VoterGates {
-		isVoter[id] = true
-	}
-	var uVoter, uTotal float64
-	for _, g := range res.Circuit.Gates {
-		if g.Type == ckt.Input {
-			continue
-		}
-		uTotal += anTMR.Ui[g.ID]
-		if isVoter[g.ID] {
-			uVoter += anTMR.Ui[g.ID]
-		}
-	}
-	if uTotal <= 0 {
+	if anTMR.U <= 0 {
 		t.Fatal("TMR circuit has zero unreliability; voters unrealistically immune")
 	}
-	if frac := uVoter / uTotal; frac < 0.9 {
+	frac := res.VoterShare(anTMR.Ui)
+	if frac < 0.9 {
 		t.Fatalf("voter gates carry %.0f%% of TMR unreliability, want >= 90%% (copies must be masked)", 100*frac)
 	}
 	if res.Circuit.NumGates() < 3*c.NumGates() {
 		t.Fatal("TMR should at least triple the logic")
 	}
 	t.Logf("c432 TMR: U=%.0f, %.0f%% carried by the %d voter gates; gates %d -> %d",
-		uTotal, 100*uVoter/uTotal, len(res.VoterGates), c.NumGates(), res.Circuit.NumGates())
+		anTMR.U, 100*frac, len(res.VoterGates), c.NumGates(), res.Circuit.NumGates())
 }
 
 func TestDuplicateStructureAndFunction(t *testing.T) {

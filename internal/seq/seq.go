@@ -37,17 +37,15 @@ package seq
 import (
 	"context"
 	"fmt"
-	"math/bits"
 
 	"repro/internal/aserta"
 	"repro/internal/charlib"
 	"repro/internal/ckt"
 	"repro/internal/engine"
-	"repro/internal/logicsim"
-	"repro/internal/par"
 	"repro/internal/serrate"
 	"repro/internal/sertopt"
 	"repro/internal/stats"
+	"repro/internal/strike"
 )
 
 // DefaultCycles is the default multi-cycle fault-propagation horizon.
@@ -225,7 +223,10 @@ func AnalyzeCompiledContext(ctx context.Context, cc *engine.CompiledCircuit, lib
 		return nil, err
 	}
 
-	epf, err := errorsPerFault(ctx, cc, opts)
+	// LogicalPropagate: the multi-cycle fault chase, shared with every
+	// other pipeline flow through internal/strike.
+	epf, err := strike.LogicalPropagate(ctx, cc, opts.Cycles, opts.Vectors,
+		stats.NewRNG(opts.Seed+faultSeedOffset), opts.InitState, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -238,120 +239,36 @@ func AnalyzeCompiledContext(ctx context.Context, cc *engine.CompiledCircuit, lib
 		Frame:       an,
 		FlopReports: make([]FlopReport, len(flops)),
 	}
-	for fi, id := range flops {
-		res.FlopReports[fi] = FlopReport{Name: c.Gates[id].Name, ErrorsPerFault: epf[fi]}
-	}
+	// LatchingWindow + Reduce: genuine-PO columns count directly, flop
+	// columns through the capture window times E_f.
 	T := opts.ClockPeriod
+	sc := strike.ReduceSequential(fr.Comb, an.Flux, an.Wij, T, fr.NumRealPOs, fr.FlopCols, epf)
+	for fi, id := range flops {
+		res.FlopReports[fi] = FlopReport{
+			Name:           c.Gates[id].Name,
+			CaptureU:       sc.CaptureU[fi],
+			ErrorsPerFault: epf[fi],
+		}
+	}
 	for _, g := range fr.Comb.Gates {
 		if g.Type.IsSource() {
 			continue
 		}
-		wij := an.Wij[g.ID]
-		flux := cells[g.ID].FluxWeight()
-		direct := 0.0
-		for k := 0; k < fr.NumRealPOs; k++ {
-			direct += clampT(wij[k], T)
-		}
-		latched := 0.0
-		for fi, col := range fr.FlopCols {
-			w := clampT(wij[col], T)
-			latched += w * epf[fi]
-			res.FlopReports[fi].CaptureU += flux * w / 1e-12
-		}
 		gr := GateReport{
 			Name:     g.Name,
-			DirectU:  flux * direct / 1e-12,
-			LatchedU: flux * latched / 1e-12,
+			DirectU:  sc.Direct[g.ID],
+			LatchedU: sc.Latched[g.ID],
 			GenWidth: an.GenWidth[g.ID],
 			Delay:    an.Delays[g.ID],
 		}
 		gr.U = gr.DirectU + gr.LatchedU
 		res.Gates = append(res.Gates, gr)
-		res.DirectU += gr.DirectU
-		res.LatchedU += gr.LatchedU
 	}
+	res.DirectU = sc.DirectU
+	res.LatchedU = sc.LatchedU
 	res.U = res.DirectU + res.LatchedU
 	res.FIT = serrate.FIT(res.U, T, opts.FluxPerHour)
 	return res, nil
-}
-
-func clampT(w, t float64) float64 {
-	if w > t {
-		return t
-	}
-	return w
-}
-
-// errorsPerFault runs the multi-cycle logical fault propagation: for
-// each flop, a captured fault (its state column flipped in every
-// vector lane) is chased through the frames of a fault-free K-cycle
-// trace, counting wrong latched PO values until the fault dies or the
-// horizon ends. Flops are independent given the shared trace, so the
-// sweep fans out over a worker pool; each flop writes only its own
-// slot, keeping the result bit-identical for any worker count. This
-// is the dominant stage on big circuits (flops × cycles frame
-// evaluations), so ctx is polled at every flop boundary.
-func errorsPerFault(ctx context.Context, cc *engine.CompiledCircuit, opts Options) ([]float64, error) {
-	c := cc.Circuit()
-	flops := c.DFFs()
-	nFlops := len(flops)
-	epf := make([]float64, nFlops)
-	if nFlops == 0 {
-		return epf, nil
-	}
-	tr, err := logicsim.SimulateFramesCompiled(cc, opts.Cycles, opts.Vectors,
-		stats.NewRNG(opts.Seed+faultSeedOffset), opts.InitState)
-	if err != nil {
-		return nil, err
-	}
-	nW := tr.NWords()
-	lastMask := tr.LastMask()
-	nGates := len(c.Gates)
-	pos := c.Outputs()
-	par.ForChunks(nFlops, opts.Workers, 1, func(lo, hi int) {
-		vals := make([]uint64, nGates*nW)
-		st := make([]uint64, nFlops*nW)
-		next := make([]uint64, nFlops*nW)
-		for fi := lo; fi < hi; fi++ {
-			if ctx.Err() != nil {
-				return // the post-pool ctx check reports the cancellation
-			}
-			copy(st, tr.State[0])
-			row := st[fi*nW : (fi+1)*nW]
-			for k := range row {
-				row[k] = ^row[k]
-			}
-			row[nW-1] &= lastMask
-			errs := 0
-			for t := 0; t < tr.Cycles; t++ {
-				if equalWords(st, tr.State[t]) {
-					break // the fault died: the faulty run rejoined the trace
-				}
-				tr.EvalFrame(vals, t, st)
-				for p, poID := range pos {
-					for k := 0; k < nW; k++ {
-						errs += bits.OnesCount64(vals[poID*nW+k] ^ tr.PO[t][p*nW+k])
-					}
-				}
-				tr.NextState(vals, next)
-				st, next = next, st
-			}
-			epf[fi] = float64(errs) / float64(tr.N)
-		}
-	})
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return epf, nil
-}
-
-func equalWords(a, b []uint64) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // Summary formats a one-line sequential result.

@@ -11,6 +11,8 @@ import (
 	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/sertopt"
+	"repro/internal/stats"
+	"repro/internal/strike"
 )
 
 func coarseLib() *charlib.Library {
@@ -127,8 +129,8 @@ func TestKnownLatchingStrike(t *testing.T) {
 	n1, _ := c.GateByName("n1")
 	o, _ := c.GateByName("o")
 	T := 300e-12
-	wantLatched := an.Cells[n1].FluxWeight() * clampT(an.GenWidth[n1], T) / 1e-12
-	wantDirect := an.Cells[o].FluxWeight() * clampT(an.GenWidth[o], T) / 1e-12
+	wantLatched := an.Cells[n1].FluxWeight() * strike.Clamp(an.GenWidth[n1], T) / 1e-12
+	wantDirect := an.Cells[o].FluxWeight() * strike.Clamp(an.GenWidth[o], T) / 1e-12
 	if !closeRel(res.LatchedU, wantLatched, 1e-12) {
 		t.Fatalf("LatchedU = %v, want %v", res.LatchedU, wantLatched)
 	}
@@ -317,7 +319,9 @@ func TestFaultPropagationCancellable(t *testing.T) {
 		t.Fatal(err)
 	}
 	cancel()
-	if _, err := errorsPerFault(ctx, engine.MustCompile(c), Options{Cycles: 4, Vectors: 256}.withDefaults()); err == nil {
-		t.Fatal("cancelled errorsPerFault returned no error")
+	opts := Options{Cycles: 4, Vectors: 256}.withDefaults()
+	if _, err := strike.LogicalPropagate(ctx, engine.MustCompile(c), opts.Cycles, opts.Vectors,
+		stats.NewRNG(opts.Seed+faultSeedOffset), opts.InitState, opts.Workers); err == nil {
+		t.Fatal("cancelled fault propagation returned no error")
 	}
 }

@@ -24,7 +24,7 @@ type job struct {
 	done   chan struct{}
 
 	status  string
-	result  any // *serclient.AnalyzeResponse or *serclient.OptimizeResponse
+	result  any // *serclient.{Analyze,Optimize,Susceptibility}Response
 	err     error
 	created time.Time
 }
@@ -137,6 +137,8 @@ func (st *jobStore) response(j *job) serclient.JobResponse {
 		resp.Analyze = res
 	case *serclient.OptimizeResponse:
 		resp.Optimize = res
+	case *serclient.SusceptibilityResponse:
+		resp.Susceptibility = res
 	}
 	return resp
 }

@@ -24,14 +24,18 @@
 //
 // Endpoints:
 //
-//	POST /v1/analyze   one ASERTA analysis (sync, or async with "async": true);
-//	                   "cycles" >= 1 selects the multi-cycle sequential flow
-//	                   for ISCAS-89 netlists with DFFs
-//	POST /v1/optimize  one SERTOPT run (sync or async)
-//	POST /v1/batch     many circuits, one response
-//	GET  /v1/jobs/{id} poll an async job
-//	GET  /healthz      liveness
-//	GET  /metrics      request counts, queue depth, cache hits, p50/p99 latency
+//	POST /v1/analyze        one ASERTA analysis (sync, or async with
+//	                        "async": true); "cycles" >= 1 selects the
+//	                        multi-cycle sequential flow for ISCAS-89
+//	                        netlists with DFFs
+//	POST /v1/optimize       one SERTOPT run (sync or async)
+//	POST /v1/susceptibility ranked per-gate susceptibility (sync or
+//	                        async; same compiled-cache warm path and
+//	                        sequential "cycles" switch as analyze)
+//	POST /v1/batch          many circuits, one response
+//	GET  /v1/jobs/{id}      poll an async job
+//	GET  /healthz           liveness
+//	GET  /metrics           request counts, queue depth, cache hits, p50/p99 latency
 package serd
 
 import (
@@ -152,6 +156,7 @@ func New(cfg Config) *Server {
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /v1/analyze", s.counted("analyze", s.handleAnalyze))
 	s.mux.HandleFunc("POST /v1/optimize", s.counted("optimize", s.handleOptimize))
+	s.mux.HandleFunc("POST /v1/susceptibility", s.counted("susceptibility", s.handleSusceptibility))
 	s.mux.HandleFunc("POST /v1/batch", s.counted("batch", s.handleBatch))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.counted("jobs", s.handleJob))
 	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
@@ -332,19 +337,20 @@ func (s *Server) checkVectors(vectors int) error {
 	return nil
 }
 
-// checkAnalyze enforces the analyze-specific limits (vectors plus the
-// sequential cycle horizon).
-func (s *Server) checkAnalyze(req serclient.AnalyzeRequest) error {
-	if err := s.checkVectors(req.Vectors); err != nil {
+// checkAnalyze enforces the shared analysis limits (vectors plus the
+// sequential cycle horizon) for both the analyze and susceptibility
+// flows.
+func (s *Server) checkAnalyze(vectors, cycles int, initState []bool) error {
+	if err := s.checkVectors(vectors); err != nil {
 		return err
 	}
-	if req.Cycles < 0 {
+	if cycles < 0 {
 		return fmt.Errorf("cycles must be >= 0")
 	}
-	if req.Cycles > s.cfg.MaxCycles {
-		return fmt.Errorf("cycles %d exceeds limit %d", req.Cycles, s.cfg.MaxCycles)
+	if cycles > s.cfg.MaxCycles {
+		return fmt.Errorf("cycles %d exceeds limit %d", cycles, s.cfg.MaxCycles)
 	}
-	if req.Cycles == 0 && len(req.InitState) > 0 {
+	if cycles == 0 && len(initState) > 0 {
 		return fmt.Errorf("init_state requires cycles >= 1")
 	}
 	return nil
@@ -354,15 +360,15 @@ func (s *Server) checkAnalyze(req serclient.AnalyzeRequest) error {
 // circuit: the init_state length and the joint cycles × flops work
 // budget (fault propagation costs one frame evaluation per flop per
 // cycle, so the per-axis caps alone would not bound a request's work).
-func (s *Server) checkSequentialShape(c *ser.Circuit, req serclient.AnalyzeRequest) error {
-	if req.Cycles == 0 {
+func (s *Server) checkSequentialShape(c *ser.Circuit, cycles int, initState []bool) error {
+	if cycles == 0 {
 		return nil
 	}
 	flops := len(c.DFFs())
-	if n := len(req.InitState); n > 0 && n != flops {
+	if n := len(initState); n > 0 && n != flops {
 		return fmt.Errorf("init_state has %d bits for %d flops", n, flops)
 	}
-	if work := req.Cycles * max(flops, 1); work > s.cfg.MaxSeqFrames {
+	if work := cycles * max(flops, 1); work > s.cfg.MaxSeqFrames {
 		return fmt.Errorf("cycles x flops = %d exceeds limit %d; lower cycles or analyze a smaller netlist", work, s.cfg.MaxSeqFrames)
 	}
 	return nil
@@ -411,59 +417,87 @@ func (s *Server) finishJob(j *job, res any, err error) {
 	j.cancel()
 }
 
-// runAnalyze builds the job body for one analysis request — the
-// combinational ASERTA flow, or the multi-cycle sequential flow when
-// req.Cycles > 0. Both flows share the same shell: job timing, the
-// characterization counter delta feeding the library cache-hit
-// metric, the Top truncation and the response assembly. The flow only
-// decides the U total, the per-gate rows and the sequential block.
-func (s *Server) runAnalyze(h *ser.Compiled, name string, req serclient.AnalyzeRequest) func(ctx context.Context) (any, error) {
+// instrumented wraps a job body with the shell every analysis flow
+// shares: elapsed timing and the characterization counter delta
+// feeding the library cache-hit metric. run returns the response plus
+// a pointer to its ElapsedMS field for the shell to fill.
+func (s *Server) instrumented(run func(ctx context.Context) (any, *float64, error)) func(ctx context.Context) (any, error) {
 	return func(ctx context.Context) (any, error) {
 		t0 := time.Now()
 		before := s.sys.Characterizations()
+		res, elapsed, err := run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if s.sys.Characterizations() == before {
+			s.met.cacheHits.Add(1)
+		}
+		*elapsed = float64(time.Since(t0)) / float64(time.Millisecond)
+		return res, nil
+	}
+}
+
+// sequentialOptions and analysisOptions assemble the flow options the
+// analyze and susceptibility endpoints share, so a new knob cannot be
+// wired into one endpoint and silently missed in the other.
+func sequentialOptions(vectors int, seed uint64, poLoad float64, cycles int, initState []bool) ser.SequentialOptions {
+	return ser.SequentialOptions{
+		Cycles:    cycles,
+		Vectors:   vectors,
+		Seed:      seed,
+		POLoad:    poLoad,
+		InitState: initState,
+	}
+}
+
+func analysisOptions(vectors int, seed uint64, poLoad float64) ser.AnalysisOptions {
+	return ser.AnalysisOptions{Vectors: vectors, Seed: seed, POLoad: poLoad}
+}
+
+// sequentialResult maps a sequential report's summary to its wire
+// block.
+func sequentialResult(rep *ser.SequentialReport) *serclient.SequentialResult {
+	return &serclient.SequentialResult{
+		Cycles:   rep.Cycles,
+		Flops:    rep.Flops,
+		DirectU:  rep.DirectU,
+		LatchedU: rep.LatchedU,
+		FIT:      rep.FIT,
+	}
+}
+
+// runAnalyze builds the job body for one analysis request — the
+// combinational ASERTA flow, or the multi-cycle sequential flow when
+// req.Cycles > 0. The flow only decides the U total, the per-gate
+// rows and the sequential block; the shared shell lives in
+// instrumented.
+func (s *Server) runAnalyze(h *ser.Compiled, name string, req serclient.AnalyzeRequest) func(ctx context.Context) (any, error) {
+	return s.instrumented(func(ctx context.Context) (any, *float64, error) {
 		resp := &serclient.AnalyzeResponse{Circuit: name}
 		if req.Cycles > 0 {
-			rep, err := s.sys.AnalyzeSequentialCompiledContext(ctx, h, ser.SequentialOptions{
-				Cycles:    req.Cycles,
-				Vectors:   req.Vectors,
-				Seed:      req.Seed,
-				POLoad:    req.POLoad,
-				InitState: req.InitState,
-			})
+			rep, err := s.sys.AnalyzeSequentialCompiledContext(ctx, h,
+				sequentialOptions(req.Vectors, req.Seed, req.POLoad, req.Cycles, req.InitState))
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			resp.Gates, resp.U = len(rep.Gates), rep.U
-			resp.Sequential = &serclient.SequentialResult{
-				Cycles:   rep.Cycles,
-				Flops:    rep.Flops,
-				DirectU:  rep.DirectU,
-				LatchedU: rep.LatchedU,
-				FIT:      rep.FIT,
-			}
+			resp.Sequential = sequentialResult(rep)
 			resp.GateReports = gateRows(req.Top, rep.Gates, rep.Softest, func(g ser.SequentialGateReport) serclient.GateResult {
 				return serclient.GateResult{Name: g.Name, U: g.U, GenWidth: g.GenWidth, Delay: g.Delay}
 			})
 		} else {
-			rep, err := s.sys.AnalyzeCompiledContext(ctx, h, ser.AnalysisOptions{
-				Vectors: req.Vectors,
-				Seed:    req.Seed,
-				POLoad:  req.POLoad,
-			})
+			rep, err := s.sys.AnalyzeCompiledContext(ctx, h,
+				analysisOptions(req.Vectors, req.Seed, req.POLoad))
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			resp.Gates, resp.U = len(rep.Gates), rep.U
 			resp.GateReports = gateRows(req.Top, rep.Gates, rep.Softest, func(g ser.GateReport) serclient.GateResult {
 				return serclient.GateResult{Name: g.Name, U: g.U, GenWidth: g.GenWidth, Delay: g.Delay}
 			})
 		}
-		if s.sys.Characterizations() == before {
-			s.met.cacheHits.Add(1)
-		}
-		resp.ElapsedMS = float64(time.Since(t0)) / float64(time.Millisecond)
-		return resp, nil
-	}
+		return resp, &resp.ElapsedMS, nil
+	})
 }
 
 // gateRows applies the shared per-gate report shaping — Top-softest
@@ -478,6 +512,44 @@ func gateRows[T any](top int, all []T, softest func(int) []T, row func(T) sercli
 		out = append(out, row(g))
 	}
 	return out
+}
+
+// runSusceptibility builds the job body for one susceptibility
+// request: the same analysis flows as runAnalyze (compiled-cache warm
+// path included), reduced to the ranked per-gate contribution product
+// via Report.Susceptibility, so the wire result is exactly the
+// in-process ranking.
+func (s *Server) runSusceptibility(h *ser.Compiled, name string, req serclient.SusceptibilityRequest) func(ctx context.Context) (any, error) {
+	return s.instrumented(func(ctx context.Context) (any, *float64, error) {
+		resp := &serclient.SusceptibilityResponse{Circuit: name}
+		var entries []ser.SusceptibilityEntry
+		if req.Cycles > 0 {
+			rep, err := s.sys.AnalyzeSequentialCompiledContext(ctx, h,
+				sequentialOptions(req.Vectors, req.Seed, req.POLoad, req.Cycles, req.InitState))
+			if err != nil {
+				return nil, nil, err
+			}
+			entries = rep.Susceptibility()
+			resp.Gates, resp.U = len(rep.Gates), rep.U
+			resp.Sequential = sequentialResult(rep)
+		} else {
+			rep, err := s.sys.AnalyzeCompiledContext(ctx, h,
+				analysisOptions(req.Vectors, req.Seed, req.POLoad))
+			if err != nil {
+				return nil, nil, err
+			}
+			entries = rep.Susceptibility()
+			resp.Gates, resp.U = len(rep.Gates), rep.U
+		}
+		if req.Top > 0 && req.Top < len(entries) {
+			entries = entries[:req.Top]
+		}
+		resp.Entries = make([]serclient.SusceptibilityEntry, len(entries))
+		for i, e := range entries {
+			resp.Entries[i] = serclient.SusceptibilityEntry{Name: e.Name, U: e.U, Share: e.Share, CumShare: e.CumShare}
+		}
+		return resp, &resp.ElapsedMS, nil
+	})
 }
 
 // runOptimize builds the job body for one optimization request.
@@ -540,9 +612,12 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind string, a
 	resp := s.jobs.response(j)
 	switch resp.Status {
 	case serclient.JobDone:
-		if resp.Analyze != nil {
+		switch {
+		case resp.Analyze != nil:
 			s.writeJSON(w, http.StatusOK, resp.Analyze)
-		} else {
+		case resp.Susceptibility != nil:
+			s.writeJSON(w, http.StatusOK, resp.Susceptibility)
+		default:
 			s.writeJSON(w, http.StatusOK, resp.Optimize)
 		}
 	case serclient.JobCanceled:
@@ -557,23 +632,62 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	if err := s.checkAnalyze(req); err != nil {
+	if err := s.checkAnalyze(req.Vectors, req.Cycles, req.InitState); err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ld, err := s.loadCompiled(req.Circuit, req.Netlist, req.Name)
+	ld, err := s.loadChecked(req.Circuit, req.Netlist, req.Name, req.Cycles, &req.InitState)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if err := s.checkSequentialShape(ld.h.Circuit(), req); err != nil {
+	s.dispatch(w, r, "analyze", req.Async, s.runAnalyze(ld.h, ld.display, req))
+}
+
+func (s *Server) handleSusceptibility(w http.ResponseWriter, r *http.Request) {
+	var req serclient.SusceptibilityRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := s.checkSusceptibility(&req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if ld.remapInit != nil && len(req.InitState) > 0 {
-		req.InitState = ld.remapInit(req.InitState)
+	ld, err := s.loadChecked(req.Circuit, req.Netlist, req.Name, req.Cycles, &req.InitState)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
-	s.dispatch(w, r, "analyze", req.Async, s.runAnalyze(ld.h, ld.display, req))
+	s.dispatch(w, r, "susceptibility", req.Async, s.runSusceptibility(ld.h, ld.display, req))
+}
+
+// checkSusceptibility enforces the request-only susceptibility limits.
+func (s *Server) checkSusceptibility(req *serclient.SusceptibilityRequest) error {
+	if req.Top < 0 {
+		return fmt.Errorf("top must be >= 0")
+	}
+	return s.checkAnalyze(req.Vectors, req.Cycles, req.InitState)
+}
+
+// loadChecked is the one place a request's circuit reference is
+// resolved and its circuit-dependent limits applied: compiled-cache
+// resolution, the sequential cycles × flops budget and init_state
+// length, and the in-place remap of a declaration-order init_state
+// through the canonical flop permutation. Every flow that accepts a
+// sequential request goes through it, so the three steps cannot
+// diverge between endpoints.
+func (s *Server) loadChecked(circuit, netlist, name string, cycles int, initState *[]bool) (loaded, error) {
+	ld, err := s.loadCompiled(circuit, netlist, name)
+	if err != nil {
+		return ld, err
+	}
+	if err := s.checkSequentialShape(ld.h.Circuit(), cycles, *initState); err != nil {
+		return ld, err
+	}
+	if ld.remapInit != nil && len(*initState) > 0 {
+		*initState = ld.remapInit(*initState)
+	}
+	return ld, nil
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
@@ -603,7 +717,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	total := len(req.Analyze) + len(req.Optimize)
+	total := len(req.Analyze) + len(req.Optimize) + len(req.Susceptibility)
 	if total == 0 {
 		s.writeError(w, http.StatusBadRequest, "empty batch")
 		return
@@ -614,13 +728,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := serclient.BatchResponse{
-		Analyze:  make([]serclient.AnalyzeBatchItem, len(req.Analyze)),
-		Optimize: make([]serclient.OptimizeBatchItem, len(req.Optimize)),
+		Analyze:        make([]serclient.AnalyzeBatchItem, len(req.Analyze)),
+		Optimize:       make([]serclient.OptimizeBatchItem, len(req.Optimize)),
+		Susceptibility: make([]serclient.SusceptibilityBatchItem, len(req.Susceptibility)),
 	}
 	type pending struct {
-		j        *job
-		analyze  int // index into resp.Analyze, or -1
-		optimize int // index into resp.Optimize, or -1
+		j       *job
+		analyze int // index into resp.Analyze, or -1
+		opt     int // index into resp.Optimize, or -1
+		susc    int // index into resp.Susceptibility, or -1
 	}
 	var jobs []pending
 
@@ -629,28 +745,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Analyze[i].Error = "async is not supported inside a batch; submit the item to /v1/analyze instead"
 			continue
 		}
-		if err := s.checkAnalyze(ar); err != nil {
+		if err := s.checkAnalyze(ar.Vectors, ar.Cycles, ar.InitState); err != nil {
 			resp.Analyze[i].Error = err.Error()
 			continue
 		}
-		ld, err := s.loadCompiled(ar.Circuit, ar.Netlist, ar.Name)
+		ld, err := s.loadChecked(ar.Circuit, ar.Netlist, ar.Name, ar.Cycles, &ar.InitState)
 		if err != nil {
 			resp.Analyze[i].Error = err.Error()
 			continue
-		}
-		if err := s.checkSequentialShape(ld.h.Circuit(), ar); err != nil {
-			resp.Analyze[i].Error = err.Error()
-			continue
-		}
-		if ld.remapInit != nil && len(ar.InitState) > 0 {
-			ar.InitState = ld.remapInit(ar.InitState)
 		}
 		j, err := s.submit("analyze", r.Context(), true, s.runAnalyze(ld.h, ld.display, ar))
 		if err != nil {
 			resp.Analyze[i].Error = err.Error()
 			continue
 		}
-		jobs = append(jobs, pending{j: j, analyze: i, optimize: -1})
+		jobs = append(jobs, pending{j: j, analyze: i, opt: -1, susc: -1})
 	}
 	for i, or := range req.Optimize {
 		if or.Async {
@@ -671,7 +780,29 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Optimize[i].Error = err.Error()
 			continue
 		}
-		jobs = append(jobs, pending{j: j, analyze: -1, optimize: i})
+		jobs = append(jobs, pending{j: j, analyze: -1, opt: i, susc: -1})
+	}
+	for i := range req.Susceptibility {
+		sr := req.Susceptibility[i]
+		if sr.Async {
+			resp.Susceptibility[i].Error = "async is not supported inside a batch; submit the item to /v1/susceptibility instead"
+			continue
+		}
+		if err := s.checkSusceptibility(&sr); err != nil {
+			resp.Susceptibility[i].Error = err.Error()
+			continue
+		}
+		ld, err := s.loadChecked(sr.Circuit, sr.Netlist, sr.Name, sr.Cycles, &sr.InitState)
+		if err != nil {
+			resp.Susceptibility[i].Error = err.Error()
+			continue
+		}
+		j, err := s.submit("susceptibility", r.Context(), true, s.runSusceptibility(ld.h, ld.display, sr))
+		if err != nil {
+			resp.Susceptibility[i].Error = err.Error()
+			continue
+		}
+		jobs = append(jobs, pending{j: j, analyze: -1, opt: -1, susc: i})
 	}
 
 	for _, p := range jobs {
@@ -688,11 +819,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			} else {
 				resp.Analyze[p.analyze].Error = jr.Error
 			}
-		case p.optimize >= 0:
+		case p.opt >= 0:
 			if jr.Status == serclient.JobDone {
-				resp.Optimize[p.optimize].Result = jr.Optimize
+				resp.Optimize[p.opt].Result = jr.Optimize
 			} else {
-				resp.Optimize[p.optimize].Error = jr.Error
+				resp.Optimize[p.opt].Error = jr.Error
+			}
+		case p.susc >= 0:
+			if jr.Status == serclient.JobDone {
+				resp.Susceptibility[p.susc].Result = jr.Susceptibility
+			} else {
+				resp.Susceptibility[p.susc].Error = jr.Error
 			}
 		}
 	}
@@ -702,6 +839,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	for _, it := range resp.Optimize {
+		if it.Result == nil {
+			resp.Failed++
+		}
+	}
+	for _, it := range resp.Susceptibility {
 		if it.Result == nil {
 			resp.Failed++
 		}

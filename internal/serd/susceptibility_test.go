@@ -1,0 +1,191 @@
+package serd
+
+import (
+	"context"
+	"testing"
+
+	"repro"
+	"repro/serclient"
+)
+
+// wantSusceptibility runs the in-process ranking for a benchmark with
+// the same options a wire request used.
+func wantSusceptibility(t *testing.T, sys *ser.System, name string, vectors int, seed uint64) ([]ser.SusceptibilityEntry, *ser.Report) {
+	t.Helper()
+	c, err := ser.Benchmark(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Analyze(c, ser.AnalysisOptions{Vectors: vectors, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Susceptibility(), rep
+}
+
+// checkEntries compares wire entries against in-process entries
+// exactly — shares and cumulative shares included. JSON encodes
+// float64 with the shortest round-tripping representation, so equality
+// here is bit-equality.
+func checkEntries(t *testing.T, got []serclient.SusceptibilityEntry, want []ser.SusceptibilityEntry) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("wire entries = %d, in-process = %d", len(got), len(want))
+	}
+	for i := range want {
+		w := want[i]
+		g := got[i]
+		if g.Name != w.Name || g.U != w.U || g.Share != w.Share || g.CumShare != w.CumShare {
+			t.Fatalf("rank %d: wire %+v, in-process %+v (must be identical)", i, g, w)
+		}
+	}
+}
+
+// TestSusceptibilityWireMatchesInProcess is the acceptance gate for
+// the endpoint: the /v1/susceptibility wire result must equal the
+// in-process Report.Susceptibility() exactly — including on a
+// compiled-cache hit, where the second request reuses the cached
+// handle and memoized sensitization.
+func TestSusceptibilityWireMatchesInProcess(t *testing.T) {
+	sys, srv, cl, done := newTestServer(t, Config{Workers: 4})
+	defer done()
+
+	want, rep := wantSusceptibility(t, sys, "c432", 1500, 7)
+
+	req := serclient.SusceptibilityRequest{Circuit: "c432", Vectors: 1500, Seed: 7}
+	first, err := cl.Susceptibility(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.U != rep.U {
+		t.Fatalf("wire U = %v, in-process U = %v", first.U, rep.U)
+	}
+	if first.Gates != len(rep.Gates) {
+		t.Fatalf("wire gates = %d, in-process = %d", first.Gates, len(rep.Gates))
+	}
+	checkEntries(t, first.Entries, want)
+
+	hitsBefore := srv.ccache.Stats().Hits
+	second, err := cl.Susceptibility(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := srv.ccache.Stats().Hits; hits <= hitsBefore {
+		t.Fatalf("second request did not hit the compiled cache (hits %d -> %d)", hitsBefore, hits)
+	}
+	if second.U != rep.U {
+		t.Fatalf("cache-hit wire U = %v, in-process U = %v", second.U, rep.U)
+	}
+	checkEntries(t, second.Entries, want)
+
+	// Ranking invariants on the wire form: descending, cumulative
+	// share monotone to ~1.
+	prev := want[0].U
+	for i, e := range first.Entries {
+		if e.U > prev {
+			t.Fatalf("rank %d not descending", i)
+		}
+		prev = e.U
+	}
+	last := first.Entries[len(first.Entries)-1].CumShare
+	if last < 0.999999 || last > 1.000001 {
+		t.Fatalf("full ranking cumulative share = %v, want ~1", last)
+	}
+}
+
+// TestSusceptibilityTopTruncation: top=N returns the N-prefix of the
+// full ranking while Gates still reports the full count.
+func TestSusceptibilityTopTruncation(t *testing.T) {
+	sys, _, cl, done := newTestServer(t, Config{Workers: 2})
+	defer done()
+
+	want, rep := wantSusceptibility(t, sys, "c17", 1000, 3)
+	resp, err := cl.Susceptibility(context.Background(), serclient.SusceptibilityRequest{
+		Circuit: "c17", Vectors: 1000, Seed: 3, Top: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Entries) != 2 {
+		t.Fatalf("top=2 returned %d entries", len(resp.Entries))
+	}
+	if resp.Gates != len(rep.Gates) {
+		t.Fatalf("gates = %d, want full count %d", resp.Gates, len(rep.Gates))
+	}
+	checkEntries(t, resp.Entries, want[:2])
+}
+
+// TestSusceptibilitySequential: cycles >= 1 selects the sequential
+// flow; the wire ranking equals the in-process
+// SequentialReport.Susceptibility() and the sequential block is
+// populated.
+func TestSusceptibilitySequential(t *testing.T) {
+	sys, _, cl, done := newTestServer(t, Config{Workers: 2})
+	defer done()
+
+	c, err := ser.Benchmark("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.AnalyzeSequential(c, ser.SequentialOptions{Cycles: 3, Vectors: 512, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rep.Susceptibility()
+
+	resp, err := cl.Susceptibility(context.Background(), serclient.SusceptibilityRequest{
+		Circuit: "s27", Cycles: 3, Vectors: 512, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Sequential == nil {
+		t.Fatal("sequential block missing")
+	}
+	if resp.Sequential.Flops != rep.Flops || resp.Sequential.DirectU != rep.DirectU ||
+		resp.Sequential.LatchedU != rep.LatchedU || resp.U != rep.U {
+		t.Fatalf("sequential block %+v does not match in-process report", resp.Sequential)
+	}
+	checkEntries(t, resp.Entries, want)
+
+	// A sequential circuit without cycles must be rejected by the
+	// underlying flow, not crash the endpoint.
+	if _, err := cl.Susceptibility(context.Background(), serclient.SusceptibilityRequest{
+		Circuit: "s27", Vectors: 256,
+	}); err == nil {
+		t.Fatal("flop circuit without cycles accepted")
+	}
+}
+
+// TestSusceptibilityBatch: batch items produce exactly the single-shot
+// endpoint results, and invalid items fail individually.
+func TestSusceptibilityBatch(t *testing.T) {
+	sys, _, cl, done := newTestServer(t, Config{Workers: 4})
+	defer done()
+
+	want, _ := wantSusceptibility(t, sys, "c17", 800, 2)
+	resp, err := cl.Batch(context.Background(), serclient.BatchRequest{
+		Susceptibility: []serclient.SusceptibilityRequest{
+			{Circuit: "c17", Vectors: 800, Seed: 2},
+			{Circuit: "no-such-circuit", Vectors: 100},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Susceptibility) != 2 {
+		t.Fatalf("batch returned %d susceptibility items", len(resp.Susceptibility))
+	}
+	ok := resp.Susceptibility[0]
+	if ok.Error != "" || ok.Result == nil {
+		t.Fatalf("valid item failed: %q", ok.Error)
+	}
+	checkEntries(t, ok.Result.Entries, want)
+	bad := resp.Susceptibility[1]
+	if bad.Error == "" || bad.Result != nil {
+		t.Fatal("invalid item did not fail individually")
+	}
+	if resp.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", resp.Failed)
+	}
+}

@@ -1,0 +1,57 @@
+package strike
+
+import "sort"
+
+// Contribution is one entry of the per-gate susceptibility product:
+// the gate's absolute U contribution, its share of the circuit total,
+// and the running cumulative share through its rank.
+type Contribution struct {
+	Name string
+	U    float64
+	// Share is U / total (0 when the total is not positive).
+	Share float64
+	// CumShare is the cumulative share of this and every
+	// higher-ranked gate — "the top N gates carry CumShare of the
+	// circuit's susceptibility".
+	CumShare float64
+}
+
+// Rank orders per-gate U contributions most-susceptible first and
+// fills the share columns. Ties keep the input (netlist) order, so the
+// ranking is deterministic. names and u are parallel slices; total is
+// the circuit U the shares are taken against.
+func Rank(names []string, u []float64, total float64) []Contribution {
+	out := make([]Contribution, len(names))
+	for i := range names {
+		out[i] = Contribution{Name: names[i], U: u[i]}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].U > out[j].U })
+	cum := 0.0
+	for i := range out {
+		if total > 0 {
+			out[i].Share = out[i].U / total
+		}
+		cum += out[i].Share
+		out[i].CumShare = cum
+	}
+	return out
+}
+
+// GroupShare returns the fraction of the total carried by the gate IDs
+// in group, given the pipeline's per-gate U vector — the hardening
+// flows' one-line verdict ("the voters carry 95% of TMR's
+// susceptibility").
+func GroupShare(ui []float64, group []int) float64 {
+	total := 0.0
+	for _, u := range ui {
+		total += u
+	}
+	if total <= 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, id := range group {
+		sum += ui[id]
+	}
+	return sum / total
+}

@@ -7,7 +7,10 @@
 # output into machine-readable JSON so the performance trajectory of
 # the repository is recorded PR over PR. BenchmarkSeqS1196 covers the
 # sequential (ISCAS-89) engine, so the bench-regression gate pins its
-# U metric and runtime alongside the paper figures.
+# U metric and runtime alongside the paper figures;
+# BenchmarkSusceptibilityC7552 pins the strike pipeline's per-gate
+# susceptibility hot path (warm c7552 re-analysis + ranking) and its
+# top-10 cumulative share.
 #
 # Usage:
 #   scripts/bench.sh                 # full suite -> BENCH_1.json

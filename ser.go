@@ -55,6 +55,7 @@ import (
 	"repro/internal/harden"
 	"repro/internal/seq"
 	"repro/internal/sertopt"
+	"repro/internal/strike"
 )
 
 // Circuit is the public alias for the gate-level netlist type.
@@ -368,6 +369,47 @@ func (r *Report) Softest(n int) []GateReport {
 	return out
 }
 
+// SusceptibilityEntry is one ranked per-gate susceptibility
+// contribution: the gate's absolute Eq. 3 contribution, its share of
+// the circuit total, and the cumulative share through its rank ("the
+// top N gates carry CumShare of the circuit's susceptibility") —
+// the selective-hardening shopping list.
+type SusceptibilityEntry struct {
+	Name string
+	// U is the gate's absolute unreliability contribution.
+	U float64
+	// Share is U divided by the circuit total (0 when the total is not
+	// positive).
+	Share float64
+	// CumShare is the cumulative share of this and every higher-ranked
+	// gate.
+	CumShare float64
+}
+
+// rankSusceptibility runs the strike pipeline's ranking over parallel
+// name/U slices.
+func rankSusceptibility(names []string, u []float64, total float64) []SusceptibilityEntry {
+	ranked := strike.Rank(names, u, total)
+	out := make([]SusceptibilityEntry, len(ranked))
+	for i, e := range ranked {
+		out[i] = SusceptibilityEntry{Name: e.Name, U: e.U, Share: e.Share, CumShare: e.CumShare}
+	}
+	return out
+}
+
+// Susceptibility returns the ranked per-gate contributions of the
+// analysis — every gate, most susceptible first, with share and
+// cumulative-share columns. The ranking is deterministic: ties keep
+// netlist order.
+func (r *Report) Susceptibility() []SusceptibilityEntry {
+	names := make([]string, len(r.Gates))
+	u := make([]float64, len(r.Gates))
+	for i, g := range r.Gates {
+		names[i], u[i] = g.Name, g.U
+	}
+	return rankSusceptibility(names, u, r.U)
+}
+
 // Raw exposes the underlying analysis for advanced use (sample tables,
 // sensitization probabilities).
 func (r *Report) Raw() *aserta.Analysis { return r.analysis }
@@ -517,6 +559,18 @@ func (r *SequentialReport) Softest(n int) []SequentialGateReport {
 // columns).
 func (r *SequentialReport) Raw() *seq.Result { return r.raw }
 
+// Susceptibility returns the ranked per-gate contributions of the
+// sequential analysis (direct + latched U per gate), most susceptible
+// first, with share and cumulative-share columns.
+func (r *SequentialReport) Susceptibility() []SusceptibilityEntry {
+	names := make([]string, len(r.Gates))
+	u := make([]float64, len(r.Gates))
+	for i, g := range r.Gates {
+		names[i], u[i] = g.Name, g.U
+	}
+	return rankSusceptibility(names, u, r.U)
+}
+
 // AnalyzeSequential runs the multi-cycle sequential SER analysis on a
 // circuit with flip-flops. Combinational circuits are legal inputs:
 // the result then has no latched component and U equals the
@@ -607,6 +661,25 @@ type OptimizeResult struct {
 
 // Raw exposes the full optimizer result (assignments, history).
 func (r *OptimizeResult) Raw() *sertopt.Result { return r.raw }
+
+// Susceptibility returns the ranked per-gate contributions of the
+// baseline and optimized assignments, for before/after comparison of
+// where the optimizer moved the soft spots.
+func (r *OptimizeResult) Susceptibility() (baseline, optimized []SusceptibilityEntry) {
+	rank := func(an *aserta.Analysis) []SusceptibilityEntry {
+		var names []string
+		var u []float64
+		for _, g := range an.Circuit.Gates {
+			if g.Type == ckt.Input {
+				continue
+			}
+			names = append(names, g.Name)
+			u = append(u, an.Ui[g.ID])
+		}
+		return rankSusceptibility(names, u, an.U)
+	}
+	return rank(r.raw.BaseAnalysis), rank(r.raw.OptAnalysis)
+}
 
 // Optimize runs SERTOPT on the circuit, compiling it on the fly.
 // Callers holding a compiled handle should use OptimizeCompiled.

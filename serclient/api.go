@@ -72,6 +72,52 @@ type AnalyzeResponse struct {
 	ElapsedMS  float64           `json:"elapsed_ms"`
 }
 
+// SusceptibilityRequest asks for the ranked per-gate susceptibility of
+// one circuit: every gate's share of the circuit unreliability, most
+// susceptible first — the selective-hardening shopping list. Exactly
+// one of Circuit or Netlist must be set; Cycles >= 1 selects the
+// sequential flow for netlists with flip-flops.
+type SusceptibilityRequest struct {
+	Circuit string  `json:"circuit,omitempty"`
+	Netlist string  `json:"netlist,omitempty"`
+	Name    string  `json:"name,omitempty"`
+	Vectors int     `json:"vectors,omitempty"`
+	Seed    uint64  `json:"seed,omitempty"`
+	POLoad  float64 `json:"po_load,omitempty"`
+	// Top truncates the ranking to the N most susceptible gates
+	// (0 = all gates).
+	Top int `json:"top,omitempty"`
+	// Cycles selects the sequential analysis (see AnalyzeRequest).
+	Cycles    int    `json:"cycles,omitempty"`
+	InitState []bool `json:"init_state,omitempty"`
+	Async     bool   `json:"async,omitempty"`
+}
+
+// SusceptibilityEntry is one ranked per-gate contribution.
+type SusceptibilityEntry struct {
+	Name string  `json:"name"`
+	U    float64 `json:"u"`
+	// Share is U over the circuit total; CumShare the cumulative share
+	// through this rank.
+	Share    float64 `json:"share"`
+	CumShare float64 `json:"cum_share"`
+}
+
+// SusceptibilityResponse is the ranked susceptibility for one circuit.
+type SusceptibilityResponse struct {
+	Circuit string `json:"circuit"`
+	// Gates is the full ranked gate count before Top truncation.
+	Gates int     `json:"gates"`
+	U     float64 `json:"u"`
+	// Entries is the ranking, most susceptible first (possibly
+	// truncated to the request's Top).
+	Entries []SusceptibilityEntry `json:"entries"`
+	// Sequential is set when the request asked for the multi-cycle
+	// flow (Cycles > 0).
+	Sequential *SequentialResult `json:"sequential,omitempty"`
+	ElapsedMS  float64           `json:"elapsed_ms"`
+}
+
 // OptimizeRequest asks for one SERTOPT optimization run.
 type OptimizeRequest struct {
 	Circuit string `json:"circuit,omitempty"`
@@ -106,8 +152,9 @@ type OptimizeResponse struct {
 // round trip. Items run concurrently on the server's worker pool; the
 // response reports every item, successes and failures alike.
 type BatchRequest struct {
-	Analyze  []AnalyzeRequest  `json:"analyze,omitempty"`
-	Optimize []OptimizeRequest `json:"optimize,omitempty"`
+	Analyze        []AnalyzeRequest        `json:"analyze,omitempty"`
+	Optimize       []OptimizeRequest       `json:"optimize,omitempty"`
+	Susceptibility []SusceptibilityRequest `json:"susceptibility,omitempty"`
 }
 
 // AnalyzeBatchItem is one batch analysis outcome: Result on success,
@@ -123,10 +170,17 @@ type OptimizeBatchItem struct {
 	Result *OptimizeResponse `json:"result,omitempty"`
 }
 
+// SusceptibilityBatchItem is one batch susceptibility outcome.
+type SusceptibilityBatchItem struct {
+	Error  string                  `json:"error,omitempty"`
+	Result *SusceptibilityResponse `json:"result,omitempty"`
+}
+
 // BatchResponse mirrors the request arrays index-for-index.
 type BatchResponse struct {
-	Analyze  []AnalyzeBatchItem  `json:"analyze,omitempty"`
-	Optimize []OptimizeBatchItem `json:"optimize,omitempty"`
+	Analyze        []AnalyzeBatchItem        `json:"analyze,omitempty"`
+	Optimize       []OptimizeBatchItem       `json:"optimize,omitempty"`
+	Susceptibility []SusceptibilityBatchItem `json:"susceptibility,omitempty"`
 	// Failed counts items that did not produce a result.
 	Failed int `json:"failed"`
 }
@@ -143,12 +197,13 @@ const (
 // JobResponse is the status (and, once done, the result) of a job.
 type JobResponse struct {
 	ID     string `json:"id"`
-	Kind   string `json:"kind"` // "analyze" or "optimize"
+	Kind   string `json:"kind"` // "analyze", "optimize" or "susceptibility"
 	Status string `json:"status"`
 	Error  string `json:"error,omitempty"`
-	// Exactly one of the two is set once Status is "done".
-	Analyze  *AnalyzeResponse  `json:"analyze,omitempty"`
-	Optimize *OptimizeResponse `json:"optimize,omitempty"`
+	// Exactly one of the three is set once Status is "done".
+	Analyze        *AnalyzeResponse        `json:"analyze,omitempty"`
+	Optimize       *OptimizeResponse       `json:"optimize,omitempty"`
+	Susceptibility *SusceptibilityResponse `json:"susceptibility,omitempty"`
 }
 
 // HealthResponse is the GET /healthz body.

@@ -4,27 +4,69 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"syscall"
 	"time"
 )
 
 // Client talks to a serd analysis service.
+//
+// Reliability policy: an optional per-request timeout (Options.Timeout
+// — without one a hung server blocks a Background-context call
+// forever) and one automatic retry when the connection is reset or
+// dropped before a response arrives. The retry applies to GETs and to
+// synchronous analysis requests: those jobs derive their context from
+// the HTTP request, so the dropped connection cancels the server-side
+// work and the replay cannot double it. Async submissions (and any
+// request with Async set) are never retried — an async job detaches
+// from the request context, so the first submission may already be
+// running and a replay would enqueue a duplicate.
 type Client struct {
-	base string
-	http *http.Client
+	base    string
+	http    *http.Client
+	timeout time.Duration
+	noRetry bool
+}
+
+// Options tune a Client's transport behavior.
+type Options struct {
+	// HTTPClient overrides the underlying client (nil =
+	// http.DefaultClient).
+	HTTPClient *http.Client
+	// Timeout bounds each request (connection + server time) via a
+	// derived context deadline; 0 means no client-side bound. Unlike
+	// http.Client.Timeout it composes with the caller's context and
+	// applies per attempt, so a retried request gets a fresh budget.
+	Timeout time.Duration
+	// DisableRetry turns off the one-retry-on-connection-reset policy.
+	DisableRetry bool
 }
 
 // New creates a client for the service at base (e.g.
 // "http://localhost:8080"). httpClient may be nil for
-// http.DefaultClient.
+// http.DefaultClient. The default policy retries once on a reset
+// connection and applies no timeout; use NewWithOptions to change
+// either.
 func New(base string, httpClient *http.Client) *Client {
-	if httpClient == nil {
-		httpClient = http.DefaultClient
+	return NewWithOptions(base, Options{HTTPClient: httpClient})
+}
+
+// NewWithOptions is New with an explicit transport policy.
+func NewWithOptions(base string, opts Options) *Client {
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+	return &Client{
+		base:    strings.TrimRight(base, "/"),
+		http:    hc,
+		timeout: opts.Timeout,
+		noRetry: opts.DisableRetry,
+	}
 }
 
 // apiError is a non-2xx server answer.
@@ -44,21 +86,69 @@ func IsStatus(err error, status int) bool {
 	return ok && ae.Status == status
 }
 
-// do performs one JSON round trip. in == nil means GET.
+// retryable reports whether err is a connection-level failure worth
+// one retry: the peer reset or dropped the connection before a
+// response arrived (a crashed worker, a bounced load-balancer
+// backend). HTTP-level errors (any status code) never retry.
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return true
+	}
+	// net/http wraps a server hangup racing request write as a plain
+	// string in some paths; match the canonical phrasing.
+	return strings.Contains(err.Error(), "connection reset")
+}
+
+// do performs one JSON round trip with the retry policy. in == nil
+// means GET. A connection-reset failure is retried once; the
+// configured timeout applies per attempt.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	return c.doRetry(ctx, method, path, in, out, !c.noRetry)
+}
+
+// doOnce is do without the retry — for submissions whose server-side
+// work outlives the connection (async jobs).
+func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) error {
+	return c.doRetry(ctx, method, path, in, out, false)
+}
+
+func (c *Client) doRetry(ctx context.Context, method, path string, in, out any, retry bool) error {
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
+		var err error
+		data, err = json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("serd: marshal request: %v", err)
 		}
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.once(ctx, method, path, data, out)
+		if err == nil || !retry || attempt > 0 || !retryable(err) || ctx.Err() != nil {
+			return err
+		}
+	}
+}
+
+// once performs a single attempt of do.
+func (c *Client) once(ctx context.Context, method, path string, data []byte, out any) error {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	var body io.Reader
+	if data != nil {
 		body = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if data != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
@@ -99,7 +189,7 @@ func (c *Client) Analyze(ctx context.Context, req AnalyzeRequest) (*AnalyzeRespo
 func (c *Client) AnalyzeAsync(ctx context.Context, req AnalyzeRequest) (*JobResponse, error) {
 	req.Async = true
 	var out JobResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/analyze", req, &out); err != nil {
+	if err := c.doOnce(ctx, http.MethodPost, "/v1/analyze", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -121,7 +211,29 @@ func (c *Client) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeRe
 func (c *Client) OptimizeAsync(ctx context.Context, req OptimizeRequest) (*JobResponse, error) {
 	req.Async = true
 	var out JobResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/optimize", req, &out); err != nil {
+	if err := c.doOnce(ctx, http.MethodPost, "/v1/optimize", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Susceptibility runs one synchronous per-gate susceptibility ranking.
+func (c *Client) Susceptibility(ctx context.Context, req SusceptibilityRequest) (*SusceptibilityResponse, error) {
+	if req.Async {
+		return nil, fmt.Errorf("serd: use SusceptibilityAsync for async requests")
+	}
+	var out SusceptibilityResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/susceptibility", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SusceptibilityAsync submits a susceptibility job and returns its id.
+func (c *Client) SusceptibilityAsync(ctx context.Context, req SusceptibilityRequest) (*JobResponse, error) {
+	req.Async = true
+	var out JobResponse
+	if err := c.doOnce(ctx, http.MethodPost, "/v1/susceptibility", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

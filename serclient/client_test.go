@@ -1,0 +1,182 @@
+package serclient
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// healthHandler answers GET /healthz like serd does.
+func healthHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(HealthResponse{OK: true})
+}
+
+// TestTimeoutBoundsHungServer: a server that never answers must fail
+// within the configured timeout instead of hanging a
+// Background-context call forever.
+func TestTimeoutBoundsHungServer(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer hs.Close()
+
+	cl := NewWithOptions(hs.URL, Options{HTTPClient: hs.Client(), Timeout: 50 * time.Millisecond})
+	start := time.Now()
+	_, err := cl.Health(context.Background())
+	if err == nil {
+		t.Fatal("hung server produced no error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v, want ~50ms", elapsed)
+	}
+}
+
+// TestTimeoutComposesWithCallerContext: a caller deadline shorter than
+// the client timeout still wins.
+func TestTimeoutComposesWithCallerContext(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer hs.Close()
+
+	cl := NewWithOptions(hs.URL, Options{HTTPClient: hs.Client(), Timeout: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := cl.Health(ctx); err == nil {
+		t.Fatal("expired caller context produced no error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("caller deadline took %v, want ~50ms", elapsed)
+	}
+}
+
+// droppingHandler hijacks and hard-closes the first n connections, then
+// serves normally — simulating a backend that resets the connection.
+func droppingHandler(n int64, next http.HandlerFunc) http.HandlerFunc {
+	var served int64
+	return func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt64(&served, 1) <= n {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				panic("test server does not support hijacking")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				panic(err)
+			}
+			conn.Close() // dropped before any response bytes
+			return
+		}
+		next(w, r)
+	}
+}
+
+// TestRetryOnDroppedConnection: the first connection is reset before a
+// response; the client's one-retry policy must transparently succeed
+// on the second attempt.
+func TestRetryOnDroppedConnection(t *testing.T) {
+	var requests int64
+	hs := httptest.NewServer(droppingHandler(1, func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&requests, 1)
+		healthHandler(w, r)
+	}))
+	defer hs.Close()
+
+	cl := New(hs.URL, hs.Client())
+	h, err := cl.Health(context.Background())
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if !h.OK {
+		t.Fatal("unexpected health body")
+	}
+	if got := atomic.LoadInt64(&requests); got != 1 {
+		t.Fatalf("server answered %d requests, want 1", got)
+	}
+}
+
+// TestRetryIsSingle: two consecutive drops exhaust the one-retry
+// budget and surface the error.
+func TestRetryIsSingle(t *testing.T) {
+	hs := httptest.NewServer(droppingHandler(2, healthHandler))
+	defer hs.Close()
+
+	cl := New(hs.URL, hs.Client())
+	if _, err := cl.Health(context.Background()); err == nil {
+		t.Fatal("two consecutive resets did not surface an error")
+	}
+	// The connection pool now holds no poisoned conns; a fresh call
+	// succeeds without retries left over from the previous one.
+	if _, err := cl.Health(context.Background()); err != nil {
+		t.Fatalf("post-exhaustion call failed: %v", err)
+	}
+}
+
+// TestNoRetryOnAsyncSubmission: an async submission detaches its job
+// from the request context, so the client must never replay it — the
+// first attempt may already have enqueued work.
+func TestNoRetryOnAsyncSubmission(t *testing.T) {
+	var requests int64
+	hs := httptest.NewServer(droppingHandler(1, func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&requests, 1)
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(JobResponse{ID: "job-000001", Status: JobQueued})
+	}))
+	defer hs.Close()
+
+	cl := New(hs.URL, hs.Client())
+	if _, err := cl.AnalyzeAsync(context.Background(), AnalyzeRequest{Circuit: "c17"}); err == nil {
+		t.Fatal("dropped async submission was retried (no error surfaced)")
+	}
+	if got := atomic.LoadInt64(&requests); got != 0 {
+		t.Fatalf("async submission reached the handler %d times after a drop, want 0", got)
+	}
+}
+
+// TestRetryDisabled: DisableRetry surfaces the very first reset.
+func TestRetryDisabled(t *testing.T) {
+	hs := httptest.NewServer(droppingHandler(1, healthHandler))
+	defer hs.Close()
+
+	cl := NewWithOptions(hs.URL, Options{HTTPClient: hs.Client(), DisableRetry: true})
+	if _, err := cl.Health(context.Background()); err == nil {
+		t.Fatal("reset with retries disabled did not surface an error")
+	}
+}
+
+// TestNoRetryOnHTTPError: a served error status is a definitive answer
+// and must not be retried.
+func TestNoRetryOnHTTPError(t *testing.T) {
+	var requests int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&requests, 1)
+		w.WriteHeader(http.StatusInternalServerError)
+		_ = json.NewEncoder(w).Encode(ErrorResponse{Error: "boom"})
+	}))
+	defer hs.Close()
+
+	cl := New(hs.URL, hs.Client())
+	_, err := cl.Health(context.Background())
+	if err == nil || !IsStatus(err, http.StatusInternalServerError) {
+		t.Fatalf("err = %v, want HTTP 500", err)
+	}
+	if got := atomic.LoadInt64(&requests); got != 1 {
+		t.Fatalf("HTTP error was retried: %d requests", got)
+	}
+}

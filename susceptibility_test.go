@@ -1,0 +1,89 @@
+package ser
+
+import (
+	"math"
+	"testing"
+)
+
+// TestReportSusceptibility checks the public ranking: every gate
+// present, descending U, shares normalized against the report total,
+// cumulative share reaching 1, and consistency with Softest.
+func TestReportSusceptibility(t *testing.T) {
+	c, _ := Benchmark("c432")
+	rep, err := sys().Analyze(c, AnalysisOptions{Vectors: 1500, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := rep.Susceptibility()
+	if len(entries) != len(rep.Gates) {
+		t.Fatalf("ranking has %d entries for %d gates", len(entries), len(rep.Gates))
+	}
+	sumU, sumShare := 0.0, 0.0
+	prev := math.Inf(1)
+	for i, e := range entries {
+		if e.U > prev {
+			t.Fatalf("rank %d not descending", i)
+		}
+		prev = e.U
+		sumU += e.U
+		sumShare += e.Share
+		if math.Abs(e.CumShare-sumShare) > 1e-12 {
+			t.Fatalf("rank %d cum share %v, running sum %v", i, e.CumShare, sumShare)
+		}
+	}
+	if math.Abs(sumU-rep.U)/rep.U > 1e-9 {
+		t.Fatalf("entry U sum %v != report U %v", sumU, rep.U)
+	}
+	if math.Abs(sumShare-1) > 1e-9 {
+		t.Fatalf("shares sum to %v, want 1", sumShare)
+	}
+	// The ranking's head must agree with Softest.
+	soft := rep.Softest(3)
+	for i := range soft {
+		if soft[i].Name != entries[i].Name || soft[i].U != entries[i].U {
+			t.Fatalf("rank %d: Susceptibility %v, Softest %v", i, entries[i], soft[i])
+		}
+	}
+}
+
+// TestSequentialReportSusceptibility mirrors the check for the
+// sequential flow.
+func TestSequentialReportSusceptibility(t *testing.T) {
+	c, _ := Benchmark("s27")
+	rep, err := sys().AnalyzeSequential(c, SequentialOptions{Cycles: 3, Vectors: 512, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := rep.Susceptibility()
+	if len(entries) != len(rep.Gates) {
+		t.Fatalf("ranking has %d entries for %d gates", len(entries), len(rep.Gates))
+	}
+	sum := 0.0
+	for _, e := range entries {
+		sum += e.U
+	}
+	if rep.U > 0 && math.Abs(sum-rep.U)/rep.U > 1e-9 {
+		t.Fatalf("entry U sum %v != report U %v", sum, rep.U)
+	}
+}
+
+// TestOptimizeSusceptibility: the optimizer's before/after rankings
+// cover the same gates and the optimized total matches OptimizedU.
+func TestOptimizeSusceptibility(t *testing.T) {
+	c, _ := Benchmark("c17")
+	res, err := sys().Optimize(c, OptimizeOptions{Vectors: 1000, Iterations: 2, MaxBasis: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, opt := res.Susceptibility()
+	if len(base) != 6 || len(opt) != 6 {
+		t.Fatalf("rankings have %d/%d entries, want 6", len(base), len(opt))
+	}
+	sum := 0.0
+	for _, e := range opt {
+		sum += e.U
+	}
+	if math.Abs(sum-res.OptimizedU)/res.OptimizedU > 1e-9 {
+		t.Fatalf("optimized ranking sums to %v, want %v", sum, res.OptimizedU)
+	}
+}
