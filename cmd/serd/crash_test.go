@@ -1,0 +1,384 @@
+// Cross-process crash and shutdown tests: a real serd binary is built
+// once, run against a journal directory, killed (SIGKILL) or drained
+// (SIGTERM), and restarted — proving that durable jobs survive a crash
+// with bit-identical results and that graceful shutdown keeps queued
+// work resumable. Fault injection (SERD_FAULTS) makes the timing
+// deterministic: every job attempt sleeps long enough that the kill
+// provably lands mid-batch.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+	"repro/serclient"
+)
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// serdBinary builds the serd binary once per test run.
+func serdBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "serd-bin")
+		if buildErr != nil {
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", filepath.Join(buildDir, "serd"), ".")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	t.Cleanup(func() {}) // buildDir is shared; removed by the OS temp cleaner
+	return filepath.Join(buildDir, "serd")
+}
+
+// serdProc is one running serd process.
+type serdProc struct {
+	cmd    *exec.Cmd
+	url    string
+	waitCh chan error
+
+	mu     sync.Mutex
+	stderr bytes.Buffer
+}
+
+// startServd launches the binary with -addr 127.0.0.1:0 -coarse plus
+// args, parses the resolved address off stderr, and keeps draining
+// stderr in the background. faults arms SERD_FAULTS in the child only.
+func startServd(t *testing.T, faults string, args ...string) *serdProc {
+	t.Helper()
+	bin := serdBinary(t)
+	p := &serdProc{
+		cmd:    exec.Command(bin, append([]string{"-addr", "127.0.0.1:0", "-coarse"}, args...)...),
+		waitCh: make(chan error, 1),
+	}
+	p.cmd.Env = os.Environ()
+	if faults != "" {
+		p.cmd.Env = append(p.cmd.Env, "SERD_FAULTS="+faults)
+	}
+	stderr, err := p.cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		p.cmd.Process.Kill()
+		<-p.waitCh
+	})
+
+	// The first interesting line is "serd: listening on <addr> (...)".
+	sc := bufio.NewScanner(stderr)
+	deadline := time.After(30 * time.Second)
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			p.mu.Lock()
+			p.stderr.WriteString(line + "\n")
+			p.mu.Unlock()
+			if _, after, ok := strings.Cut(line, "listening on "); ok {
+				addr, _, _ := strings.Cut(after, " ")
+				select {
+				case addrCh <- addr:
+				default:
+				}
+			}
+		}
+	}()
+	go func() { p.waitCh <- p.cmd.Wait() }()
+
+	select {
+	case addr := <-addrCh:
+		p.url = "http://" + addr
+	case err := <-p.waitCh:
+		p.waitCh <- err
+		t.Fatalf("serd exited before listening: %v\n%s", err, p.stderrText())
+	case <-deadline:
+		t.Fatalf("serd did not log a listen address\n%s", p.stderrText())
+	}
+	return p
+}
+
+func (p *serdProc) stderrText() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stderr.String()
+}
+
+// wait blocks for process exit and returns its exit code.
+func (p *serdProc) wait(t *testing.T, timeout time.Duration) int {
+	t.Helper()
+	select {
+	case err := <-p.waitCh:
+		p.waitCh <- err
+		if err == nil {
+			return 0
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		t.Fatalf("wait: %v", err)
+	case <-time.After(timeout):
+		t.Fatalf("serd did not exit within %v\n%s", timeout, p.stderrText())
+	}
+	return -1
+}
+
+// bigNetlist builds an inline .bench body larger than the journal's
+// inline spill threshold (4 KiB), so the crash test exercises the
+// content-addressed blob path: many independent NAND gates, each its
+// own primary output.
+func bigNetlist(gates int) string {
+	var b strings.Builder
+	b.WriteString("INPUT(a)\nINPUT(b)\n")
+	for i := 0; i < gates; i++ {
+		fmt.Fprintf(&b, "OUTPUT(g%03d)\n", i)
+	}
+	for i := 0; i < gates; i++ {
+		fmt.Fprintf(&b, "g%03d = NAND(a, b)\n", i)
+	}
+	return b.String()
+}
+
+// TestCrashRecoveryBitIdentical is the tentpole acceptance test: async
+// jobs are submitted to a journaled serd whose single worker is slowed
+// by an injected per-attempt delay; once saturated, further
+// submissions are shed with 429 + Retry-After while /healthz stays
+// 200; the process is SIGKILLed mid-batch; a restart on the same
+// journal completes every accepted job under its original ID with
+// results bit-identical to an uninterrupted (synchronous) run.
+func TestCrashRecoveryBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-process crash test")
+	}
+	jdir := filepath.Join(t.TempDir(), "journal")
+
+	// Every attempt sleeps 2s: the first accepted job is provably still
+	// running when the kill lands, the rest provably still queued.
+	p1 := startServd(t, "serd.engine.delay=-1:2s", "-journal", jdir, "-workers", "1", "-queue", "2")
+	cl1 := serclient.New(p1.url, nil)
+	ctx := context.Background()
+
+	big := bigNetlist(300)
+	reqs := []serclient.AnalyzeRequest{
+		{Circuit: "c17", Vectors: 800, Seed: 1},
+		{Netlist: "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n", Name: "tiny", Vectors: 500, Seed: 2},
+		{Netlist: big, Name: "wide", Vectors: 200, Seed: 3},
+	}
+	var ids []string
+	for i, req := range reqs {
+		jr, err := cl1.AnalyzeAsync(ctx, req)
+		if err != nil {
+			t.Fatalf("submission %d: %v", i, err)
+		}
+		ids = append(ids, jr.ID)
+	}
+
+	// Queue is now saturated (1 running once picked up + 2 queued):
+	// further submissions must shed with 429 + Retry-After while
+	// liveness holds.
+	waitForCond(t, "queue saturation", func() bool {
+		rr, err := cl1.Ready(ctx)
+		return err == nil && rr.Saturated
+	})
+	_, err := cl1.AnalyzeAsync(ctx, serclient.AnalyzeRequest{Circuit: "c17", Vectors: 800, Seed: 4})
+	if !serclient.IsStatus(err, http.StatusTooManyRequests) {
+		t.Fatalf("saturated submission: got %v, want 429", err)
+	}
+	if d, ok := serclient.RetryAfter(err); !ok || d < time.Second {
+		t.Fatalf("Retry-After = %v, %v; want >= 1s", d, ok)
+	}
+	if h, err := cl1.Health(ctx); err != nil || !h.OK {
+		t.Fatalf("healthz during saturation: %v", err)
+	}
+
+	// Kill mid-batch: at least one job running, none finished (every
+	// attempt sleeps 2s and the worker pool is 1 wide).
+	waitForCond(t, "first job running", func() bool {
+		jr, err := cl1.Job(ctx, ids[0])
+		return err == nil && jr.Status == serclient.JobRunning
+	})
+	if err := p1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	p1.wait(t, 10*time.Second)
+
+	// Restart on the same journal, no faults: every accepted job must
+	// complete under its original ID.
+	p2 := startServd(t, "", "-journal", jdir, "-workers", "2")
+	cl2 := serclient.New(p2.url, nil)
+	wctx, cancel := context.WithTimeout(ctx, 120*time.Second)
+	defer cancel()
+
+	finals := make([]*serclient.JobResponse, len(ids))
+	for i, id := range ids {
+		final, err := cl2.WaitJob(wctx, id, 20*time.Millisecond)
+		if err != nil {
+			t.Fatalf("job %s after restart: %v\n%s", id, err, p2.stderrText())
+		}
+		if final.Status != serclient.JobDone || final.Analyze == nil {
+			t.Fatalf("recovered job %s finished %s (%s), want done", id, final.Status, final.Error)
+		}
+		finals[i] = final
+	}
+
+	// Bit-identity: the same requests run synchronously (uninterrupted)
+	// on the restarted server must produce byte-equal results modulo
+	// the wall-clock ElapsedMS field.
+	for i, req := range reqs {
+		req.Async = false
+		ref, err := cl2.Analyze(wctx, req)
+		if err != nil {
+			t.Fatalf("reference run %d: %v", i, err)
+		}
+		got := *finals[i].Analyze
+		got.ElapsedMS, ref.ElapsedMS = 0, 0
+		if !reflect.DeepEqual(got, *ref) {
+			t.Errorf("job %d: recovered result differs from uninterrupted run:\n got %+v\nwant %+v", i, got, *ref)
+		}
+	}
+
+	if rr, err := cl2.Ready(wctx); err != nil || !rr.Ready {
+		t.Fatalf("restarted server not ready after recovery: %v %+v", err, rr)
+	}
+}
+
+// TestGracefulShutdownSigterm: on SIGTERM the running job finishes and
+// persists, the queued job is journaled as queued (not lost, not
+// started), the process exits 0, and a restart resumes the queued job.
+func TestGracefulShutdownSigterm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-process shutdown test")
+	}
+	jdir := filepath.Join(t.TempDir(), "journal")
+
+	p1 := startServd(t, "serd.engine.delay=-1:1500ms", "-journal", jdir, "-workers", "1")
+	cl1 := serclient.New(p1.url, nil)
+	ctx := context.Background()
+
+	runningJr, err := cl1.AnalyzeAsync(ctx, serclient.AnalyzeRequest{Circuit: "c17", Vectors: 600, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForCond(t, "first job running", func() bool {
+		jr, err := cl1.Job(ctx, runningJr.ID)
+		return err == nil && jr.Status == serclient.JobRunning
+	})
+	queuedJr, err := cl1.AnalyzeAsync(ctx, serclient.AnalyzeRequest{Circuit: "c17", Vectors: 600, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := p1.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := p1.wait(t, 60*time.Second); code != 0 {
+		t.Fatalf("graceful shutdown exit code = %d, want 0\n%s", code, p1.stderrText())
+	}
+
+	// Inspect the journal the process left behind.
+	jnl, err := journal.Open(jdir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js := jnl.Lookup(runningJr.ID); js == nil || js.Status != serclient.JobDone || len(js.Result) == 0 {
+		t.Fatalf("running-at-SIGTERM job journaled as %+v, want done with result", js)
+	}
+	if js := jnl.Lookup(queuedJr.ID); js == nil || js.Status != serclient.JobQueued || js.Attempts != 0 {
+		t.Fatalf("queued-at-SIGTERM job journaled as %+v, want queued with 0 attempts", js)
+	}
+	if err := jnl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart resumes the queued job; the finished one is served under
+	// its original ID.
+	p2 := startServd(t, "", "-journal", jdir, "-workers", "1")
+	cl2 := serclient.New(p2.url, nil)
+	wctx, cancel := context.WithTimeout(ctx, 120*time.Second)
+	defer cancel()
+	final, err := cl2.WaitJob(wctx, queuedJr.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != serclient.JobDone || final.Analyze == nil {
+		t.Fatalf("resumed job finished %s (%s), want done", final.Status, final.Error)
+	}
+	served, err := cl2.Job(wctx, runningJr.ID)
+	if err != nil || served.Status != serclient.JobDone || served.Analyze == nil {
+		t.Fatalf("pre-shutdown result not served after restart: %v %+v", err, served)
+	}
+}
+
+// TestSecondSigtermForcesExit: when draining hangs on a slow job, a
+// second SIGTERM forces immediate exit (code 1) instead of waiting.
+func TestSecondSigtermForcesExit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-process shutdown test")
+	}
+	jdir := filepath.Join(t.TempDir(), "journal")
+
+	p := startServd(t, "serd.engine.delay=-1:60s", "-journal", jdir, "-workers", "1")
+	cl := serclient.New(p.url, nil)
+	ctx := context.Background()
+
+	jr, err := cl.AnalyzeAsync(ctx, serclient.AnalyzeRequest{Circuit: "c17", Vectors: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForCond(t, "job running", func() bool {
+		got, err := cl.Job(ctx, jr.ID)
+		return err == nil && got.Status == serclient.JobRunning
+	})
+
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Give the handler time to consume the first signal and arm the
+	// force-exit path, then send the second.
+	waitForCond(t, "shutdown begun", func() bool {
+		return strings.Contains(p.stderrText(), "shutting down")
+	})
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := p.wait(t, 15*time.Second); code != 1 {
+		t.Fatalf("forced exit code = %d, want 1\n%s", code, p.stderrText())
+	}
+}
+
+// waitForCond polls cond for up to 30 seconds.
+func waitForCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

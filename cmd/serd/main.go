@@ -6,11 +6,23 @@
 //
 // Usage:
 //
-//	serd [-addr :8080] [-coarse] [-workers N] [-queue N] [-libcache lib.json]
+//	serd [-addr :8080] [-coarse] [-workers N] [-queue N]
+//	     [-libcache lib.json] [-journal DIR]
+//	     [-job-timeout 15m] [-max-attempts 3]
 //
 // Endpoints: POST /v1/analyze, POST /v1/optimize, POST /v1/batch,
-// GET /v1/jobs/{id}, GET /healthz, GET /metrics. See the README's
-// "Running as a service" section for curl examples.
+// GET /v1/jobs/{id}, GET /healthz, GET /readyz, GET /metrics. See the
+// README's "Running as a service" and "Operations" sections for curl
+// examples and the durability/recovery semantics.
+//
+// With -journal, accepted async jobs are persisted to an append-only,
+// fsync'd log; a restart on the same directory re-enqueues jobs that
+// were queued or running and serves finished results under their
+// original IDs.
+//
+// Shutdown: the first SIGINT/SIGTERM drains gracefully (running jobs
+// finish and persist; queued jobs stay journaled for the next start);
+// a second signal forces immediate exit.
 package main
 
 import (
@@ -18,6 +30,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -25,6 +38,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/journal"
 	"repro/internal/serd"
 )
 
@@ -32,16 +46,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("serd: ")
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		coarse     = flag.Bool("coarse", false, "use the coarse characterization grid (faster cold starts)")
-		workers    = flag.Int("workers", 0, "concurrent jobs (0 = one per CPU)")
-		queue      = flag.Int("queue", 64, "FIFO queue depth before submissions get 503")
-		maxGates   = flag.Int("max-gates", 50000, "largest accepted circuit")
-		maxVectors = flag.Int("max-vectors", 200000, "largest accepted vector count")
-		maxCycles  = flag.Int("max-cycles", 1024, "largest accepted sequential cycle horizon")
-		maxFrames  = flag.Int("max-seq-frames", 65536, "largest accepted cycles x flops work budget")
-		libcache   = flag.String("libcache", "", "JSON library cache (loaded if present, saved on shutdown)")
-		ckktCache  = flag.Int64("compiled-cache-gates", 500000, "compiled-circuit cache budget (total gate records; 0 = default)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		coarse      = flag.Bool("coarse", false, "use the coarse characterization grid (faster cold starts)")
+		workers     = flag.Int("workers", 0, "concurrent jobs (0 = one per CPU)")
+		queue       = flag.Int("queue", 64, "FIFO queue depth before submissions are shed with 429")
+		maxGates    = flag.Int("max-gates", 50000, "largest accepted circuit")
+		maxVectors  = flag.Int("max-vectors", 200000, "largest accepted vector count")
+		maxCycles   = flag.Int("max-cycles", 1024, "largest accepted sequential cycle horizon")
+		maxFrames   = flag.Int("max-seq-frames", 65536, "largest accepted cycles x flops work budget")
+		libcache    = flag.String("libcache", "", "JSON library cache (loaded if present, saved on shutdown)")
+		ckktCache   = flag.Int64("compiled-cache-gates", 500000, "compiled-circuit cache budget (total gate records; 0 = default)")
+		journalDir  = flag.String("journal", "", "durable job journal directory (empty = async jobs are lost on restart)")
+		jobTimeout  = flag.Duration("job-timeout", 15*time.Minute, "async job deadline across all attempts (negative = none)")
+		maxAttempts = flag.Int("max-attempts", 3, "execution attempts per async job before it fails terminally")
+		keepJobs    = flag.Int("keep-jobs", 1024, "finished jobs retained for polling (also the journal's terminal retention)")
 	)
 	flag.Parse()
 
@@ -59,6 +77,18 @@ func main() {
 		}
 	}
 
+	var jnl *journal.Journal
+	if *journalDir != "" {
+		var err error
+		jnl, err = journal.Open(*journalDir, *keepJobs)
+		if err != nil {
+			log.Fatalf("open journal: %v", err)
+		}
+		if pending := len(jnl.Pending()); pending > 0 {
+			log.Printf("journal %s: recovering %d pending job(s)", *journalDir, pending)
+		}
+	}
+
 	srv := serd.New(serd.Config{
 		System:             sys,
 		Workers:            *workers,
@@ -67,36 +97,61 @@ func main() {
 		MaxVectors:         *maxVectors,
 		MaxCycles:          *maxCycles,
 		MaxSeqFrames:       *maxFrames,
+		KeepJobs:           *keepJobs,
 		CompiledCacheGates: *ckktCache,
+		Journal:            jnl,
+		JobTimeout:         *jobTimeout,
+		MaxAttempts:        *maxAttempts,
 	})
 	hs := &http.Server{
-		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, drain the
-	// pool, persist the library cache (atomic write).
+	// Explicit listen (rather than ListenAndServe) so the resolved
+	// address — a concrete port when -addr asks for :0 — is logged
+	// before serving; integration harnesses parse this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Graceful shutdown on the first SIGINT/SIGTERM: stop accepting,
+	// finish running jobs (journaling their results), leave queued jobs
+	// journaled for the next start, persist the library cache. A second
+	// signal forces exit without draining.
 	done := make(chan struct{})
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		log.Printf("shutting down")
+		log.Printf("shutting down (signal again to force exit)")
+		go func() {
+			<-sig
+			log.Printf("forced exit")
+			os.Exit(1)
+		}()
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
-			log.Printf("shutdown: %v", err)
+			log.Printf("http shutdown: %v", err)
+		}
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("drain: %v", err)
 		}
 		close(done)
 	}()
 
-	log.Printf("listening on %s (workers=%d queue=%d)", *addr, *workers, *queue)
-	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	log.Printf("listening on %s (workers=%d queue=%d)", ln.Addr(), *workers, *queue)
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
 	<-done
-	srv.Close()
+	if jnl != nil {
+		if err := jnl.Close(); err != nil {
+			log.Printf("close journal: %v", err)
+		}
+	}
 	if *libcache != "" {
 		if err := sys.SaveLibrary(*libcache); err != nil {
 			log.Printf("save library cache: %v", err)

@@ -1,0 +1,154 @@
+// Package faultinject provides deterministic, environment-gated
+// failpoints for robustness tests: a test (or a test-driven parent
+// process) arms named fault sites with a trigger budget, and
+// production code queries them at well-known hook points. With no
+// faults armed the fast path is one atomic load, so hooks are safe to
+// leave in serving-tier code permanently.
+//
+// Faults are armed either programmatically (Enable, for in-process
+// tests) or through the SERD_FAULTS environment variable read at
+// process start (for cross-process crash/restart tests that exec a
+// real binary). The spec grammar is a comma-separated list of
+//
+//	name=count          fire the next count hits of the site (-1 = every hit)
+//	name=count:duration fire with an attached duration (for delay sites)
+//
+// e.g. SERD_FAULTS="serd.engine.fail=2,serd.engine.delay=-1:300ms".
+//
+// Well-known sites used by this repository:
+//
+//	serd.engine.fail   job attempt returns an injected error
+//	serd.worker.panic  job attempt panics inside the worker
+//	serd.engine.delay  job attempt sleeps for the armed duration
+//	journal.fsync      journal fsync fails with an injected error
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EnvVar is the environment variable parsed at process start.
+const EnvVar = "SERD_FAULTS"
+
+// ErrInjected is the sentinel wrapped by every error Err returns, so
+// callers (and tests) can recognize injected failures.
+var ErrInjected = errors.New("injected fault")
+
+type site struct {
+	remaining int64 // -1 = unlimited
+	delay     time.Duration
+}
+
+var (
+	active atomic.Bool // fast path: no sites armed anywhere
+	mu     sync.Mutex
+	sites  map[string]*site
+)
+
+func init() {
+	if spec := os.Getenv(EnvVar); spec != "" {
+		if err := Enable(spec); err != nil {
+			// A malformed spec in the environment is a test-harness bug;
+			// fail loudly rather than silently running without faults.
+			panic(fmt.Sprintf("faultinject: bad %s: %v", EnvVar, err))
+		}
+	}
+}
+
+// Enable arms the failpoints described by spec, replacing any sites of
+// the same name but keeping others. See the package comment for the
+// grammar.
+func Enable(spec string) error {
+	parsed := map[string]*site{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("faultinject: %q is not name=count", part)
+		}
+		countStr, durStr, hasDur := strings.Cut(val, ":")
+		n, err := strconv.ParseInt(countStr, 10, 64)
+		if err != nil || n < -1 {
+			return fmt.Errorf("faultinject: bad count in %q", part)
+		}
+		st := &site{remaining: n}
+		if hasDur {
+			d, err := time.ParseDuration(durStr)
+			if err != nil || d < 0 {
+				return fmt.Errorf("faultinject: bad duration in %q", part)
+			}
+			st.delay = d
+		}
+		parsed[name] = st
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if sites == nil {
+		sites = map[string]*site{}
+	}
+	for name, st := range parsed {
+		sites[name] = st
+	}
+	active.Store(len(sites) > 0)
+	return nil
+}
+
+// Disable clears every armed failpoint.
+func Disable() {
+	mu.Lock()
+	defer mu.Unlock()
+	sites = nil
+	active.Store(false)
+}
+
+// fire consumes one trigger of name and returns the site when it
+// fired.
+func fire(name string) (site, bool) {
+	if !active.Load() {
+		return site{}, false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	st, ok := sites[name]
+	if !ok || st.remaining == 0 {
+		return site{}, false
+	}
+	if st.remaining > 0 {
+		st.remaining--
+	}
+	return *st, true
+}
+
+// Fire consumes one trigger of the named site, reporting whether it
+// fired.
+func Fire(name string) bool {
+	_, ok := fire(name)
+	return ok
+}
+
+// Err returns an injected error when the named site fires, nil
+// otherwise.
+func Err(name string) error {
+	if _, ok := fire(name); ok {
+		return fmt.Errorf("faultinject: %s: %w", name, ErrInjected)
+	}
+	return nil
+}
+
+// Sleep blocks for the site's armed duration when the named site
+// fires (a site armed without a duration fires as a no-op).
+func Sleep(name string) {
+	if st, ok := fire(name); ok && st.delay > 0 {
+		time.Sleep(st.delay)
+	}
+}

@@ -1,0 +1,66 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledFastPath(t *testing.T) {
+	Disable()
+	if Fire("anything") {
+		t.Fatal("unarmed site fired")
+	}
+	if err := Err("anything"); err != nil {
+		t.Fatalf("unarmed Err = %v", err)
+	}
+}
+
+func TestCountedTriggers(t *testing.T) {
+	defer Disable()
+	if err := Enable("a.fail=2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Err("a.fail"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first hit: %v", err)
+	}
+	if !Fire("a.fail") {
+		t.Fatal("second hit did not fire")
+	}
+	if Fire("a.fail") {
+		t.Fatal("third hit fired past the budget")
+	}
+	if Fire("other") {
+		t.Fatal("unrelated site fired")
+	}
+}
+
+func TestUnlimitedAndDelaySpec(t *testing.T) {
+	defer Disable()
+	if err := Enable("slow=-1:10ms, b=1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if !Fire("slow") {
+			t.Fatalf("unlimited site stopped firing at hit %d", i)
+		}
+	}
+	start := time.Now()
+	Sleep("slow")
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("Sleep returned after %v, want >= 10ms", elapsed)
+	}
+	if !Fire("b") || Fire("b") {
+		t.Fatal("second spec entry not armed as count=1")
+	}
+}
+
+func TestBadSpecs(t *testing.T) {
+	for _, spec := range []string{"noequals", "a=", "a=x", "a=-2", "a=1:nope", "a=1:-3ms"} {
+		if err := Enable(spec); err == nil {
+			Disable()
+			t.Errorf("Enable(%q) accepted a malformed spec", spec)
+		}
+	}
+	Disable()
+}

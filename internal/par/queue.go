@@ -27,9 +27,10 @@ type Queue struct {
 	jobs    chan queued
 	workers int
 
-	running atomic.Int64
-	started atomic.Int64
-	skipped atomic.Int64
+	running  atomic.Int64
+	started  atomic.Int64
+	skipped  atomic.Int64
+	draining atomic.Bool
 
 	// closeMu makes Close safe against concurrent submitters: senders
 	// hold the read side around the channel send, Close takes the
@@ -67,6 +68,14 @@ func NewQueue(workers, depth int) *Queue {
 func (q *Queue) worker() {
 	defer q.wg.Done()
 	for job := range q.jobs {
+		if q.draining.Load() {
+			// Graceful drain: jobs still waiting in the FIFO are
+			// skipped without running (and without observing their
+			// context) — a caller with a durable job store relies on
+			// them staying "queued" so a restart can resume them.
+			q.skipped.Add(1)
+			continue
+		}
 		if job.ctx.Err() != nil {
 			// Cancelled while queued: never run, but let the job's
 			// bookkeeping observe the cancellation.
@@ -133,6 +142,17 @@ func (q *Queue) Started() int64 { return q.started.Load() }
 // Skipped reports how many jobs were dequeued already-cancelled and
 // therefore never executed.
 func (q *Queue) Skipped() int64 { return q.skipped.Load() }
+
+// Drain gracefully stops the queue: submissions are rejected, jobs
+// already executing run to completion, and jobs still waiting in the
+// FIFO are skipped without ever running. Drain blocks until the
+// workers exit. It is the shutdown mode for callers whose queued jobs
+// are durable elsewhere (a journal) and must stay resumable rather
+// than be force-run or cancelled on the way out.
+func (q *Queue) Drain() {
+	q.draining.Store(true)
+	q.Close()
+}
 
 // Close stops accepting submissions and waits for queued and running
 // jobs to drain.

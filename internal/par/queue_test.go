@@ -126,3 +126,56 @@ func TestQueueClosedRejects(t *testing.T) {
 		t.Fatalf("Submit after Close = %v, want ErrQueueClosed", err)
 	}
 }
+
+// TestQueueDrainFinishesRunningSkipsQueued: Drain lets the executing
+// job complete but never runs jobs still waiting in the FIFO.
+func TestQueueDrainFinishesRunningSkipsQueued(t *testing.T) {
+	q := NewQueue(1, 4)
+	running := make(chan struct{})
+	release := make(chan struct{})
+	var ranRunning, ranQueued atomic.Bool
+	if err := q.TrySubmit(context.Background(), func(ctx context.Context) {
+		close(running)
+		<-release
+		ranRunning.Store(true)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	for i := 0; i < 3; i++ {
+		if err := q.TrySubmit(context.Background(), func(ctx context.Context) {
+			ranQueued.Store(true)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		q.Drain()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while a job was still running")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain never returned")
+	}
+	if !ranRunning.Load() {
+		t.Fatal("running job did not finish during Drain")
+	}
+	if ranQueued.Load() {
+		t.Fatal("queued job ran during Drain; it must be skipped")
+	}
+	if got := q.Skipped(); got != 3 {
+		t.Fatalf("Skipped = %d, want 3", got)
+	}
+	if err := q.TrySubmit(context.Background(), func(ctx context.Context) {}); err != ErrQueueClosed {
+		t.Fatalf("TrySubmit after Drain = %v, want ErrQueueClosed", err)
+	}
+}

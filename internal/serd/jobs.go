@@ -2,13 +2,26 @@ package serd
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
-	"fmt"
 	"sync"
 	"time"
 
 	"repro/serclient"
 )
+
+// newJobID returns an unguessable, collision-free job ID. IDs must be
+// random, not sequential: a guessable ID would let one client poll
+// another's results, and sequential counters collide across process
+// restarts when jobs are recovered from a journal.
+func newJobID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("serd: crypto/rand unavailable: " + err.Error())
+	}
+	return "job-" + hex.EncodeToString(b[:])
+}
 
 // job is one queued unit of work. Status transitions are guarded by
 // the owning store's mutex; done is closed exactly once when the job
@@ -18,15 +31,23 @@ type job struct {
 	kind string
 
 	// ctx is the job's own context (set at creation, under the store
-	// lock): cancellation while queued means the job never runs.
+	// lock): cancellation while queued means the job never runs. For
+	// async jobs with a deadline it carries the deadline too.
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{}
 
-	status  string
-	result  any // *serclient.{Analyze,Optimize,Susceptibility}Response
-	err     error
-	created time.Time
+	// async marks a detached job (eligible for retries); journaled
+	// marks one whose lifecycle is mirrored to the durable journal.
+	async     bool
+	journaled bool
+
+	status   string
+	attempts int // execution attempts started
+	result   any // *serclient.{Analyze,Optimize,Susceptibility}Response
+	err      error
+	created  time.Time
+	deadline time.Time // zero = none
 }
 
 // jobStore tracks jobs for GET /v1/jobs/{id}, retaining at most keep
@@ -34,7 +55,6 @@ type job struct {
 // (live jobs are never dropped).
 type jobStore struct {
 	mu    sync.Mutex
-	seq   int64
 	jobs  map[string]*job
 	order []string
 	keep  int
@@ -48,11 +68,8 @@ func newJobStore(keep int) *jobStore {
 }
 
 func (st *jobStore) create(kind string, ctx context.Context, cancel context.CancelFunc) *job {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.seq++
 	j := &job{
-		id:      fmt.Sprintf("job-%06d", st.seq),
+		id:      newJobID(),
 		kind:    kind,
 		ctx:     ctx,
 		cancel:  cancel,
@@ -60,34 +77,63 @@ func (st *jobStore) create(kind string, ctx context.Context, cancel context.Canc
 		status:  serclient.JobQueued,
 		created: time.Now(),
 	}
-	st.jobs[j.id] = j
-	st.order = append(st.order, j.id)
-	st.evictLocked()
+	st.add(j)
 	return j
 }
 
-// evictLocked drops the oldest terminal jobs while over the cap.
-func (st *jobStore) evictLocked() {
-	for len(st.order) > st.keep {
-		evicted := false
-		for i, id := range st.order {
-			j, ok := st.jobs[id]
-			if !ok {
-				st.order = append(st.order[:i], st.order[i+1:]...)
-				evicted = true
-				break
-			}
-			if j.status == serclient.JobDone || j.status == serclient.JobFailed || j.status == serclient.JobCanceled {
-				delete(st.jobs, id)
-				st.order = append(st.order[:i], st.order[i+1:]...)
-				evicted = true
-				break
-			}
-		}
-		if !evicted {
-			return // everything retained is still live
-		}
+// restore inserts a journal-recovered job under its original ID: a
+// terminal job arrives with its result/error and a closed done
+// channel, a pending one as queued with its attempt count.
+func (st *jobStore) restore(j *job) {
+	if j.done == nil {
+		j.done = make(chan struct{})
 	}
+	switch j.status {
+	case serclient.JobDone, serclient.JobFailed, serclient.JobCanceled:
+		close(j.done)
+	}
+	st.add(j)
+}
+
+func (st *jobStore) add(j *job) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.jobs[j.id] = j
+	st.order = append(st.order, j.id)
+	st.evictLocked()
+}
+
+func isTerminal(status string) bool {
+	return status == serclient.JobDone || status == serclient.JobFailed || status == serclient.JobCanceled
+}
+
+// evictLocked drops the oldest terminal jobs while over the cap, in
+// one forward sweep: each entry is examined once, evictable entries
+// are deleted and survivors compacted in place. (The previous
+// implementation rescanned order from the front for every single
+// eviction — O(n²) when thousands of finished jobs queue up behind a
+// few long-lived live ones.)
+func (st *jobStore) evictLocked() {
+	over := len(st.order) - st.keep
+	if over <= 0 {
+		return
+	}
+	w := 0
+	for _, id := range st.order {
+		j, ok := st.jobs[id]
+		if !ok {
+			continue // dangling entry: drop from order
+		}
+		if over > 0 && isTerminal(j.status) {
+			delete(st.jobs, id)
+			over--
+			continue
+		}
+		st.order[w] = id
+		w++
+	}
+	clear(st.order[w:])
+	st.order = st.order[:w]
 }
 
 func (st *jobStore) get(id string) *job {
@@ -96,23 +142,47 @@ func (st *jobStore) get(id string) *job {
 	return st.jobs[id]
 }
 
-func (st *jobStore) markRunning(j *job) {
+// markRunning moves a queued job to running and returns the attempt
+// number just started (1-based); it returns 0 when the job was not
+// queued (already terminal or running).
+func (st *jobStore) markRunning(j *job) int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if j.status == serclient.JobQueued {
-		j.status = serclient.JobRunning
+	if j.status != serclient.JobQueued {
+		return 0
 	}
+	j.status = serclient.JobRunning
+	j.attempts++
+	return j.attempts
 }
 
-// finish moves j to its terminal state and returns it. Cancellation
-// errors (from the job's own context) surface as JobCanceled.
-func (st *jobStore) finish(j *job, result any, err error) string {
+// failAttempt moves a running job back to queued after a failed
+// attempt, recording the error for visibility while it waits for its
+// retry. Returns the attempt count so far.
+func (st *jobStore) failAttempt(j *job, err error) int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	j.status = serclient.JobQueued
+	j.err = err
+	return j.attempts
+}
+
+// finish moves j to its terminal state and returns it, with first
+// reporting whether this call performed the transition (so terminal
+// side effects — journaling, metrics — happen exactly once).
+// Cancellation errors (from the job's own context) surface as
+// JobCanceled.
+func (st *jobStore) finish(j *job, result any, err error) (status string, first bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if isTerminal(j.status) {
+		return j.status, false // already terminal (e.g. raced cancel): keep the first outcome
+	}
 	switch {
 	case err == nil:
 		j.status = serclient.JobDone
 		j.result = result
+		j.err = nil
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.status = serclient.JobCanceled
 		j.err = err
@@ -121,14 +191,14 @@ func (st *jobStore) finish(j *job, result any, err error) string {
 		j.err = err
 	}
 	close(j.done)
-	return j.status
+	return j.status, true
 }
 
 // response snapshots the job as its wire representation.
 func (st *jobStore) response(j *job) serclient.JobResponse {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	resp := serclient.JobResponse{ID: j.id, Kind: j.kind, Status: j.status}
+	resp := serclient.JobResponse{ID: j.id, Kind: j.kind, Status: j.status, Attempts: j.attempts}
 	if j.err != nil {
 		resp.Error = j.err.Error()
 	}

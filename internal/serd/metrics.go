@@ -50,9 +50,13 @@ func (lw *latWindow) summary() serclient.LatencySummary {
 type metrics struct {
 	start time.Time
 
-	errors    atomic.Int64
-	canceled  atomic.Int64
-	cacheHits atomic.Int64
+	errors        atomic.Int64
+	canceled      atomic.Int64
+	cacheHits     atomic.Int64
+	retries       atomic.Int64
+	recovered     atomic.Int64
+	shed          atomic.Int64
+	journalErrors atomic.Int64
 
 	mu       sync.Mutex
 	requests map[string]int64
@@ -91,6 +95,10 @@ func (m *metrics) snapshot(queueDepth, jobsRunning, workers int, characterizatio
 		UptimeS:           time.Since(m.start).Seconds(),
 		Errors:            m.errors.Load(),
 		JobsCanceled:      m.canceled.Load(),
+		JobsRetried:       m.retries.Load(),
+		JobsRecovered:     m.recovered.Load(),
+		RequestsShed:      m.shed.Load(),
+		JournalErrors:     m.journalErrors.Load(),
 		LibCacheHits:      m.cacheHits.Load(),
 		Characterizations: characterizations,
 		CompiledCache: serclient.CompiledCacheMetrics{

@@ -34,8 +34,27 @@
 //	                        sequential "cycles" switch as analyze)
 //	POST /v1/batch          many circuits, one response
 //	GET  /v1/jobs/{id}      poll an async job
-//	GET  /healthz           liveness
+//	GET  /healthz           liveness (200 while the process serves)
+//	GET  /readyz            readiness (503 while replaying the journal,
+//	                        while the queue is saturated, or once
+//	                        shutdown has begun)
 //	GET  /metrics           request counts, queue depth, cache hits, p50/p99 latency
+//
+// Durability. With Config.Journal set, every accepted asynchronous
+// job is written through an append-only, fsync'd journal
+// (internal/journal) before the submission is acknowledged, and every
+// state transition — started, attempt failed, done, failed, canceled —
+// is journaled as it happens. A restarted server replays the journal:
+// results of completed jobs are served under their original IDs, and
+// jobs that were queued or running when the process died are
+// re-enqueued and run to completion. Failed attempts are retried with
+// exponential backoff and jitter up to Config.MaxAttempts within a
+// per-job deadline (Config.JobTimeout); a panicking job attempt is
+// caught, recorded as a failed attempt, and never kills the process.
+// When the bounded queue is full, submissions are shed with
+// 429 + Retry-After instead of blocking, and duplicate async
+// submissions carrying the same Idempotency-Key header return the
+// already-accepted job instead of enqueueing twice.
 package serd
 
 import (
@@ -45,9 +64,12 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
+	"repro/internal/journal"
 	"repro/internal/par"
 	"repro/serclient"
 )
@@ -90,6 +112,25 @@ type Config struct {
 	// their canonical .bench form, so whitespace/comment/line-order
 	// permutations of one netlist share a single compiled artifact.
 	CompiledCacheGates int64
+	// Journal, when non-nil, makes asynchronous jobs durable: accepted
+	// submissions, state transitions and results are written through
+	// it, and New replays it so a restarted server resumes pending
+	// jobs and serves completed results under their original IDs. The
+	// caller owns the journal (open it before New, close it after
+	// Shutdown/Close).
+	Journal *journal.Journal
+	// JobTimeout bounds an async job's total wall clock — queueing,
+	// every attempt, and backoff between attempts (default 15m;
+	// negative disables the deadline).
+	JobTimeout time.Duration
+	// MaxAttempts bounds execution attempts per async job before the
+	// failure becomes terminal (default 3).
+	MaxAttempts int
+	// RetryBaseDelay is the backoff before the first retry; it doubles
+	// per attempt up to RetryMaxDelay, with jitter (defaults 100ms and
+	// 5s).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +161,21 @@ func (c Config) withDefaults() Config {
 	if c.KeepJobs <= 0 {
 		c.KeepJobs = 1024
 	}
+	switch {
+	case c.JobTimeout == 0:
+		c.JobTimeout = 15 * time.Minute
+	case c.JobTimeout < 0:
+		c.JobTimeout = 0 // explicit "no deadline"
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 100 * time.Millisecond
+	}
+	if c.RetryMaxDelay <= 0 {
+		c.RetryMaxDelay = 5 * time.Second
+	}
 	return c
 }
 
@@ -133,6 +189,20 @@ type Server struct {
 	met    *metrics
 	mux    *http.ServeMux
 	ccache *ser.CompiledCache
+	jnl    *journal.Journal
+
+	// ready flips true once journal replay has re-enqueued the previous
+	// incarnation's pending jobs; draining flips true when Shutdown
+	// begins. Both feed /readyz.
+	ready    atomic.Bool
+	draining atomic.Bool
+
+	// idem maps Idempotency-Key values to their accepted jobs, FIFO
+	// bounded by KeepJobs; seeded from the journal on restart so a
+	// client retrying a submission across our crash still deduplicates.
+	idemMu    sync.Mutex
+	idem      map[string]*job
+	idemOrder []string
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -152,6 +222,8 @@ func New(cfg Config) *Server {
 		met:    newMetrics(),
 		mux:    http.NewServeMux(),
 		ccache: ser.NewCompiledCache(cfg.CompiledCacheGates),
+		jnl:    cfg.Journal,
+		idem:   make(map[string]*job),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /v1/analyze", s.counted("analyze", s.handleAnalyze))
@@ -160,7 +232,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/batch", s.counted("batch", s.handleBatch))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.counted("jobs", s.handleJob))
 	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.counted("readyz", s.handleReadyz))
 	s.mux.HandleFunc("GET /metrics", s.counted("metrics", s.handleMetrics))
+	if s.jnl != nil {
+		s.restoreJournal()
+	}
+	s.ready.Store(true)
 	return s
 }
 
@@ -169,8 +246,33 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // Close cancels async jobs and drains the worker pool.
 func (s *Server) Close() {
+	s.draining.Store(true)
 	s.baseCancel()
 	s.queue.Close()
+}
+
+// Shutdown gracefully stops the server: new submissions are refused
+// (and /readyz reports not-ready), jobs already executing run to
+// completion with their terminal states journaled, and jobs still
+// waiting in the FIFO are skipped without running — with a journal
+// they stay durably "queued" and resume on the next start. If ctx
+// expires before the drain finishes, Shutdown falls back to Close
+// (cancel everything) and returns ctx.Err().
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.queue.Drain()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+		s.Close()
+		return ctx.Err()
+	}
 }
 
 // counted wraps a handler with request counting.
@@ -220,6 +322,11 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 type loaded struct {
 	h       *ser.Compiled
 	display string
+	// key is the compiled-cache key: "name:<benchmark>" for built-ins,
+	// "sha256:<hex>" (the canonical content address) for inline
+	// netlists. Async journaling uses it to content-address spilled
+	// netlist bodies.
+	key string
 	// remapInit is nil when no translation is needed (built-ins, or
 	// inline netlists whose flop order the canonical form preserves).
 	// It requires len(in) == flop count; callers validate first.
@@ -248,7 +355,8 @@ func (s *Server) loadCompiled(circuit, netlist, name string) (loaded, error) {
 		// benchmark is rejected (errors are never cached) instead of
 		// polluting the cache with entries no request may analyze;
 		// cached entries therefore always satisfy the server's limit.
-		ld.h, err = s.ccache.Get("name:"+circuit, func() (*ser.Circuit, error) {
+		ld.key = "name:" + circuit
+		ld.h, err = s.ccache.Get(ld.key, func() (*ser.Circuit, error) {
 			c, err := ser.Benchmark(circuit)
 			if err != nil {
 				return nil, err
@@ -276,6 +384,7 @@ func (s *Server) loadCompiled(circuit, netlist, name string) (loaded, error) {
 		if err != nil {
 			return ld, err
 		}
+		ld.key = key
 		ld.h, err = s.ccache.Get(key, func() (*ser.Circuit, error) {
 			return canon, nil
 		})
@@ -374,23 +483,15 @@ func (s *Server) checkSequentialShape(c *ser.Circuit, cycles int, initState []bo
 	return nil
 }
 
-// submit wraps run as a job and enqueues it. base is the context the
-// job's own context derives from: the request context for synchronous
-// jobs (client disconnect cancels), the server context for async jobs.
-// blocking selects Queue.Submit over Queue.TrySubmit (used by batch
-// items so a large batch throttles instead of bouncing).
+// submit wraps run as a synchronous job and enqueues it. base is the
+// context the job's own context derives from — the request context,
+// so a client disconnect cancels the job. blocking selects
+// Queue.Submit over Queue.TrySubmit (used by batch items so a large
+// batch throttles instead of bouncing).
 func (s *Server) submit(kind string, base context.Context, blocking bool, run func(ctx context.Context) (any, error)) (*job, error) {
 	jobCtx, cancel := context.WithCancel(base)
 	j := s.jobs.create(kind, jobCtx, cancel)
-	fn := func(ctx context.Context) {
-		if err := ctx.Err(); err != nil {
-			s.finishJob(j, nil, err)
-			return
-		}
-		s.jobs.markRunning(j)
-		res, err := run(ctx)
-		s.finishJob(j, res, err)
-	}
+	fn := func(ctx context.Context) { s.runJob(j, run) }
 	var err error
 	if blocking {
 		err = s.queue.Submit(jobCtx, fn)
@@ -405,14 +506,22 @@ func (s *Server) submit(kind string, base context.Context, blocking bool, run fu
 }
 
 // finishJob records the terminal state plus the latency and
-// cancellation metrics, and releases the job's context.
+// cancellation metrics, mirrors the terminal event to the journal,
+// and releases the job's context. Safe to call more than once: only
+// the first transition to a terminal state does anything.
 func (s *Server) finishJob(j *job, res any, err error) {
-	status := s.jobs.finish(j, res, err)
+	status, first := s.jobs.finish(j, res, err)
+	if !first {
+		return
+	}
 	switch status {
 	case serclient.JobCanceled:
 		s.met.canceled.Add(1)
 	case serclient.JobDone:
 		s.met.recordLatency(j.kind, float64(time.Since(j.created))/float64(time.Millisecond))
+	}
+	if j.journaled {
+		s.journalTerminal(j, status, res, err)
 	}
 	j.cancel()
 }
@@ -586,20 +695,16 @@ func (s *Server) runOptimize(h *ser.Compiled, name string, req serclient.Optimiz
 }
 
 // dispatch runs one request either synchronously (waiting for the job
-// and writing its result) or asynchronously (202 + job id).
-func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind string, async bool, run func(ctx context.Context) (any, error)) {
+// and writing its result) or asynchronously (202 + job id, with the
+// durability pipeline: journaling, idempotency, retries, shedding).
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind string, async bool, meta asyncMeta, run func(ctx context.Context) (any, error)) {
 	if async {
-		j, err := s.submit(kind, s.baseCtx, false, run)
-		if err != nil {
-			s.writeError(w, http.StatusServiceUnavailable, "queue full: %v", err)
-			return
-		}
-		s.writeJSON(w, http.StatusAccepted, s.jobs.response(j))
+		s.dispatchAsync(w, kind, meta, run)
 		return
 	}
 	j, err := s.submit(kind, r.Context(), false, run)
 	if err != nil {
-		s.writeError(w, http.StatusServiceUnavailable, "queue full: %v", err)
+		s.submitError(w, err)
 		return
 	}
 	select {
@@ -641,7 +746,17 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.dispatch(w, r, "analyze", req.Async, s.runAnalyze(ld.h, ld.display, req))
+	var meta asyncMeta
+	if req.Async {
+		// Journal the request in canonical form: the netlist body is
+		// stored once (inline or content-addressed blob), and InitState
+		// was already remapped to canonical flop order by loadChecked,
+		// so replay needs no further translation.
+		jreq := req
+		jreq.Netlist = ""
+		meta = s.newAsyncMeta(r, jreq, ld)
+	}
+	s.dispatch(w, r, "analyze", req.Async, meta, s.runAnalyze(ld.h, ld.display, req))
 }
 
 func (s *Server) handleSusceptibility(w http.ResponseWriter, r *http.Request) {
@@ -658,7 +773,13 @@ func (s *Server) handleSusceptibility(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.dispatch(w, r, "susceptibility", req.Async, s.runSusceptibility(ld.h, ld.display, req))
+	var meta asyncMeta
+	if req.Async {
+		jreq := req
+		jreq.Netlist = ""
+		meta = s.newAsyncMeta(r, jreq, ld)
+	}
+	s.dispatch(w, r, "susceptibility", req.Async, meta, s.runSusceptibility(ld.h, ld.display, req))
 }
 
 // checkSusceptibility enforces the request-only susceptibility limits.
@@ -704,7 +825,13 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.dispatch(w, r, "optimize", req.Async, s.runOptimize(ld.h, ld.display, req))
+	var meta asyncMeta
+	if req.Async {
+		jreq := req
+		jreq.Netlist = ""
+		meta = s.newAsyncMeta(r, jreq, ld)
+	}
+	s.dispatch(w, r, "optimize", req.Async, meta, s.runOptimize(ld.h, ld.display, req))
 }
 
 // handleBatch fans a batch's items onto the worker pool and reports
@@ -853,12 +980,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	j := s.jobs.get(id)
-	if j == nil {
-		s.writeError(w, http.StatusNotFound, "unknown job %q", id)
+	if j := s.jobs.get(id); j != nil {
+		s.writeJSON(w, http.StatusOK, s.jobs.response(j))
 		return
 	}
-	s.writeJSON(w, http.StatusOK, s.jobs.response(j))
+	// Evicted from the in-memory store but still retained in the
+	// journal: serve the journaled terminal state.
+	if s.jnl != nil {
+		if js := s.jnl.Lookup(id); js != nil {
+			if resp, err := jobStateResponse(js); err == nil {
+				s.writeJSON(w, http.StatusOK, resp)
+				return
+			}
+		}
+	}
+	s.writeError(w, http.StatusNotFound, "unknown job %q", id)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -866,6 +1002,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		OK:      true,
 		UptimeS: time.Since(s.met.start).Seconds(),
 	})
+}
+
+// handleReadyz reports routability: 503 while the journal is still
+// replaying, while the queue has no room for another submission, or
+// once shutdown has begun; 200 otherwise. Liveness stays on /healthz.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	depth := s.queue.Depth()
+	resp := serclient.ReadyResponse{
+		Replaying:  !s.ready.Load(),
+		Saturated:  depth >= s.cfg.QueueDepth,
+		Draining:   s.draining.Load(),
+		QueueDepth: depth,
+	}
+	resp.Ready = !resp.Replaying && !resp.Saturated && !resp.Draining
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, status, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

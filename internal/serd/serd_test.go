@@ -28,6 +28,19 @@ func newTestServer(t *testing.T, cfg Config) (*ser.System, *Server, *serclient.C
 	}
 }
 
+// findJob scans the store for a job in the given status (IDs are
+// random, so tests locate jobs by state, not by name).
+func findJob(srv *Server, status string) *job {
+	srv.jobs.mu.Lock()
+	defer srv.jobs.mu.Unlock()
+	for _, id := range srv.jobs.order {
+		if j := srv.jobs.jobs[id]; j != nil && j.status == status {
+			return j
+		}
+	}
+	return nil
+}
+
 func TestHealthz(t *testing.T) {
 	_, _, cl, done := newTestServer(t, Config{Workers: 2})
 	defer done()
@@ -172,7 +185,7 @@ func TestClientDisconnectCancelsQueuedJob(t *testing.T) {
 	// The client has given up; wait for the disconnect to propagate to
 	// the server-side job context before freeing the worker, so the
 	// dequeue deterministically sees an already-cancelled job.
-	queued := srv.jobs.get("job-000002")
+	queued := findJob(srv, serclient.JobQueued)
 	if queued == nil {
 		t.Fatal("queued job not found in store")
 	}

@@ -199,17 +199,40 @@ type JobResponse struct {
 	ID     string `json:"id"`
 	Kind   string `json:"kind"` // "analyze", "optimize" or "susceptibility"
 	Status string `json:"status"`
-	Error  string `json:"error,omitempty"`
+	// Attempts counts execution attempts started so far. A job queued
+	// with Attempts > 0 is waiting for a retry after a failed attempt
+	// (Error then holds the last attempt's failure).
+	Attempts int    `json:"attempts,omitempty"`
+	Error    string `json:"error,omitempty"`
 	// Exactly one of the three is set once Status is "done".
 	Analyze        *AnalyzeResponse        `json:"analyze,omitempty"`
 	Optimize       *OptimizeResponse       `json:"optimize,omitempty"`
 	Susceptibility *SusceptibilityResponse `json:"susceptibility,omitempty"`
 }
 
-// HealthResponse is the GET /healthz body.
+// HealthResponse is the GET /healthz body: pure liveness — 200 as
+// long as the process serves HTTP, regardless of load or recovery
+// state. Use GET /readyz for routability.
 type HealthResponse struct {
 	OK      bool    `json:"ok"`
 	UptimeS float64 `json:"uptime_s"`
+}
+
+// ReadyResponse is the GET /readyz body, served with 200 when the
+// instance should receive traffic and 503 otherwise (while replaying
+// its journal, while the job queue is saturated, or once shutdown has
+// begun).
+type ReadyResponse struct {
+	Ready bool `json:"ready"`
+	// Replaying is true until journal recovery has re-enqueued every
+	// pending job from the previous incarnation.
+	Replaying bool `json:"replaying,omitempty"`
+	// Saturated is true while the bounded job queue is full (new
+	// submissions would be shed with 429).
+	Saturated bool `json:"saturated,omitempty"`
+	// Draining is true once graceful shutdown has begun.
+	Draining   bool `json:"draining,omitempty"`
+	QueueDepth int  `json:"queue_depth"`
 }
 
 // LatencySummary summarizes one endpoint's job latency (milliseconds,
@@ -251,6 +274,18 @@ type MetricsResponse struct {
 	// JobsCanceled counts jobs cancelled before completion (client
 	// disconnects included).
 	JobsCanceled int64 `json:"jobs_canceled"`
+	// JobsRetried counts failed attempts that were re-enqueued;
+	// JobsRecovered counts jobs re-enqueued from the journal at
+	// startup.
+	JobsRetried   int64 `json:"jobs_retried"`
+	JobsRecovered int64 `json:"jobs_recovered"`
+	// RequestsShed counts submissions bounced with 429 because the
+	// queue was full.
+	RequestsShed int64 `json:"requests_shed"`
+	// JournalErrors counts journal appends that failed after the job
+	// was already accepted (submission-time failures reject the
+	// request instead).
+	JournalErrors int64 `json:"journal_errors"`
 	// Characterizations counts cell-class characterizations executed by
 	// the shared library (cache misses); LibCacheHits counts jobs that
 	// ran entirely against already-characterized tables.

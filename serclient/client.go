@@ -3,11 +3,14 @@ package serclient
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -21,10 +24,11 @@ import (
 // dropped before a response arrives. The retry applies to GETs and to
 // synchronous analysis requests: those jobs derive their context from
 // the HTTP request, so the dropped connection cancels the server-side
-// work and the replay cannot double it. Async submissions (and any
-// request with Async set) are never retried — an async job detaches
-// from the request context, so the first submission may already be
-// running and a replay would enqueue a duplicate.
+// work and the replay cannot double it. Async submissions retry too,
+// made safe by an Idempotency-Key header generated per submission: if
+// the first attempt was actually accepted before the connection
+// dropped, the replay returns the already-accepted job instead of
+// enqueueing a duplicate.
 type Client struct {
 	base    string
 	http    *http.Client
@@ -71,8 +75,9 @@ func NewWithOptions(base string, opts Options) *Client {
 
 // apiError is a non-2xx server answer.
 type apiError struct {
-	Status int
-	Msg    string
+	Status     int
+	Msg        string
+	retryAfter time.Duration // from the Retry-After header, 0 if absent
 }
 
 func (e *apiError) Error() string {
@@ -84,6 +89,16 @@ func (e *apiError) Error() string {
 func IsStatus(err error, status int) bool {
 	ae, ok := err.(*apiError)
 	return ok && ae.Status == status
+}
+
+// RetryAfter extracts the server's Retry-After hint from a shed
+// submission's error (HTTP 429). ok is false when err carries no hint.
+func RetryAfter(err error) (d time.Duration, ok bool) {
+	ae, isAPI := err.(*apiError)
+	if !isAPI || ae.retryAfter <= 0 {
+		return 0, false
+	}
+	return ae.retryAfter, true
 }
 
 // retryable reports whether err is a connection-level failure worth
@@ -106,16 +121,36 @@ func retryable(err error) bool {
 // means GET. A connection-reset failure is retried once; the
 // configured timeout applies per attempt.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	return c.doRetry(ctx, method, path, in, out, !c.noRetry)
+	return c.doRetry(ctx, method, path, in, out, nil, !c.noRetry)
 }
 
-// doOnce is do without the retry — for submissions whose server-side
-// work outlives the connection (async jobs).
-func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) error {
-	return c.doRetry(ctx, method, path, in, out, false)
+// doAsync submits a detached job with a fresh Idempotency-Key, so the
+// one-retry policy is safe: a replay of a submission that was actually
+// accepted returns the existing job instead of a duplicate. If no key
+// can be generated the retry is disabled instead.
+func (c *Client) doAsync(ctx context.Context, path string, in, out any) error {
+	hdr := http.Header{}
+	retry := !c.noRetry
+	if key := newIdempotencyKey(); key != "" {
+		hdr.Set("Idempotency-Key", key)
+	} else {
+		retry = false
+	}
+	return c.doRetry(ctx, http.MethodPost, path, in, out, hdr, retry)
 }
 
-func (c *Client) doRetry(ctx context.Context, method, path string, in, out any, retry bool) error {
+// newIdempotencyKey returns a random submission key, or "" when the
+// system's entropy source fails (the caller then degrades to
+// no-retry).
+func newIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func (c *Client) doRetry(ctx context.Context, method, path string, in, out any, hdr http.Header, retry bool) error {
 	var data []byte
 	if in != nil {
 		var err error
@@ -126,7 +161,7 @@ func (c *Client) doRetry(ctx context.Context, method, path string, in, out any, 
 	}
 	var err error
 	for attempt := 0; ; attempt++ {
-		err = c.once(ctx, method, path, data, out)
+		err = c.once(ctx, method, path, data, hdr, out)
 		if err == nil || !retry || attempt > 0 || !retryable(err) || ctx.Err() != nil {
 			return err
 		}
@@ -134,7 +169,7 @@ func (c *Client) doRetry(ctx context.Context, method, path string, in, out any, 
 }
 
 // once performs a single attempt of do.
-func (c *Client) once(ctx context.Context, method, path string, data []byte, out any) error {
+func (c *Client) once(ctx context.Context, method, path string, data []byte, hdr http.Header, out any) error {
 	if c.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.timeout)
@@ -147,6 +182,9 @@ func (c *Client) once(ctx context.Context, method, path string, data []byte, out
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
 	}
 	if data != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -162,7 +200,11 @@ func (c *Client) once(ctx context.Context, method, path string, data []byte, out
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er) == nil && er.Error != "" {
 			msg = er.Error
 		}
-		return &apiError{Status: resp.StatusCode, Msg: msg}
+		ae := &apiError{Status: resp.StatusCode, Msg: msg}
+		if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs > 0 {
+			ae.retryAfter = time.Duration(secs) * time.Second
+		}
+		return ae
 	}
 	if out == nil {
 		return nil
@@ -189,7 +231,7 @@ func (c *Client) Analyze(ctx context.Context, req AnalyzeRequest) (*AnalyzeRespo
 func (c *Client) AnalyzeAsync(ctx context.Context, req AnalyzeRequest) (*JobResponse, error) {
 	req.Async = true
 	var out JobResponse
-	if err := c.doOnce(ctx, http.MethodPost, "/v1/analyze", req, &out); err != nil {
+	if err := c.doAsync(ctx, "/v1/analyze", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -211,7 +253,7 @@ func (c *Client) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeRe
 func (c *Client) OptimizeAsync(ctx context.Context, req OptimizeRequest) (*JobResponse, error) {
 	req.Async = true
 	var out JobResponse
-	if err := c.doOnce(ctx, http.MethodPost, "/v1/optimize", req, &out); err != nil {
+	if err := c.doAsync(ctx, "/v1/optimize", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -233,7 +275,7 @@ func (c *Client) Susceptibility(ctx context.Context, req SusceptibilityRequest) 
 func (c *Client) SusceptibilityAsync(ctx context.Context, req SusceptibilityRequest) (*JobResponse, error) {
 	req.Async = true
 	var out JobResponse
-	if err := c.doOnce(ctx, http.MethodPost, "/v1/susceptibility", req, &out); err != nil {
+	if err := c.doAsync(ctx, "/v1/susceptibility", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -288,6 +330,35 @@ func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
 	var out HealthResponse
 	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
 		return nil, err
+	}
+	return &out, nil
+}
+
+// Ready checks readiness. Unlike the other calls, both answers are
+// data, not errors: the body is returned for 200 (ready) and 503 (not
+// ready — resp.Ready false, with the reason flags set); any other
+// status is an error.
+func (c *Client) Ready(ctx context.Context) (*ReadyResponse, error) {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return nil, &apiError{Status: resp.StatusCode, Msg: resp.Status}
+	}
+	var out ReadyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("serd: decode response: %v", err)
 	}
 	return &out, nil
 }

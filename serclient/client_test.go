@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -128,24 +129,111 @@ func TestRetryIsSingle(t *testing.T) {
 	}
 }
 
-// TestNoRetryOnAsyncSubmission: an async submission detaches its job
-// from the request context, so the client must never replay it — the
-// first attempt may already have enqueued work.
-func TestNoRetryOnAsyncSubmission(t *testing.T) {
-	var requests int64
-	hs := httptest.NewServer(droppingHandler(1, func(w http.ResponseWriter, r *http.Request) {
-		atomic.AddInt64(&requests, 1)
+// TestAsyncRetryCarriesIdempotencyKey: an async submission whose first
+// connection is reset is replayed once, and both attempts carry the
+// same Idempotency-Key so the server can deduplicate a submission that
+// was actually accepted before the drop.
+func TestAsyncRetryCarriesIdempotencyKey(t *testing.T) {
+	var mu sync.Mutex
+	var keys []string
+	record := func(r *http.Request) {
+		mu.Lock()
+		keys = append(keys, r.Header.Get("Idempotency-Key"))
+		mu.Unlock()
+	}
+	var served int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		if atomic.AddInt64(&served, 1) == 1 {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				panic("test server does not support hijacking")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				panic(err)
+			}
+			conn.Close() // dropped before any response bytes
+			return
+		}
 		w.WriteHeader(http.StatusAccepted)
-		_ = json.NewEncoder(w).Encode(JobResponse{ID: "job-000001", Status: JobQueued})
+		_ = json.NewEncoder(w).Encode(JobResponse{ID: "job-abc", Status: JobQueued})
 	}))
 	defer hs.Close()
 
 	cl := New(hs.URL, hs.Client())
-	if _, err := cl.AnalyzeAsync(context.Background(), AnalyzeRequest{Circuit: "c17"}); err == nil {
-		t.Fatal("dropped async submission was retried (no error surfaced)")
+	jr, err := cl.AnalyzeAsync(context.Background(), AnalyzeRequest{Circuit: "c17", Async: true})
+	if err != nil {
+		t.Fatalf("async retry did not recover: %v", err)
 	}
-	if got := atomic.LoadInt64(&requests); got != 0 {
-		t.Fatalf("async submission reached the handler %d times after a drop, want 0", got)
+	if jr.ID != "job-abc" {
+		t.Fatalf("job id = %q, want job-abc", jr.ID)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(keys) != 2 {
+		t.Fatalf("server saw %d attempts, want 2", len(keys))
+	}
+	if keys[0] == "" || keys[0] != keys[1] {
+		t.Fatalf("idempotency keys differ across retry: %q vs %q", keys[0], keys[1])
+	}
+}
+
+// TestRetryAfterSurfaced: a 429 with Retry-After is an HTTP error (not
+// retried) and the hint is recoverable via RetryAfter.
+func TestRetryAfterSurfaced(t *testing.T) {
+	var requests int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&requests, 1)
+		w.Header().Set("Retry-After", "3")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_ = json.NewEncoder(w).Encode(ErrorResponse{Error: "queue full"})
+	}))
+	defer hs.Close()
+
+	cl := New(hs.URL, hs.Client())
+	_, err := cl.AnalyzeAsync(context.Background(), AnalyzeRequest{Circuit: "c17", Async: true})
+	if err == nil || !IsStatus(err, http.StatusTooManyRequests) {
+		t.Fatalf("err = %v, want HTTP 429", err)
+	}
+	if d, ok := RetryAfter(err); !ok || d != 3*time.Second {
+		t.Fatalf("RetryAfter = %v, %v; want 3s, true", d, ok)
+	}
+	if got := atomic.LoadInt64(&requests); got != 1 {
+		t.Fatalf("429 was retried: %d requests", got)
+	}
+}
+
+// TestReadyDecodesBothAnswers: Ready returns the body on both 200 and
+// 503 instead of turning 503 into an error.
+func TestReadyDecodesBothAnswers(t *testing.T) {
+	var ready atomic.Bool
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if !ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(ReadyResponse{Ready: false, Replaying: true})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(ReadyResponse{Ready: true})
+	}))
+	defer hs.Close()
+
+	cl := New(hs.URL, hs.Client())
+	rr, err := cl.Ready(context.Background())
+	if err != nil {
+		t.Fatalf("Ready on 503: %v", err)
+	}
+	if rr.Ready || !rr.Replaying {
+		t.Fatalf("not-ready body = %+v, want Ready=false Replaying=true", rr)
+	}
+	ready.Store(true)
+	rr, err = cl.Ready(context.Background())
+	if err != nil {
+		t.Fatalf("Ready on 200: %v", err)
+	}
+	if !rr.Ready {
+		t.Fatalf("ready body = %+v, want Ready=true", rr)
 	}
 }
 
