@@ -1,0 +1,172 @@
+// Command linkcheck verifies intra-repository Markdown links: every
+// relative link target in the given files must exist on disk, and
+// every fragment (`#section`, on its own or after a file path) must
+// match a heading in the target document, using GitHub's
+// heading-to-anchor slug rules. External http(s) links are not
+// fetched — CI must not depend on the network — only intra-repo
+// integrity is enforced.
+//
+// Usage:
+//
+//	linkcheck README.md docs/*.md
+//
+// Exit status is 1 when any link is broken, with one
+// "file:line: message" diagnostic per finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline Markdown links [text](target). Images
+// (![alt](target)) match too via the same group.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// headingRE matches ATX headings; fenced code blocks are excluded
+// before it is applied.
+var headingRE = regexp.MustCompile("(?m)^#{1,6}[ \t]+(.+?)[ \t]*#*$")
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: linkcheck file.md ...\n")
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	anchors := map[string]map[string]bool{} // abs path -> slugs
+	bad := 0
+	for _, file := range flag.Args() {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, p := range checkFile(file, string(data), anchors) {
+			fmt.Println(p)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken links\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkFile validates every link of one document and returns the
+// diagnostics. The anchors cache is shared across documents so a
+// target file's headings are extracted once.
+func checkFile(file, content string, anchors map[string]map[string]bool) []string {
+	var out []string
+	lines := strings.Split(stripCodeBlocks(content), "\n")
+	for i, line := range lines {
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if msg := checkLink(file, target, anchors); msg != "" {
+				out = append(out, fmt.Sprintf("%s:%d: %s", file, i+1, msg))
+			}
+		}
+	}
+	return out
+}
+
+// checkLink validates one link target relative to the document that
+// contains it; it returns "" when the link resolves.
+func checkLink(file, target string, anchors map[string]map[string]bool) string {
+	if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+		return "" // external; not our jurisdiction
+	}
+	path, frag, _ := strings.Cut(target, "#")
+	resolved := file
+	if path != "" {
+		resolved = filepath.Join(filepath.Dir(file), path)
+		fi, err := os.Stat(resolved)
+		if err != nil {
+			return fmt.Sprintf("broken link %q: %v", target, err)
+		}
+		if frag == "" {
+			return ""
+		}
+		if fi.IsDir() || !strings.HasSuffix(resolved, ".md") {
+			return fmt.Sprintf("link %q has a fragment but targets a non-Markdown path", target)
+		}
+	}
+	slugs, err := headingSlugs(resolved, anchors)
+	if err != nil {
+		return fmt.Sprintf("broken link %q: %v", target, err)
+	}
+	if !slugs[frag] {
+		return fmt.Sprintf("link %q: no heading matches anchor #%s", target, frag)
+	}
+	return ""
+}
+
+// headingSlugs returns (and caches) the GitHub anchor slugs of a
+// Markdown file's headings.
+func headingSlugs(path string, cache map[string]map[string]bool) (map[string]bool, error) {
+	if s, ok := cache[path]; ok {
+		return s, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	slugs := map[string]bool{}
+	counts := map[string]int{}
+	for _, m := range headingRE.FindAllStringSubmatch(stripCodeBlocks(string(data)), -1) {
+		s := slugify(m[1])
+		// GitHub de-duplicates repeated headings with -1, -2, ... suffixes.
+		if n := counts[s]; n > 0 {
+			slugs[fmt.Sprintf("%s-%d", s, n)] = true
+		} else {
+			slugs[s] = true
+		}
+		counts[s]++
+	}
+	cache[path] = slugs
+	return slugs, nil
+}
+
+// slugify applies GitHub's heading-to-anchor rules: strip Markdown
+// emphasis/code markers, lowercase, drop everything but letters,
+// digits, spaces and hyphens, then turn each space into a hyphen.
+func slugify(heading string) string {
+	h := strings.NewReplacer("`", "", "*", "", "_", "").Replace(heading)
+	h = strings.ToLower(h)
+	var b strings.Builder
+	for _, r := range h {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// stripCodeBlocks blanks fenced code blocks so links and headings
+// inside them are ignored; line numbering is preserved.
+func stripCodeBlocks(s string) string {
+	lines := strings.Split(s, "\n")
+	fence := false
+	for i, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			fence = !fence
+			lines[i] = ""
+			continue
+		}
+		if fence {
+			lines[i] = ""
+		}
+	}
+	return strings.Join(lines, "\n")
+}

@@ -9,20 +9,31 @@
 //	serd [-addr :8080] [-coarse] [-workers N] [-queue N]
 //	     [-libcache lib.json] [-journal DIR]
 //	     [-job-timeout 15m] [-max-attempts 3]
+//	     [-shard-name NAME] [-register ROUTER-URL [-advertise URL]]
+//	serd -route "name=url,name=url" [-addr :8080] [-health-interval 2s]
 //
 // Endpoints: POST /v1/analyze, POST /v1/optimize, POST /v1/batch,
-// GET /v1/jobs/{id}, GET /healthz, GET /readyz, GET /metrics. See the
-// README's "Running as a service" and "Operations" sections for curl
-// examples and the durability/recovery semantics.
+// GET /v1/jobs/{id}, GET /healthz, GET /readyz, GET /metrics. See
+// docs/api.md for the full HTTP API reference and docs/operations.md
+// for durability/recovery semantics and multi-node topologies.
 //
 // With -journal, accepted async jobs are persisted to an append-only,
 // fsync'd log; a restart on the same directory re-enqueues jobs that
 // were queued or running and serves finished results under their
 // original IDs.
 //
+// With -route, the process runs as a multi-node coordinator instead of
+// an analysis shard: it speaks the same wire protocol but
+// consistent-hash-routes every request to the shard whose compiled-
+// circuit cache already holds it (see internal/router). Shards may be
+// listed statically in the flag, registered dynamically via POST
+// /v1/shards, or self-register by running with -register pointing at
+// the router.
+//
 // Shutdown: the first SIGINT/SIGTERM drains gracefully (running jobs
-// finish and persist; queued jobs stay journaled for the next start);
-// a second signal forces immediate exit.
+// finish and persist; queued jobs stay journaled for the next start;
+// a self-registered shard deregisters from its router); a second
+// signal forces immediate exit.
 package main
 
 import (
@@ -34,12 +45,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro"
 	"repro/internal/journal"
+	"repro/internal/router"
 	"repro/internal/serd"
+	"repro/serclient"
 )
 
 func main() {
@@ -60,8 +74,24 @@ func main() {
 		jobTimeout  = flag.Duration("job-timeout", 15*time.Minute, "async job deadline across all attempts (negative = none)")
 		maxAttempts = flag.Int("max-attempts", 3, "execution attempts per async job before it fails terminally")
 		keepJobs    = flag.Int("keep-jobs", 1024, "finished jobs retained for polling (also the journal's terminal retention)")
+
+		shardName      = flag.String("shard-name", "", "label for this shard in /metrics and for -register")
+		register       = flag.String("register", "", "router URL to periodically self-register this shard with")
+		advertise      = flag.String("advertise", "", "URL advertised to the router with -register (default http://<resolved listen addr>)")
+		routeSpec      = flag.String("route", "", `run as a router over comma-separated "name=url" shards (may be empty: shards then join via POST /v1/shards or -register)`)
+		healthInterval = flag.Duration("health-interval", 2*time.Second, "router: shard /readyz probe period; shard: -register re-announce period")
 	)
 	flag.Parse()
+	routerMode := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "route" {
+			routerMode = true
+		}
+	})
+	if routerMode {
+		runRouter(*addr, *routeSpec, *healthInterval)
+		return
+	}
 
 	level := ser.DefaultCharacterization
 	if *coarse {
@@ -102,6 +132,7 @@ func main() {
 		Journal:            jnl,
 		JobTimeout:         *jobTimeout,
 		MaxAttempts:        *maxAttempts,
+		ShardName:          *shardName,
 	})
 	hs := &http.Server{
 		Handler:           srv,
@@ -114,6 +145,11 @@ func main() {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	stopRegister := func() {}
+	if *register != "" {
+		stopRegister = selfRegister(*register, *shardName, *advertise, ln.Addr().String(), *healthInterval)
 	}
 
 	// Graceful shutdown on the first SIGINT/SIGTERM: stop accepting,
@@ -131,6 +167,7 @@ func main() {
 			log.Printf("forced exit")
 			os.Exit(1)
 		}()
+		stopRegister()
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
@@ -159,4 +196,126 @@ func main() {
 			log.Printf("saved library cache %s", *libcache)
 		}
 	}
+}
+
+// runRouter serves the multi-node coordinator: same wire protocol,
+// no local analysis engine — every request is consistent-hash-routed
+// to a registered shard (see internal/router).
+func runRouter(addr, spec string, healthInterval time.Duration) {
+	rt := router.New(router.Config{HealthInterval: healthInterval})
+	defer rt.Close()
+	shards := 0
+	if spec != "" {
+		for _, pair := range strings.Split(spec, ",") {
+			name, url, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok {
+				log.Fatalf("bad -route entry %q (want name=url)", pair)
+			}
+			if err := rt.AddShard(name, url); err != nil {
+				log.Fatalf("register shard %q: %v", name, err)
+			}
+			shards++
+		}
+	}
+	hs := &http.Server{
+		Handler:           rt,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("shutting down (signal again to force exit)")
+		go func() {
+			<-sig
+			log.Printf("forced exit")
+			os.Exit(1)
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		close(done)
+	}()
+	log.Printf("listening on %s (router, shards=%d)", ln.Addr(), shards)
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+}
+
+// selfRegister announces this shard to a router now and on every
+// interval tick — re-announcing is idempotent and heals a restarted
+// router, whose shard registry is in-memory. The returned stop
+// function halts the loop and deregisters (best effort), so a drained
+// shard stops receiving new work immediately.
+func selfRegister(routerURL, name, advertiseURL, listenAddr string, interval time.Duration) (stop func()) {
+	if advertiseURL == "" {
+		advertiseURL = "http://" + reachableAddr(listenAddr)
+	}
+	if name == "" {
+		name = strings.TrimPrefix(advertiseURL, "http://")
+	}
+	cl := serclient.NewWithOptions(routerURL, serclient.Options{Timeout: 5 * time.Second})
+	announce := func(ctx context.Context) error {
+		_, err := cl.RegisterShard(ctx, serclient.ShardRegisterRequest{Name: name, URL: advertiseURL})
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := announce(ctx); err != nil {
+		log.Printf("register with %s: %v (will keep retrying)", routerURL, err)
+	} else {
+		log.Printf("registered as shard %q at %s with router %s", name, advertiseURL, routerURL)
+	}
+	loopDone := make(chan struct{})
+	go func() {
+		defer close(loopDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		healthy := true
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+			if err := announce(ctx); err != nil {
+				if healthy && ctx.Err() == nil {
+					log.Printf("re-register with %s: %v", routerURL, err)
+				}
+				healthy = false
+			} else {
+				healthy = true
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		<-loopDone
+		dctx, dcancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer dcancel()
+		if err := cl.DeregisterShard(dctx, name); err != nil {
+			log.Printf("deregister from %s: %v", routerURL, err)
+		}
+	}
+}
+
+// reachableAddr rewrites a wildcard listen address ("[::]:8080",
+// "0.0.0.0:8080") into one a router on the same host can dial.
+func reachableAddr(listenAddr string) string {
+	host, port, err := net.SplitHostPort(listenAddr)
+	if err != nil {
+		return listenAddr
+	}
+	switch host {
+	case "", "::", "0.0.0.0":
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
 }

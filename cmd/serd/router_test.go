@@ -1,0 +1,196 @@
+// Multi-process router test: real serd shard binaries behind a real
+// serd -route coordinator. One shard is SIGKILLed mid-job and
+// restarted on its own journal (self-registering its new address),
+// proving that routed results stay bit-identical to a single node
+// through shard death, re-routing, and journal recovery.
+package main
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/serclient"
+)
+
+// stripBatchVolatile zeroes wall-clock fields so batch responses
+// compare bit-identically across processes.
+func stripBatchVolatile(resp *serclient.BatchResponse) {
+	for i := range resp.Analyze {
+		if r := resp.Analyze[i].Result; r != nil {
+			r.ElapsedMS = 0
+		}
+	}
+	for i := range resp.Optimize {
+		if r := resp.Optimize[i].Result; r != nil {
+			r.ElapsedMS = 0
+		}
+	}
+	for i := range resp.Susceptibility {
+		if r := resp.Susceptibility[i].Result; r != nil {
+			r.ElapsedMS = 0
+		}
+	}
+}
+
+func routerTestBatch() serclient.BatchRequest {
+	return serclient.BatchRequest{
+		Analyze: []serclient.AnalyzeRequest{
+			{Circuit: "c17", Vectors: 600, Seed: 1},
+			{Circuit: "c432", Vectors: 600, Seed: 2},
+			{Circuit: "c499", Vectors: 600, Seed: 3},
+		},
+		Susceptibility: []serclient.SusceptibilityRequest{
+			{Circuit: "c17", Vectors: 600, Seed: 4, Top: 3},
+		},
+	}
+}
+
+// TestRouterShardCrashRecovery is the multi-node acceptance test: three
+// journaled shard binaries behind a router binary; a batch through the
+// router is bit-identical to a single node; the shard owning a slow
+// async job is SIGKILLed mid-job; the batch stays bit-identical (its
+// items re-route and recompile); the killed shard restarts on its own
+// journal, self-registers its new address under the same shard name,
+// finishes the job it recovered, and the router serves the result under
+// the original job ID.
+func TestRouterShardCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-process router test")
+	}
+	ctx := context.Background()
+
+	// Three shards, single worker each, every attempt slowed 2s so the
+	// kill provably lands mid-job. Separate journal per shard.
+	const nShards = 3
+	shards := map[string]*serdProc{}
+	jdirs := map[string]string{}
+	spec := ""
+	for i := 0; i < nShards; i++ {
+		name := fmt.Sprintf("s%d", i)
+		jdirs[name] = filepath.Join(t.TempDir(), "journal-"+name)
+		p := startServd(t, "serd.engine.delay=-1:2s",
+			"-journal", jdirs[name], "-shard-name", name, "-workers", "1")
+		shards[name] = p
+		if spec != "" {
+			spec += ","
+		}
+		spec += name + "=" + p.url
+	}
+	router := startServd(t, "", "-route", spec, "-health-interval", "200ms")
+	rcl := serclient.New(router.url, nil)
+
+	// An uninterrupted single-node reference (no faults, own library).
+	ref := startServd(t, "", "-workers", "2")
+	refcl := serclient.New(ref.url, nil)
+	want, err := refcl.Batch(ctx, routerTestBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripBatchVolatile(want)
+
+	// Routed fan-out must merge to the single-node answer exactly.
+	got, err := rcl.Batch(ctx, routerTestBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripBatchVolatile(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("routed batch differs from single node:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Find the shard that owns c432 — the victim — and hand it a slow
+	// async job through the router.
+	route, err := rcl.RouteLookup(ctx, serclient.RouteRequest{Circuit: "c432"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := shards[route.Shard]
+	if victim == nil {
+		t.Fatalf("route lookup named unknown shard %q", route.Shard)
+	}
+	asyncReq := serclient.AnalyzeRequest{Circuit: "c432", Vectors: 700, Seed: 9}
+	jr, err := rcl.AnalyzeAsync(ctx, asyncReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForCond(t, "victim job running", func() bool {
+		got, err := rcl.Job(ctx, jr.ID)
+		return err == nil && got.Status == serclient.JobRunning
+	})
+
+	// Kill the victim mid-job.
+	if err := victim.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	victim.wait(t, 10*time.Second)
+
+	// The fleet keeps serving: the batch re-routes the victim's items
+	// to survivors, which recompile — still bit-identical.
+	got2, err := rcl.Batch(ctx, routerTestBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripBatchVolatile(got2)
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatalf("post-kill batch differs from single node:\n got %+v\nwant %+v", got2, want)
+	}
+
+	// Restart the victim on its own journal at a fresh port, with no
+	// faults, self-registering its new address under the same name.
+	p2 := startServd(t, "",
+		"-journal", jdirs[route.Shard], "-shard-name", route.Shard,
+		"-register", router.url, "-workers", "2")
+	waitForCond(t, "victim re-registered", func() bool {
+		sr, err := rcl.Shards(ctx)
+		if err != nil {
+			return false
+		}
+		for _, si := range sr.Shards {
+			if si.Name == route.Shard && si.URL == p2.url && si.Up {
+				return true
+			}
+		}
+		return false
+	})
+
+	// The restarted shard replays its journal and finishes the killed
+	// job; the router serves it under the original ID.
+	wctx, cancel := context.WithTimeout(ctx, 120*time.Second)
+	defer cancel()
+	final, err := rcl.WaitJob(wctx, jr.ID, 50*time.Millisecond)
+	if err != nil {
+		t.Fatalf("recovered job through router: %v\nrouter: %s\nshard: %s",
+			err, router.stderrText(), p2.stderrText())
+	}
+	if final.Status != serclient.JobDone || final.Analyze == nil {
+		t.Fatalf("recovered job finished %s (%s), want done", final.Status, final.Error)
+	}
+	refRes, err := refcl.Analyze(wctx, asyncReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRes := *final.Analyze
+	gotRes.ElapsedMS, refRes.ElapsedMS = 0, 0
+	if !reflect.DeepEqual(gotRes, *refRes) {
+		t.Fatalf("recovered result differs from uninterrupted run:\n got %+v\nwant %+v", gotRes, *refRes)
+	}
+
+	// The router observed the failover, and its metrics namespace every
+	// reachable shard under its own name.
+	rm, err := rcl.RouterMetrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Reroutes == 0 {
+		t.Fatal("router counted no reroutes across a shard death")
+	}
+	for name, sm := range rm.Shards {
+		if sm.Metrics != nil && sm.Metrics.Shard != name {
+			t.Fatalf("shard %q metrics labeled %q", name, sm.Metrics.Shard)
+		}
+	}
+}

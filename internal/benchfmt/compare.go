@@ -52,6 +52,7 @@ type Regression struct {
 	Reason string
 }
 
+// String renders the regression as a one-line diagnostic.
 func (r Regression) String() string {
 	if r.Metric == "" {
 		return fmt.Sprintf("%s: %s", r.Benchmark, r.Reason)

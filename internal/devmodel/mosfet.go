@@ -5,6 +5,7 @@ import "math"
 // MOSType distinguishes NMOS from PMOS devices.
 type MOSType uint8
 
+// The two device polarities.
 const (
 	NMOS MOSType = iota
 	PMOS

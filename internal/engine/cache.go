@@ -45,6 +45,18 @@ type CacheStats struct {
 	Weight, Budget          int64
 }
 
+// HitRate returns the fraction of lookups served from the cache, or 0
+// before any lookup. In a sharded deployment a healthy per-shard hit
+// rate is the observable proof that consistent-hash routing is keeping
+// each circuit on the shard that already compiled it.
+func (cs CacheStats) HitRate() float64 {
+	total := cs.Hits + cs.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(cs.Hits) / float64(total)
+}
+
 // NewCache creates a cache holding at most budget total weight
 // (gate records across all cached handles). budget <= 0 selects a
 // default of 500,000 — roughly a hundred ISCAS-scale circuits.

@@ -1,0 +1,119 @@
+// Shard registry and health checking: every registered shard is
+// probed through its existing GET /readyz on a fixed interval, and
+// forwarding failures mark a shard down immediately (passively)
+// without waiting for the next probe.
+package router
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/serclient"
+)
+
+// shard is one registered serd worker.
+type shard struct {
+	name string
+	url  string
+	cl   *serclient.Client
+
+	mu sync.Mutex
+	// up is true when the last probe (or forward) reached the process;
+	// ready mirrors the shard's own /readyz verdict; saturated is the
+	// shard-reported queue-full flag (an up, saturated shard is alive
+	// but should not receive new submissions).
+	up         bool
+	ready      bool
+	saturated  bool
+	queueDepth int
+	lastErr    string
+	lastCheck  time.Time
+}
+
+// eligible reports whether the shard should receive new work: the
+// process is reachable and its own /readyz said ready.
+func (sh *shard) eligible() bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.up && sh.ready
+}
+
+// state snapshots the shard's health for /v1/shards and /metrics.
+func (sh *shard) state() serclient.ShardInfo {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return serclient.ShardInfo{
+		Name:       sh.name,
+		URL:        sh.url,
+		Up:         sh.up,
+		Ready:      sh.ready,
+		Saturated:  sh.saturated,
+		QueueDepth: sh.queueDepth,
+		Error:      sh.lastErr,
+	}
+}
+
+// markDown records a passive failure observed while forwarding, so the
+// very next request re-routes instead of waiting out the probe
+// interval.
+func (sh *shard) markDown(err error) {
+	sh.mu.Lock()
+	sh.up, sh.ready, sh.saturated = false, false, false
+	if err != nil {
+		sh.lastErr = err.Error()
+	}
+	sh.mu.Unlock()
+}
+
+// probe runs one /readyz health check and updates the shard state.
+// Both 200 and 503 answers mean the process is up; only a transport
+// failure marks it down.
+func (sh *shard) probe(ctx context.Context) {
+	rr, err := sh.cl.Ready(ctx)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.lastCheck = time.Now()
+	if err != nil {
+		sh.up, sh.ready, sh.saturated = false, false, false
+		sh.lastErr = err.Error()
+		return
+	}
+	sh.up = true
+	sh.ready = rr.Ready
+	sh.saturated = rr.Saturated
+	sh.queueDepth = rr.QueueDepth
+	sh.lastErr = ""
+}
+
+// healthLoop probes every shard on the configured interval until the
+// router is closed. Probes for different shards run concurrently so
+// one hung worker cannot delay marking the others up.
+func (rt *Router) healthLoop() {
+	t := time.NewTicker(rt.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.closed:
+			return
+		case <-t.C:
+			rt.probeAll()
+		}
+	}
+}
+
+// probeAll health-checks every registered shard once, concurrently,
+// and waits for the round to finish.
+func (rt *Router) probeAll() {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, sh := range rt.shardList() {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			sh.probe(ctx)
+		}(sh)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,99 @@
+package router
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/serclient"
+)
+
+// routerMetrics aggregates the router's own counters behind
+// GET /metrics. Per-shard counters and latency quantiles are NOT
+// merged here — quantiles are process-local, so each shard's snapshot
+// is namespaced under its shard name and only counters that sum
+// meaningfully feed the aggregate (see aggregate).
+type routerMetrics struct {
+	start time.Time
+
+	errors     atomic.Int64
+	reroutes   atomic.Int64
+	shed       atomic.Int64
+	jobFanouts atomic.Int64
+
+	mu       sync.Mutex
+	requests map[string]int64
+	forwards map[string]int64
+}
+
+func newRouterMetrics() *routerMetrics {
+	return &routerMetrics{
+		start:    time.Now(),
+		requests: make(map[string]int64),
+		forwards: make(map[string]int64),
+	}
+}
+
+func (m *routerMetrics) countRequest(endpoint string) {
+	m.mu.Lock()
+	m.requests[endpoint]++
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) countForward(shard string) {
+	m.mu.Lock()
+	m.forwards[shard]++
+	m.mu.Unlock()
+}
+
+// snapshot assembles the router-level part of the wire response; the
+// caller fills Shards and Aggregate.
+func (m *routerMetrics) snapshot() serclient.RouterMetricsResponse {
+	resp := serclient.RouterMetricsResponse{
+		UptimeS:      time.Since(m.start).Seconds(),
+		Errors:       m.errors.Load(),
+		Reroutes:     m.reroutes.Load(),
+		RequestsShed: m.shed.Load(),
+		JobFanouts:   m.jobFanouts.Load(),
+		Requests:     make(map[string]int64),
+		Forwards:     make(map[string]int64),
+	}
+	m.mu.Lock()
+	for k, v := range m.requests {
+		resp.Requests[k] = v
+	}
+	for k, v := range m.forwards {
+		resp.Forwards[k] = v
+	}
+	m.mu.Unlock()
+	return resp
+}
+
+// aggregate sums the cross-process-meaningful counters over the shard
+// snapshots that could be scraped. Latency quantiles are deliberately
+// excluded: a p99 cannot be averaged across processes.
+func aggregate(snaps []serclient.ShardMetrics) serclient.RouterAggregateMetrics {
+	agg := serclient.RouterAggregateMetrics{Requests: make(map[string]int64)}
+	for _, s := range snaps {
+		if s.Metrics == nil {
+			continue
+		}
+		for k, v := range s.Metrics.Requests {
+			agg.Requests[k] += v
+		}
+		agg.Errors += s.Metrics.Errors
+		agg.RequestsShed += s.Metrics.RequestsShed
+		agg.Characterizations += s.Metrics.Characterizations
+		cc := s.Metrics.CompiledCache
+		agg.CompiledCache.Hits += cc.Hits
+		agg.CompiledCache.Misses += cc.Misses
+		agg.CompiledCache.Evictions += cc.Evictions
+		agg.CompiledCache.Entries += cc.Entries
+		agg.CompiledCache.Gates += cc.Gates
+		agg.CompiledCache.Budget += cc.Budget
+	}
+	if total := agg.CompiledCache.Hits + agg.CompiledCache.Misses; total > 0 {
+		agg.CompiledCache.HitRate = float64(agg.CompiledCache.Hits) / float64(total)
+	}
+	return agg
+}

@@ -1,0 +1,107 @@
+package router
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring over shard names. Each shard owns
+// vnodes points on a 64-bit circle; a key belongs to the first point
+// clockwise from its own hash. The placement depends only on the
+// shard names and the key, so every router instance — and every test —
+// computes the same assignment, and adding or removing one shard moves
+// only the keys adjacent to its points (about 1/N of the keyspace)
+// instead of reshuffling everything.
+type ring struct {
+	points []ringPoint // sorted by hash, ties broken by shard name
+	shards []string    // distinct members, sorted (for the empty-ring case)
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard string
+}
+
+// ringVnodes is the virtual-node count per shard: enough points that
+// the keyspace split stays within a few percent of even for small
+// clusters, cheap enough that ring rebuilds stay trivial.
+const ringVnodes = 128
+
+// newRing builds the ring for the given shard names.
+func newRing(shards []string) *ring {
+	r := &ring{
+		points: make([]ringPoint, 0, len(shards)*ringVnodes),
+		shards: append([]string(nil), shards...),
+	}
+	sort.Strings(r.shards)
+	for _, s := range r.shards {
+		for i := 0; i < ringVnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(s + "#" + strconv.Itoa(i)), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// hashKey maps a routing key (or a vnode label) onto the ring circle.
+// FNV alone spreads short, similar strings — exactly what vnode labels
+// are — unevenly across the 64-bit circle, which skews shard ownership
+// by 2-3x; the splitmix64 finalizer diffuses every input bit into the
+// point position.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// owner returns the shard owning key, or "" on an empty ring.
+func (r *ring) owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(key)].shard
+}
+
+// search returns the index of key's owning point.
+func (r *ring) search(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the last point
+	}
+	return i
+}
+
+// sequence returns every shard exactly once, in ring-walk order
+// starting from key's owner: the deterministic fallback order when the
+// owner is down or saturated. An empty ring yields nil.
+func (r *ring) sequence(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	seq := make([]string, 0, len(r.shards))
+	seen := make(map[string]bool, len(r.shards))
+	for i, start := 0, r.search(key); i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			seq = append(seq, p.shard)
+			if len(seq) == len(r.shards) {
+				break
+			}
+		}
+	}
+	return seq
+}

@@ -1,0 +1,113 @@
+package router
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingDeterministicAcrossInstances(t *testing.T) {
+	shards := []string{"a", "b", "c"}
+	r1 := newRing(shards)
+	r2 := newRing([]string{"c", "a", "b"}) // registration order must not matter
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("name:circuit-%d", i)
+		if got, want := r2.owner(key), r1.owner(key); got != want {
+			t.Fatalf("key %q: owner %q on one ring, %q on the other", key, got, want)
+		}
+		if !reflect.DeepEqual(r1.sequence(key), r2.sequence(key)) {
+			t.Fatalf("key %q: fallback sequences differ across instances", key)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	shards := []string{"a", "b", "c"}
+	r := newRing(shards)
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.owner(fmt.Sprintf("sha256:%064d", i))]++
+	}
+	for _, s := range shards {
+		// With 128 virtual nodes per shard the split is close to even;
+		// assert no shard owns less than half its fair share.
+		if counts[s] < n/(2*len(shards)) {
+			t.Fatalf("shard %q owns only %d of %d keys: %v", s, counts[s], n, counts)
+		}
+	}
+}
+
+func TestRingSequenceVisitsEveryShardOnce(t *testing.T) {
+	shards := []string{"a", "b", "c", "d"}
+	r := newRing(shards)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("name:k%d", i)
+		seq := r.sequence(key)
+		if len(seq) != len(shards) {
+			t.Fatalf("sequence(%q) = %v, want all %d shards", key, seq, len(shards))
+		}
+		if seq[0] != r.owner(key) {
+			t.Fatalf("sequence(%q) starts with %q, owner is %q", key, seq[0], r.owner(key))
+		}
+		seen := map[string]bool{}
+		for _, s := range seq {
+			if seen[s] {
+				t.Fatalf("sequence(%q) = %v repeats %q", key, seq, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestRingConsistency is the property that makes the hash consistent:
+// removing one shard must not move keys between the surviving shards.
+func TestRingConsistency(t *testing.T) {
+	before := newRing([]string{"a", "b", "c", "d"})
+	after := newRing([]string{"a", "b", "d"}) // "c" removed
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("name:k%d", i)
+		ob, oa := before.owner(key), after.owner(key)
+		if ob == "c" {
+			moved++
+			continue // these must move somewhere
+		}
+		if ob != oa {
+			t.Fatalf("key %q moved %q -> %q though its owner survived", key, ob, oa)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by the removed shard; distribution test is vacuous")
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := newRing(nil)
+	if got := r.owner("name:x"); got != "" {
+		t.Fatalf("owner on empty ring = %q, want empty", got)
+	}
+	if got := r.sequence("name:x"); len(got) != 0 {
+		t.Fatalf("sequence on empty ring = %v, want empty", got)
+	}
+}
+
+func TestRoutingKeyAlignment(t *testing.T) {
+	if got := routingKey("c17", "", ""); got != "name:c17" {
+		t.Fatalf("built-in key = %q", got)
+	}
+	netlist := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n"
+	permuted := "# a comment\nINPUT(b)\nINPUT(a)\nOUTPUT(y)\n\ny = AND(a, b)\n"
+	k1 := routingKey("", netlist, "t")
+	k2 := routingKey("", permuted, "t")
+	if k1 == "" || k1 != k2 {
+		t.Fatalf("canonical keys differ: %q vs %q", k1, k2)
+	}
+	// An unparseable netlist still routes (the shard reports the error).
+	if got := routingKey("", "not a netlist", ""); got == "" {
+		t.Fatal("unparseable netlist produced no routing key")
+	}
+	if got := routingKey("", "", ""); got != "" {
+		t.Fatalf("empty request produced key %q", got)
+	}
+}

@@ -108,6 +108,7 @@ func (m *metrics) snapshot(queueDepth, jobsRunning, workers int, characterizatio
 			Entries:   cache.Entries,
 			Gates:     cache.Weight,
 			Budget:    cache.Budget,
+			HitRate:   cache.HitRate(),
 		},
 		QueueDepth:   queueDepth,
 		JobsRunning:  jobsRunning,

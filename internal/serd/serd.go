@@ -131,6 +131,12 @@ type Config struct {
 	// 5s).
 	RetryBaseDelay time.Duration
 	RetryMaxDelay  time.Duration
+	// ShardName, when set, labels this process's GET /metrics snapshot
+	// (MetricsResponse.Shard) so that in a multi-node deployment the
+	// per-process counters and latency quantiles stay attributable
+	// after a router namespaces them. Purely observational — it does
+	// not change routing.
+	ShardName string
 }
 
 func (c Config) withDefaults() Config {
@@ -1024,8 +1030,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.met.snapshot(
+	resp := s.met.snapshot(
 		s.queue.Depth(), s.queue.Running(), s.queue.Workers(),
 		s.sys.Characterizations(), s.ccache.Stats(),
-	))
+	)
+	resp.Shard = s.cfg.ShardName
+	s.writeJSON(w, http.StatusOK, resp)
 }

@@ -252,6 +252,11 @@ type CompiledCacheMetrics struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
+	// HitRate is Hits / (Hits + Misses), 0 before any lookup. Behind a
+	// router it is the cache-affinity signal: consistent-hash routing
+	// keeps each shard's rate high, and a sagging rate on one shard
+	// means its keys are being re-routed (rebalance or flapping health).
+	HitRate float64 `json:"hit_rate"`
 	// Entries and Gates describe current occupancy; Budget is the
 	// gate-record capacity evictions enforce.
 	Entries int   `json:"entries"`
@@ -259,8 +264,18 @@ type CompiledCacheMetrics struct {
 	Budget  int64 `json:"budget"`
 }
 
-// MetricsResponse is the GET /metrics body.
+// MetricsResponse is the GET /metrics body of one serd process.
+//
+// Every field is process-local. In a multi-node deployment each shard
+// reports its own counters and latency quantiles under its own Shard
+// name; the router namespaces them per shard on its own /metrics
+// instead of mixing samples from different processes into one
+// meaningless quantile (see RouterMetricsResponse).
 type MetricsResponse struct {
+	// Shard is the instance's -shard-name label, empty for a standalone
+	// server. It lets an aggregator attribute this snapshot without
+	// relying on the URL it happened to scrape.
+	Shard   string  `json:"shard,omitempty"`
 	UptimeS float64 `json:"uptime_s"`
 	// Requests counts HTTP requests per endpoint name.
 	Requests map[string]int64 `json:"requests"`
@@ -301,4 +316,117 @@ type MetricsResponse struct {
 // ErrorResponse is the JSON body of every non-2xx answer.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// ShardInfo is one worker's registration and health as the router sees
+// it (GET /v1/shards).
+type ShardInfo struct {
+	// Name is the shard's stable ring identity: consistent-hash
+	// placement depends on it, so re-registering the same name (e.g.
+	// after a worker restart on a new port) keeps the shard's keyspace.
+	Name string `json:"name"`
+	URL  string `json:"url"`
+	// Up means the last probe (or forward) reached the process; Ready
+	// mirrors the shard's own /readyz verdict; Saturated its
+	// queue-full flag. New work routes only to up-and-ready shards.
+	Up         bool `json:"up"`
+	Ready      bool `json:"ready"`
+	Saturated  bool `json:"saturated,omitempty"`
+	QueueDepth int  `json:"queue_depth"`
+	// Error is the last probe/forward failure, empty while healthy.
+	Error string `json:"error,omitempty"`
+}
+
+// ShardsResponse is the GET /v1/shards body: current ring membership,
+// sorted by shard name.
+type ShardsResponse struct {
+	Shards []ShardInfo `json:"shards"`
+}
+
+// ShardRegisterRequest registers (or re-registers) a worker with the
+// router (POST /v1/shards). Registering an existing name with a new
+// URL replaces the URL and keeps the ring placement.
+type ShardRegisterRequest struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// RouteRequest asks the router where a circuit reference would be
+// routed (POST /v1/route) without running anything: the same
+// circuit/netlist/name triple every analysis endpoint accepts.
+type RouteRequest struct {
+	Circuit string `json:"circuit,omitempty"`
+	Netlist string `json:"netlist,omitempty"`
+	Name    string `json:"name,omitempty"`
+}
+
+// RouteResponse is the routing decision for one key: the canonical
+// routing key, the owning shard, and the deterministic fallback
+// sequence (every shard once, in ring-walk order from the owner).
+type RouteResponse struct {
+	Key      string   `json:"key"`
+	Shard    string   `json:"shard"`
+	URL      string   `json:"url"`
+	Sequence []string `json:"sequence"`
+}
+
+// RouterReadyResponse is the router's GET /readyz body: 200 when at
+// least one shard can accept new work, 503 otherwise.
+type RouterReadyResponse struct {
+	Ready bool `json:"ready"`
+	// Shards counts registered shards; EligibleShards those currently
+	// up, ready and unsaturated; SaturatedShards those alive but
+	// shedding.
+	Shards          int `json:"shards"`
+	EligibleShards  int `json:"eligible_shards"`
+	SaturatedShards int `json:"saturated_shards"`
+}
+
+// ShardMetrics is one shard's namespaced slot in the router's
+// /metrics: either the shard's own MetricsResponse snapshot or the
+// error that prevented scraping it.
+type ShardMetrics struct {
+	Info    ShardInfo        `json:"info"`
+	Metrics *MetricsResponse `json:"metrics,omitempty"`
+	Error   string           `json:"error,omitempty"`
+}
+
+// RouterAggregateMetrics sums the counters that are meaningful across
+// processes. Latency quantiles are deliberately absent: a p99 is a
+// property of one process's sample window and cannot be averaged, so
+// per-shard quantiles stay under their shard's namespace in Shards.
+type RouterAggregateMetrics struct {
+	// Requests sums per-endpoint request counts across shards; Errors,
+	// RequestsShed and Characterizations likewise.
+	Requests          map[string]int64 `json:"requests"`
+	Errors            int64            `json:"errors"`
+	RequestsShed      int64            `json:"requests_shed"`
+	Characterizations int64            `json:"characterizations"`
+	// CompiledCache sums hits/misses/evictions/entries/gates/budget
+	// across shards; its HitRate is recomputed from the summed counts.
+	CompiledCache CompiledCacheMetrics `json:"compiled_cache"`
+}
+
+// RouterMetricsResponse is the router's GET /metrics body: the
+// router's own counters, every shard's namespaced snapshot, and the
+// cross-shard aggregate.
+type RouterMetricsResponse struct {
+	UptimeS float64 `json:"uptime_s"`
+	// Requests counts requests arriving at the router, per endpoint.
+	Requests map[string]int64 `json:"requests"`
+	// Errors counts requests the router answered with 4xx/5xx.
+	Errors int64 `json:"errors"`
+	// Forwards counts requests forwarded per shard name.
+	Forwards map[string]int64 `json:"forwards"`
+	// Reroutes counts requests served by a shard other than their ring
+	// owner (owner down or saturated); RequestsShed counts submissions
+	// bounced with 429 because no shard could take them; JobFanouts
+	// counts job lookups that had to ask every shard.
+	Reroutes     int64 `json:"reroutes"`
+	RequestsShed int64 `json:"requests_shed"`
+	JobFanouts   int64 `json:"job_fanouts"`
+	// Shards holds each shard's namespaced health + metrics snapshot.
+	Shards map[string]ShardMetrics `json:"shards"`
+	// Aggregate sums the cross-process-meaningful counters.
+	Aggregate RouterAggregateMetrics `json:"aggregate"`
 }

@@ -91,6 +91,17 @@ func IsStatus(err error, status int) bool {
 	return ok && ae.Status == status
 }
 
+// StatusOf returns the HTTP status code of a server answer, or 0 when
+// err is not one (nil, transport failure, decode error). Routers use
+// it to tell a shard's final HTTP answer apart from a dead shard.
+func StatusOf(err error) int {
+	ae, ok := err.(*apiError)
+	if !ok {
+		return 0
+	}
+	return ae.Status
+}
+
 // RetryAfter extracts the server's Retry-After hint from a shed
 // submission's error (HTTP 429). ok is false when err carries no hint.
 func RetryAfter(err error) (d time.Duration, ok bool) {
@@ -110,6 +121,13 @@ func retryable(err error) bool {
 		return false
 	}
 	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return true
+	}
+	// Behind a router, a shard dying mid-request surfaces as HTTP 502
+	// rather than a reset connection; retrying it is safe for the same
+	// reasons (sync work is canceled with the dropped hop, async
+	// submissions replay under their Idempotency-Key).
+	if IsStatus(err, http.StatusBadGateway) {
 		return true
 	}
 	// net/http wraps a server hangup racing request write as a plain
@@ -366,6 +384,53 @@ func (c *Client) Ready(ctx context.Context) (*ReadyResponse, error) {
 // Metrics fetches the service counters.
 func (c *Client) Metrics(ctx context.Context) (*MetricsResponse, error) {
 	var out MetricsResponse
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Shards lists a router's registered shards with their health state.
+// Only meaningful against a router (serd -route); a plain shard
+// answers 404.
+func (c *Client) Shards(ctx context.Context) (*ShardsResponse, error) {
+	var out ShardsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/shards", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RegisterShard registers (or re-registers) a shard with a router and
+// returns the shard's health state as probed during registration.
+func (c *Client) RegisterShard(ctx context.Context, req ShardRegisterRequest) (*ShardInfo, error) {
+	var out ShardInfo
+	if err := c.do(ctx, http.MethodPost, "/v1/shards", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeregisterShard removes a shard from a router's ring; its keys
+// re-route to their ring successors.
+func (c *Client) DeregisterShard(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/shards/"+name, nil, nil)
+}
+
+// RouteLookup asks a router where a circuit would be placed, without
+// running anything: the routing key, owning shard, and fallback order.
+func (c *Client) RouteLookup(ctx context.Context, req RouteRequest) (*RouteResponse, error) {
+	var out RouteResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/route", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RouterMetrics fetches a router's counters with every shard's
+// namespaced metrics snapshot and the cross-shard aggregate.
+func (c *Client) RouterMetrics(ctx context.Context) (*RouterMetricsResponse, error) {
+	var out RouterMetricsResponse
 	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &out); err != nil {
 		return nil, err
 	}
