@@ -10,12 +10,21 @@
 //	     [-libcache lib.json] [-journal DIR]
 //	     [-job-timeout 15m] [-max-attempts 3]
 //	     [-shard-name NAME] [-register ROUTER-URL [-advertise URL]]
+//	     [-log-level info] [-log-format text] [-pprof ADDR]
 //	serd -route "name=url,name=url" [-addr :8080] [-health-interval 2s]
 //
 // Endpoints: POST /v1/analyze, POST /v1/optimize, POST /v1/batch,
-// GET /v1/jobs/{id}, GET /healthz, GET /readyz, GET /metrics. See
+// GET /v1/jobs/{id}, GET /healthz, GET /readyz, GET /metrics (JSON, or
+// Prometheus text with ?format=prometheus), GET /debug/requests. See
 // docs/api.md for the full HTTP API reference and docs/operations.md
-// for durability/recovery semantics and multi-node topologies.
+// for durability/recovery semantics, multi-node topologies and the
+// observability endpoints.
+//
+// Logs are structured (log/slog) on stderr: human-readable text by
+// default, one JSON object per line with -log-format json; -log-level
+// debug includes a per-request trace line keyed by X-Request-ID.
+// -pprof ADDR serves net/http/pprof on its own listener, so profiling
+// is reachable in production without exposing it on the service port.
 //
 // With -journal, accepted async jobs are persisted to an append-only,
 // fsync'd log; a restart on the same directory re-enqueues jobs that
@@ -40,9 +49,11 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -57,8 +68,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("serd: ")
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		coarse      = flag.Bool("coarse", false, "use the coarse characterization grid (faster cold starts)")
@@ -75,6 +84,10 @@ func main() {
 		maxAttempts = flag.Int("max-attempts", 3, "execution attempts per async job before it fails terminally")
 		keepJobs    = flag.Int("keep-jobs", 1024, "finished jobs retained for polling (also the journal's terminal retention)")
 
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat = flag.String("log-format", "text", "log encoding: text or json")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
+
 		shardName      = flag.String("shard-name", "", "label for this shard in /metrics and for -register")
 		register       = flag.String("register", "", "router URL to periodically self-register this shard with")
 		advertise      = flag.String("advertise", "", "URL advertised to the router with -register (default http://<resolved listen addr>)")
@@ -82,6 +95,13 @@ func main() {
 		healthInterval = flag.Duration("health-interval", 2*time.Second, "router: shard /readyz probe period; shard: -register re-announce period")
 	)
 	flag.Parse()
+	if err := setupLogging(*logLevel, *logFormat); err != nil {
+		fmt.Fprintf(os.Stderr, "serd: %v\n", err)
+		os.Exit(2)
+	}
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
 	routerMode := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "route" {
@@ -101,9 +121,9 @@ func main() {
 	if *libcache != "" {
 		if _, err := os.Stat(*libcache); err == nil {
 			if err := sys.LoadLibrary(*libcache); err != nil {
-				log.Fatalf("load library cache: %v", err)
+				fatalf("load library cache: %v", err)
 			}
-			log.Printf("loaded library cache %s", *libcache)
+			slog.Info("loaded library cache", "path", *libcache)
 		}
 	}
 
@@ -112,10 +132,10 @@ func main() {
 		var err error
 		jnl, err = journal.Open(*journalDir, *keepJobs)
 		if err != nil {
-			log.Fatalf("open journal: %v", err)
+			fatalf("open journal: %v", err)
 		}
 		if pending := len(jnl.Pending()); pending > 0 {
-			log.Printf("journal %s: recovering %d pending job(s)", *journalDir, pending)
+			slog.Info("journal holds pending jobs; recovering", "dir", *journalDir, "jobs", pending)
 		}
 	}
 
@@ -137,6 +157,7 @@ func main() {
 	hs := &http.Server{
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          slog.NewLogLogger(slog.Default().Handler(), slog.LevelWarn),
 	}
 
 	// Explicit listen (rather than ListenAndServe) so the resolved
@@ -144,7 +165,7 @@ func main() {
 	// before serving; integration harnesses parse this line.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 
 	stopRegister := func() {}
@@ -161,40 +182,104 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		log.Printf("shutting down (signal again to force exit)")
+		slog.Info("shutting down (signal again to force exit)")
 		go func() {
 			<-sig
-			log.Printf("forced exit")
+			slog.Warn("forced exit")
 			os.Exit(1)
 		}()
 		stopRegister()
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
-			log.Printf("http shutdown: %v", err)
+			slog.Error("http shutdown failed", "err", err)
 		}
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("drain: %v", err)
+			slog.Error("drain failed", "err", err)
 		}
 		close(done)
 	}()
 
-	log.Printf("listening on %s (workers=%d queue=%d)", ln.Addr(), *workers, *queue)
+	// One formatted message, address followed by a space: integration
+	// harnesses cut this line on "listening on " to find the port.
+	slog.Info(fmt.Sprintf("listening on %s (workers=%d queue=%d)", ln.Addr(), *workers, *queue))
 	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	<-done
 	if jnl != nil {
 		if err := jnl.Close(); err != nil {
-			log.Printf("close journal: %v", err)
+			slog.Error("close journal failed", "err", err)
 		}
 	}
 	if *libcache != "" {
 		if err := sys.SaveLibrary(*libcache); err != nil {
-			log.Printf("save library cache: %v", err)
+			slog.Error("save library cache failed", "err", err)
 		} else {
-			log.Printf("saved library cache %s", *libcache)
+			slog.Info("saved library cache", "path", *libcache)
 		}
+	}
+}
+
+// setupLogging installs the process-wide slog default: leveled, text
+// or JSON, on stderr (matching the previous stdlib-log behavior, so
+// harnesses reading stderr keep working).
+func setupLogging(levelName, format string) error {
+	var level slog.Level
+	switch strings.ToLower(levelName) {
+	case "debug":
+		level = slog.LevelDebug
+	case "", "info":
+		level = slog.LevelInfo
+	case "warn":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", levelName)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+	slog.SetDefault(slog.New(h))
+	return nil
+}
+
+// fatalf logs at error level and exits — the slog equivalent of
+// log.Fatalf.
+func fatalf(format string, args ...any) {
+	slog.Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
+// servePprof serves net/http/pprof on its own listener, so profiling
+// endpoints never share the service port (and can be firewalled
+// separately). Registration is explicit — importing net/http/pprof
+// for side effects would silently expose the handlers on
+// http.DefaultServeMux.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		slog.Error("pprof listen failed", "addr", addr, "err", err)
+		return
+	}
+	slog.Info("pprof listening", "addr", ln.Addr().String())
+	hs := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		slog.Error("pprof server failed", "err", err)
 	}
 }
 
@@ -209,10 +294,10 @@ func runRouter(addr, spec string, healthInterval time.Duration) {
 		for _, pair := range strings.Split(spec, ",") {
 			name, url, ok := strings.Cut(strings.TrimSpace(pair), "=")
 			if !ok {
-				log.Fatalf("bad -route entry %q (want name=url)", pair)
+				fatalf("bad -route entry %q (want name=url)", pair)
 			}
 			if err := rt.AddShard(name, url); err != nil {
-				log.Fatalf("register shard %q: %v", name, err)
+				fatalf("register shard %q: %v", name, err)
 			}
 			shards++
 		}
@@ -220,32 +305,33 @@ func runRouter(addr, spec string, healthInterval time.Duration) {
 	hs := &http.Server{
 		Handler:           rt,
 		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          slog.NewLogLogger(slog.Default().Handler(), slog.LevelWarn),
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	done := make(chan struct{})
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		log.Printf("shutting down (signal again to force exit)")
+		slog.Info("shutting down (signal again to force exit)")
 		go func() {
 			<-sig
-			log.Printf("forced exit")
+			slog.Warn("forced exit")
 			os.Exit(1)
 		}()
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
-			log.Printf("http shutdown: %v", err)
+			slog.Error("http shutdown failed", "err", err)
 		}
 		close(done)
 	}()
-	log.Printf("listening on %s (router, shards=%d)", ln.Addr(), shards)
+	slog.Info(fmt.Sprintf("listening on %s (router, shards=%d)", ln.Addr(), shards))
 	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	<-done
 }
@@ -269,9 +355,9 @@ func selfRegister(routerURL, name, advertiseURL, listenAddr string, interval tim
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	if err := announce(ctx); err != nil {
-		log.Printf("register with %s: %v (will keep retrying)", routerURL, err)
+		slog.Warn("register with router failed; will keep retrying", "router", routerURL, "err", err)
 	} else {
-		log.Printf("registered as shard %q at %s with router %s", name, advertiseURL, routerURL)
+		slog.Info("registered with router", "shard", name, "advertise", advertiseURL, "router", routerURL)
 	}
 	loopDone := make(chan struct{})
 	go func() {
@@ -287,7 +373,7 @@ func selfRegister(routerURL, name, advertiseURL, listenAddr string, interval tim
 			}
 			if err := announce(ctx); err != nil {
 				if healthy && ctx.Err() == nil {
-					log.Printf("re-register with %s: %v", routerURL, err)
+					slog.Warn("re-register with router failed", "router", routerURL, "err", err)
 				}
 				healthy = false
 			} else {
@@ -301,7 +387,7 @@ func selfRegister(routerURL, name, advertiseURL, listenAddr string, interval tim
 		dctx, dcancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer dcancel()
 		if err := cl.DeregisterShard(dctx, name); err != nil {
-			log.Printf("deregister from %s: %v", routerURL, err)
+			slog.Warn("deregister from router failed", "router", routerURL, "err", err)
 		}
 	}
 }

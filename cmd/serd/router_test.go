@@ -6,10 +6,15 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -34,6 +39,41 @@ func stripBatchVolatile(resp *serclient.BatchResponse) {
 			r.ElapsedMS = 0
 		}
 	}
+}
+
+// submitTraced posts an async analysis with a caller-chosen
+// X-Request-ID (the client generates its own otherwise) and asserts
+// the server echoes that exact ID in the response headers before
+// returning the accepted job.
+func submitTraced(t *testing.T, ctx context.Context, baseURL string, req serclient.AnalyzeRequest, rid string) *serclient.JobResponse {
+	t.Helper()
+	req.Async = true
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/analyze", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("X-Request-ID", rid)
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		t.Fatalf("traced submission: HTTP %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != rid {
+		t.Fatalf("response X-Request-ID = %q, want %q", got, rid)
+	}
+	var jr serclient.JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatal(err)
+	}
+	return &jr
 }
 
 func routerTestBatch() serclient.BatchRequest {
@@ -112,10 +152,15 @@ func TestRouterShardCrashRecovery(t *testing.T) {
 	if victim == nil {
 		t.Fatalf("route lookup named unknown shard %q", route.Shard)
 	}
+	// Submit with an explicit X-Request-ID so one trace is followable
+	// end to end: response headers, job wire form, the victim's journal,
+	// and the router's forwarding logs must all carry this exact ID —
+	// across a shard death and a journal recovery.
+	const testRID = "req-e2e-router-crash-trace"
 	asyncReq := serclient.AnalyzeRequest{Circuit: "c432", Vectors: 700, Seed: 9}
-	jr, err := rcl.AnalyzeAsync(ctx, asyncReq)
-	if err != nil {
-		t.Fatal(err)
+	jr := submitTraced(t, ctx, router.url, asyncReq, testRID)
+	if jr.RequestID != testRID {
+		t.Fatalf("submission JobResponse.RequestID = %q, want %q", jr.RequestID, testRID)
 	}
 	waitForCond(t, "victim job running", func() bool {
 		got, err := rcl.Job(ctx, jr.ID)
@@ -177,6 +222,23 @@ func TestRouterShardCrashRecovery(t *testing.T) {
 	gotRes.ElapsedMS, refRes.ElapsedMS = 0, 0
 	if !reflect.DeepEqual(gotRes, *refRes) {
 		t.Fatalf("recovered result differs from uninterrupted run:\n got %+v\nwant %+v", gotRes, *refRes)
+	}
+
+	// The submission's request ID survived the crash into the recovered
+	// job's wire form, is persisted in the victim's journal records, and
+	// shows up in the router's structured forwarding logs.
+	if final.RequestID != testRID {
+		t.Fatalf("recovered job RequestID = %q, want %q", final.RequestID, testRID)
+	}
+	jraw, err := os.ReadFile(filepath.Join(jdirs[route.Shard], "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(jraw), `"request_id":"`+testRID+`"`) {
+		t.Fatalf("victim journal carries no record with request_id %q", testRID)
+	}
+	if !strings.Contains(router.stderrText(), testRID) {
+		t.Fatalf("router logs never mention request id %q:\n%s", testRID, router.stderrText())
 	}
 
 	// The router observed the failover, and its metrics namespace every

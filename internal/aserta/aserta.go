@@ -29,6 +29,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/logicsim"
 	"repro/internal/strike"
+	"repro/internal/trace"
 )
 
 // DefaultSampleWidths is the paper's sample-width count (§3.2: "the
@@ -67,6 +68,13 @@ type Config struct {
 	// the delta propagation (default 64; negative disables the
 	// cadence).
 	FullRecomputeEvery int
+	// Spans, when non-nil, receives one span per pipeline stage
+	// (sources, sensitization, electrical, reduce). Timing is
+	// observational only — it never alters numerics or RNG streams —
+	// and the nil default costs nothing beyond the global stage
+	// histograms. RecomputeU is deliberately not instrumented: it is
+	// the optimizer's inner loop.
+	Spans *trace.Recorder
 }
 
 // withDefaults fills zero fields with the shared engine defaults.
@@ -196,11 +204,13 @@ func AnalyzeCompiled(cc *engine.CompiledCircuit, lib *charlib.Library, cells Ass
 
 	// Stage 1: EnumerateSources — loads, delays, generated widths and
 	// flux weights from the cell assignment.
+	endSources := trace.StartStage(cfg.Spans, "strike.sources")
 	src, err := strike.EnumerateSources(cc, lib, cells, cfg.POLoad)
 	if err != nil {
 		return nil, err
 	}
 	a.Loads, a.Delays, a.GenWidth, a.Flux = src.Loads, src.Delays, src.GenWidth, src.Flux
+	endSources()
 
 	if cfg.PrecomputedSens != nil {
 		a.Sens = cfg.PrecomputedSens
@@ -209,7 +219,9 @@ func AnalyzeCompiled(cc *engine.CompiledCircuit, lib *charlib.Library, cells Ass
 		// circuit (the serving tier's warm path, SERTOPT's cost loop,
 		// the sequential engine's frames) run the simulation once per
 		// (vectors, seed) pair.
+		endSens := trace.StartStage(cfg.Spans, "logicsim.sensitization")
 		a.Sens, err = logicsim.Sensitization(cc, cfg.Vectors, cfg.Seed)
+		endSens()
 		if err != nil {
 			return nil, err
 		}
@@ -217,6 +229,7 @@ func AnalyzeCompiled(cc *engine.CompiledCircuit, lib *charlib.Library, cells Ass
 
 	// Stage 2: ElectricalFilter — the §3.2 reverse-topological pass
 	// for the baseline delays, publishing the WS/Wij views.
+	endElec := trace.StartStage(cfg.Spans, "strike.electrical")
 	a.Samples = cfg.sampleWidths()
 	a.prop = strike.NewPropagator(cc, a.Sens, a.GenWidth, a.Samples)
 	nGates := len(c.Gates)
@@ -225,6 +238,7 @@ func AnalyzeCompiled(cc *engine.CompiledCircuit, lib *charlib.Library, cells Ass
 	a.wsFlat = make([]float64, nGates*nPOs*K)
 	a.wijFlat = make([]float64, nGates*nPOs)
 	a.prop.Run(a.Delays, a.wsFlat, a.wijFlat)
+	endElec()
 
 	// Publish the arena through the historical slice-of-slices views.
 	rows := make([][]float64, nGates*nPOs)
@@ -241,8 +255,10 @@ func AnalyzeCompiled(cc *engine.CompiledCircuit, lib *charlib.Library, cells Ass
 	// Stage 3: LatchingWindow + Reduce — Eq. 3 per-gate contributions
 	// and the Eq. 4 circuit total, with the incremental delta
 	// configuration armed for RecomputeU.
+	endReduce := trace.StartStage(cfg.Spans, "strike.reduce")
 	a.Ui, a.U = strike.Reduce(c, a.Flux, a.Wij, cfg.ClockPeriod)
 	a.delta = a.prop.NewDelta(a.Delays, a.wsFlat, a.wijFlat, a.Ui, a.U, a.uiOf)
+	endReduce()
 	return a, nil
 }
 

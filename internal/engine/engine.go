@@ -45,8 +45,10 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/ckt"
+	"repro/internal/trace"
 )
 
 // maxMemoEntries bounds the per-handle memo so a long-lived cached
@@ -92,6 +94,7 @@ func Compile(c *ckt.Circuit) (*CompiledCircuit, error) {
 	if c == nil {
 		return nil, fmt.Errorf("engine: nil circuit")
 	}
+	defer trace.StartStage(nil, "engine.compile")()
 	order, err := c.TopoOrder()
 	if err != nil {
 		return nil, err
@@ -220,9 +223,11 @@ func (cc *CompiledCircuit) Memo(key any, build func() (any, error)) (any, error)
 	cc.mu.Lock()
 	if e, ok := cc.memo[key]; ok {
 		cc.mu.Unlock()
+		trace.Count("engine.memo.hit")
 		<-e.ready
 		return e.val, e.err
 	}
+	trace.Count("engine.memo.miss")
 	e := &memoEntry{key: key, ready: make(chan struct{})}
 	cc.memo[key] = e
 	cc.memoFIFO = append(cc.memoFIFO, e)
@@ -245,7 +250,9 @@ func (cc *CompiledCircuit) Memo(key any, build func() (any, error)) (any, error)
 	// build would keep reproducing anyway.
 	e.err = fmt.Errorf("engine: memo build for %v panicked", key)
 	defer close(e.ready)
+	t0 := time.Now()
 	e.val, e.err = build()
+	trace.Observe("engine.memo_build", time.Since(t0))
 	return e.val, e.err
 }
 

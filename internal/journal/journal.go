@@ -30,6 +30,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -75,6 +76,10 @@ type Record struct {
 	ContentHash    string          `json:"content_hash,omitempty"`
 	IdempotencyKey string          `json:"idempotency_key,omitempty"`
 	DeadlineMS     int64           `json:"deadline_ms,omitempty"`
+	// RequestID is the X-Request-ID of the submission that accepted the
+	// job, so a trace can be followed from an HTTP access log into the
+	// journal and back out of a recovered job after a restart.
+	RequestID string `json:"request_id,omitempty"`
 
 	// Attempt/terminal fields.
 	Attempt int             `json:"attempt,omitempty"`
@@ -91,6 +96,7 @@ type JobState struct {
 	NetlistRef     string // blob key when the netlist was spilled
 	ContentHash    string
 	IdempotencyKey string
+	RequestID      string    // X-Request-ID of the accepting submission
 	Deadline       time.Time // zero = no deadline
 	Submitted      time.Time
 
@@ -213,6 +219,8 @@ func (j *Journal) replay() error {
 		if err := os.Truncate(j.path(), good); err != nil {
 			return fmt.Errorf("journal: truncating torn tail: %v", err)
 		}
+		slog.Default().Warn("journal: truncated torn final record",
+			"dir", j.dir, "offset", good, "records", j.records)
 	}
 	return nil
 }
@@ -232,6 +240,7 @@ func (j *Journal) apply(rec *Record) {
 		st.NetlistRef = rec.NetlistRef
 		st.ContentHash = rec.ContentHash
 		st.IdempotencyKey = rec.IdempotencyKey
+		st.RequestID = rec.RequestID
 		st.Submitted = time.UnixMilli(rec.TimeMS)
 		if rec.DeadlineMS > 0 {
 			st.Deadline = time.UnixMilli(rec.DeadlineMS)
@@ -390,6 +399,7 @@ func (j *Journal) compactLocked() error {
 			NetlistRef:     st.NetlistRef,
 			ContentHash:    st.ContentHash,
 			IdempotencyKey: st.IdempotencyKey,
+			RequestID:      st.RequestID,
 		}
 		if !st.Deadline.IsZero() {
 			sub.DeadlineMS = st.Deadline.UnixMilli()

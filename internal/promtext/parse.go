@@ -1,0 +1,338 @@
+package promtext
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed sample line.
+type Sample struct {
+	// Name is the full sample name (including _bucket/_sum/_count
+	// suffixes for histograms).
+	Name string
+	// Labels maps label name to unescaped value.
+	Labels map[string]string
+	// Value is the parsed sample value.
+	Value float64
+}
+
+// Family is one parsed metric family: its metadata plus every sample
+// belonging to it.
+type Family struct {
+	// Name is the family name from the # TYPE line.
+	Name string
+	// Help is the # HELP text, "" when absent.
+	Help string
+	// Type is counter, gauge, histogram, summary or untyped.
+	Type string
+	// Samples lists the family's samples in document order.
+	Samples []Sample
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Parse validates a Prometheus text exposition document and returns
+// its families keyed by name. It enforces the syntax rules a real
+// scraper depends on — metric and label name grammar, TYPE before
+// samples, no duplicate TYPE lines, parseable values — plus histogram
+// consistency: every histogram series must have a +Inf bucket whose
+// cumulative count equals its _count sample, with bucket counts
+// non-decreasing in le order.
+func Parse(doc string) (map[string]*Family, error) {
+	fams := map[string]*Family{}
+	typed := map[string]bool{}
+	for ln, line := range strings.Split(doc, "\n") {
+		lineNo := ln + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, lineNo, fams, typed); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		s, err := parseSample(line, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		fam := familyOf(s.Name, fams)
+		if fam == nil {
+			return nil, fmt.Errorf("promtext: line %d: sample %q precedes its # TYPE line", lineNo, s.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	for _, f := range fams {
+		if f.Type == "histogram" {
+			if err := checkHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+func parseComment(line string, lineNo int, fams map[string]*Family, typed map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !metricNameRe.MatchString(fields[2]) {
+			return fmt.Errorf("promtext: line %d: malformed HELP line", lineNo)
+		}
+		f := ensureFamily(fields[2], fams)
+		if len(fields) == 4 {
+			f.Help = fields[3]
+		}
+	case "TYPE":
+		if len(fields) != 4 || !metricNameRe.MatchString(fields[2]) {
+			return fmt.Errorf("promtext: line %d: malformed TYPE line", lineNo)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("promtext: line %d: unknown metric type %q", lineNo, fields[3])
+		}
+		if typed[fields[2]] {
+			return fmt.Errorf("promtext: line %d: duplicate TYPE for %q", lineNo, fields[2])
+		}
+		typed[fields[2]] = true
+		f := ensureFamily(fields[2], fams)
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("promtext: line %d: TYPE for %q after its samples", lineNo, fields[2])
+		}
+		f.Type = fields[3]
+	}
+	return nil
+}
+
+func ensureFamily(name string, fams map[string]*Family) *Family {
+	f := fams[name]
+	if f == nil {
+		f = &Family{Name: name, Type: "untyped"}
+		fams[name] = f
+	}
+	return f
+}
+
+// familyOf resolves a sample name to its family, honoring the
+// histogram/summary child suffixes.
+func familyOf(sample string, fams map[string]*Family) *Family {
+	if f := fams[sample]; f != nil {
+		return f
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suf)
+		if base == sample {
+			continue
+		}
+		if f := fams[base]; f != nil && (f.Type == "histogram" || f.Type == "summary") {
+			return f
+		}
+	}
+	return nil
+}
+
+func parseSample(line string, lineNo int) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var nameEnd int
+	if brace >= 0 {
+		nameEnd = brace
+	} else if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		nameEnd = sp
+	} else {
+		return s, fmt.Errorf("promtext: line %d: sample has no value", lineNo)
+	}
+	s.Name = rest[:nameEnd]
+	if !metricNameRe.MatchString(s.Name) {
+		return s, fmt.Errorf("promtext: line %d: bad metric name %q", lineNo, s.Name)
+	}
+	rest = rest[nameEnd:]
+	if brace >= 0 {
+		end, err := parseLabels(rest, lineNo, s.Labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// An optional timestamp may follow the value.
+	valStr, _, _ := strings.Cut(rest, " ")
+	v, err := parseValue(valStr)
+	if err != nil {
+		return s, fmt.Errorf("promtext: line %d: bad value %q", lineNo, valStr)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a {name="value",...} block starting at s[0]=='{'
+// and returns the index just past the closing brace.
+func parseLabels(s string, lineNo int, out map[string]string) (int, error) {
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("promtext: line %d: unterminated label block", lineNo)
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("promtext: line %d: label without '='", lineNo)
+		}
+		name := s[i : i+eq]
+		if !labelNameRe.MatchString(name) {
+			return 0, fmt.Errorf("promtext: line %d: bad label name %q", lineNo, name)
+		}
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("promtext: line %d: label value not quoted", lineNo)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, fmt.Errorf("promtext: line %d: unterminated label value", lineNo)
+			}
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return 0, fmt.Errorf("promtext: line %d: dangling escape", lineNo)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("promtext: line %d: bad escape \\%c", lineNo, s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := out[name]; dup {
+			return 0, fmt.Errorf("promtext: line %d: duplicate label %q", lineNo, name)
+		}
+		out[name] = val.String()
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// checkHistogram verifies one histogram family's internal
+// consistency, per distinct non-le label set: cumulative buckets
+// non-decreasing, a +Inf bucket present, and _count equal to it.
+func checkHistogram(f *Family) error {
+	type series struct {
+		buckets []Sample // in document order
+		sum     *Sample
+		count   *Sample
+	}
+	bySet := map[string]*series{}
+	key := func(labels map[string]string) string {
+		ks := make([]string, 0, len(labels))
+		for k := range labels {
+			if k == "le" {
+				continue
+			}
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		var b strings.Builder
+		for _, k := range ks {
+			fmt.Fprintf(&b, "%s=%q,", k, labels[k])
+		}
+		return b.String()
+	}
+	get := func(labels map[string]string) *series {
+		k := key(labels)
+		sr := bySet[k]
+		if sr == nil {
+			sr = &series{}
+			bySet[k] = sr
+		}
+		return sr
+	}
+	for i := range f.Samples {
+		s := f.Samples[i]
+		sr := get(s.Labels)
+		switch s.Name {
+		case f.Name + "_bucket":
+			sr.buckets = append(sr.buckets, s)
+		case f.Name + "_sum":
+			sr.sum = &f.Samples[i]
+		case f.Name + "_count":
+			sr.count = &f.Samples[i]
+		default:
+			return fmt.Errorf("promtext: histogram %q has stray sample %q", f.Name, s.Name)
+		}
+	}
+	for k, sr := range bySet {
+		if len(sr.buckets) == 0 || sr.count == nil || sr.sum == nil {
+			return fmt.Errorf("promtext: histogram %q{%s} missing buckets, _sum or _count", f.Name, k)
+		}
+		var prev float64
+		var inf *Sample
+		lastLE := math.Inf(-1)
+		for i := range sr.buckets {
+			b := sr.buckets[i]
+			le, err := parseValue(b.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("promtext: histogram %q bucket has bad le %q", f.Name, b.Labels["le"])
+			}
+			if le <= lastLE {
+				return fmt.Errorf("promtext: histogram %q buckets out of le order", f.Name)
+			}
+			lastLE = le
+			if b.Value < prev {
+				return fmt.Errorf("promtext: histogram %q bucket counts not cumulative", f.Name)
+			}
+			prev = b.Value
+			if math.IsInf(le, 1) {
+				inf = &sr.buckets[i]
+			}
+		}
+		if inf == nil {
+			return fmt.Errorf("promtext: histogram %q{%s} has no +Inf bucket", f.Name, k)
+		}
+		if inf.Value != sr.count.Value {
+			return fmt.Errorf("promtext: histogram %q{%s}: +Inf bucket %v != count %v",
+				f.Name, k, inf.Value, sr.count.Value)
+		}
+	}
+	return nil
+}

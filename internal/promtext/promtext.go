@@ -1,0 +1,153 @@
+// Package promtext hand-rolls the Prometheus text exposition format
+// (version 0.0.4) — both directions, with no dependencies. The Writer
+// renders the service's counters, gauges, summaries and histograms
+// for GET /metrics?format=prometheus on shards and routers alike; the
+// Parser validates exposition syntax and histogram consistency, and
+// is what the CI scrape-smoke test runs against a live serd binary.
+package promtext
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	// Name is the label name ([a-zA-Z_][a-zA-Z0-9_]*).
+	Name string
+	// Value is the label value, escaped on output.
+	Value string
+}
+
+// Writer accumulates one exposition document. HELP/TYPE headers are
+// emitted once per metric family no matter how many label
+// permutations sample it (the router renders the same family once per
+// shard), as the format requires.
+type Writer struct {
+	b    strings.Builder
+	seen map[string]bool
+}
+
+// NewWriter returns an empty exposition document builder.
+func NewWriter() *Writer {
+	return &Writer{seen: make(map[string]bool)}
+}
+
+// family emits the # HELP / # TYPE header the first time a metric
+// family is sampled.
+func (w *Writer) family(name, help, typ string) {
+	if w.seen[name] {
+		return
+	}
+	w.seen[name] = true
+	fmt.Fprintf(&w.b, "# HELP %s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(&w.b, "# TYPE %s %s\n", name, typ)
+}
+
+// sample emits one sample line.
+func (w *Writer) sample(name string, labels []Label, v float64) {
+	w.b.WriteString(name)
+	writeLabels(&w.b, labels)
+	w.b.WriteByte(' ')
+	w.b.WriteString(formatValue(v))
+	w.b.WriteByte('\n')
+}
+
+// Counter emits one counter sample (HELP/TYPE on first use).
+func (w *Writer) Counter(name, help string, labels []Label, v float64) {
+	w.family(name, help, "counter")
+	w.sample(name, labels, v)
+}
+
+// Gauge emits one gauge sample (HELP/TYPE on first use).
+func (w *Writer) Gauge(name, help string, labels []Label, v float64) {
+	w.family(name, help, "gauge")
+	w.sample(name, labels, v)
+}
+
+// Summary emits one pre-computed quantile summary: a sample per
+// (quantile, value) pair plus _count. The quantiles come from the
+// service's own sliding windows; promtext does no estimation.
+func (w *Writer) Summary(name, help string, labels []Label, quantiles map[float64]float64, count int64) {
+	w.family(name, help, "summary")
+	qs := make([]float64, 0, len(quantiles))
+	for q := range quantiles {
+		qs = append(qs, q)
+	}
+	sort.Float64s(qs)
+	for _, q := range qs {
+		ql := append(append([]Label{}, labels...), Label{Name: "quantile", Value: formatValue(q)})
+		w.sample(name, ql, quantiles[q])
+	}
+	w.sample(name+"_count", labels, float64(count))
+}
+
+// Histogram emits one histogram: cumulative _bucket samples for every
+// upper bound plus +Inf, then _sum and _count. counts holds the
+// non-cumulative per-bucket observations, one longer than bounds
+// (the final element is the +Inf bucket).
+func (w *Writer) Histogram(name, help string, labels []Label, bounds []float64, counts []int64, sumSeconds float64) {
+	w.family(name, help, "histogram")
+	var cum int64
+	for i, ub := range bounds {
+		cum += counts[i]
+		bl := append(append([]Label{}, labels...), Label{Name: "le", Value: formatValue(ub)})
+		w.sample(name+"_bucket", bl, float64(cum))
+	}
+	cum += counts[len(bounds)]
+	bl := append(append([]Label{}, labels...), Label{Name: "le", Value: "+Inf"})
+	w.sample(name+"_bucket", bl, float64(cum))
+	w.sample(name+"_sum", labels, sumSeconds)
+	w.sample(name+"_count", labels, float64(cum))
+}
+
+// String returns the document rendered so far.
+func (w *Writer) String() string { return w.b.String() }
+
+// Bytes returns the document rendered so far.
+func (w *Writer) Bytes() []byte { return []byte(w.b.String()) }
+
+func writeLabels(b *strings.Builder, labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// formatValue renders a float the way Prometheus expects: shortest
+// round-trip form, with +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

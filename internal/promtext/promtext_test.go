@@ -1,0 +1,136 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/serclient"
+)
+
+func TestWriterParserRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.Counter("serd_errors_total", "Errors.", nil, 3)
+	w.Gauge("serd_queue_depth", "Depth.", []Label{{Name: "shard", Value: "s0"}}, 7)
+	w.Summary("serd_job_latency_ms", "Latency.", []Label{{Name: "kind", Value: "analyze"}},
+		map[float64]float64{0.5: 12.5, 0.99: 80}, 41)
+	w.Histogram("serd_stage_duration_seconds", "Stage latency.",
+		[]Label{{Name: "stage", Value: "strike.electrical"}},
+		[]float64{0.001, 0.01, 0.1}, []int64{2, 3, 0, 1}, 0.123)
+	fams, err := Parse(w.String())
+	if err != nil {
+		t.Fatalf("parse of writer output failed: %v\n%s", err, w.String())
+	}
+	if f := fams["serd_errors_total"]; f == nil || f.Type != "counter" || f.Samples[0].Value != 3 {
+		t.Fatalf("counter family mangled: %+v", fams["serd_errors_total"])
+	}
+	if f := fams["serd_queue_depth"]; f == nil || f.Samples[0].Labels["shard"] != "s0" {
+		t.Fatalf("gauge labels mangled: %+v", fams["serd_queue_depth"])
+	}
+	sum := fams["serd_job_latency_ms"]
+	if sum == nil || sum.Type != "summary" || len(sum.Samples) != 3 {
+		t.Fatalf("summary mangled: %+v", sum)
+	}
+	h := fams["serd_stage_duration_seconds"]
+	if h == nil || h.Type != "histogram" {
+		t.Fatalf("histogram missing: %+v", h)
+	}
+	// 3 bounds + +Inf + _sum + _count
+	if len(h.Samples) != 6 {
+		t.Fatalf("histogram has %d samples, want 6", len(h.Samples))
+	}
+}
+
+func TestWriterDedupesHeaders(t *testing.T) {
+	w := NewWriter()
+	w.Counter("x_total", "X.", []Label{{Name: "shard", Value: "a"}}, 1)
+	w.Counter("x_total", "X.", []Label{{Name: "shard", Value: "b"}}, 2)
+	if n := strings.Count(w.String(), "# TYPE x_total"); n != 1 {
+		t.Fatalf("TYPE emitted %d times, want 1:\n%s", n, w.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	w := NewWriter()
+	w.Gauge("g", "G.", []Label{{Name: "v", Value: "a\"b\\c\nd"}}, 1)
+	fams, err := Parse(w.String())
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, w.String())
+	}
+	if got := fams["g"].Samples[0].Labels["v"]; got != "a\"b\\c\nd" {
+		t.Fatalf("label round-trip got %q", got)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample before TYPE":   "x_total 1\n",
+		"bad type":             "# TYPE x frobnicator\n",
+		"duplicate TYPE":       "# TYPE x counter\n# TYPE x counter\n",
+		"bad metric name":      "# TYPE 9x counter\n9x 1\n",
+		"bad value":            "# TYPE x counter\nx pancake\n",
+		"unterminated labels":  "# TYPE x counter\nx{a=\"b\" 1\n",
+		"bad escape":           "# TYPE x counter\nx{a=\"\\q\"} 1\n",
+		"duplicate label":      "# TYPE x counter\nx{a=\"1\",a=\"2\"} 1\n",
+		"histogram no +Inf":    "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram count skew": "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 2\n",
+		"histogram not cumulative": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+	}
+	for name, doc := range cases {
+		if _, err := Parse(doc); err == nil {
+			t.Errorf("%s: parse accepted malformed document:\n%s", name, doc)
+		}
+	}
+}
+
+func TestParseAcceptsHistogramPerLabelSet(t *testing.T) {
+	doc := "# TYPE h histogram\n" +
+		"h_bucket{stage=\"a\",le=\"1\"} 1\nh_bucket{stage=\"a\",le=\"+Inf\"} 2\n" +
+		"h_sum{stage=\"a\"} 0.5\nh_count{stage=\"a\"} 2\n" +
+		"h_bucket{stage=\"b\",le=\"1\"} 0\nh_bucket{stage=\"b\",le=\"+Inf\"} 1\n" +
+		"h_sum{stage=\"b\"} 0.1\nh_count{stage=\"b\"} 1\n"
+	if _, err := Parse(doc); err != nil {
+		t.Fatalf("multi-series histogram rejected: %v", err)
+	}
+}
+
+func TestWriteShardMetricsParses(t *testing.T) {
+	m := &serclient.MetricsResponse{
+		Shard:    "s0",
+		UptimeS:  12,
+		Requests: map[string]int64{"analyze": 4, "metrics": 1},
+		CompiledCache: serclient.CompiledCacheMetrics{
+			Hits: 3, Misses: 1, HitRate: 0.75, Entries: 1, Gates: 100, Budget: 1000,
+		},
+		LatencyMS: map[string]serclient.LatencySummary{
+			"analyze": {Count: 4, P50: 10, P99: 20, Max: 20, MaxLifetime: 33, Window: 512},
+		},
+	}
+	w := NewWriter()
+	WriteShardMetrics(w, m)
+	trace.Observe("test.render", 0)
+	WriteStageHistograms(w, "s0", trace.Histograms())
+	trace.Count("test.render.event")
+	WriteTraceCounters(w, "s0", trace.Counters())
+	WriteRuntime(w, "s0")
+	fams, err := Parse(w.String())
+	if err != nil {
+		t.Fatalf("shard exposition does not parse: %v\n%s", err, w.String())
+	}
+	for _, want := range []string{
+		"serd_requests_total", "serd_compiled_cache_hits_total",
+		"serd_job_latency_ms", "serd_job_latency_lifetime_max_ms",
+		"serd_stage_duration_seconds", "serd_trace_events_total",
+		"go_goroutines", "go_gc_cycles_total",
+	} {
+		if fams[want] == nil {
+			t.Errorf("family %q missing from shard exposition", want)
+		}
+	}
+	for _, s := range fams["serd_requests_total"].Samples {
+		if s.Labels["shard"] != "s0" {
+			t.Fatalf("sample missing shard label: %+v", s)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Router-side observability: the status-capturing response writer for
+// the request shell and the Prometheus text rendering of GET /metrics,
+// which re-exposes every scraped shard's counters under a shard label
+// next to the router's own.
+package router
+
+import (
+	"net/http"
+	"sort"
+
+	"repro/internal/promtext"
+	"repro/serclient"
+)
+
+// statusWriter records the status code written through it so the
+// request shell can log the outcome.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) statusCode() int {
+	if sw.status == 0 {
+		return http.StatusOK
+	}
+	return sw.status
+}
+
+// promContentType is the Prometheus text exposition content type.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// writePrometheus renders the router's own counters, every reachable
+// shard's scraped snapshot (labeled by registered shard name), and the
+// router process's runtime stats in the Prometheus text exposition
+// format. Per-stage histograms are per-process state and are not
+// re-exposed here — scrape each shard's own /metrics for them.
+func (rt *Router) writePrometheus(w http.ResponseWriter, shards []*shard, snaps []serclient.ShardMetrics) {
+	m := rt.met.snapshot()
+	pw := promtext.NewWriter()
+	pw.Gauge("serd_router_uptime_seconds", "Seconds since the router started.", nil, m.UptimeS)
+	for _, k := range sortedKeys(m.Requests) {
+		pw.Counter("serd_router_requests_total", "Requests handled by the router, by endpoint.",
+			[]promtext.Label{{Name: "endpoint", Value: k}}, float64(m.Requests[k]))
+	}
+	for _, k := range sortedKeys(m.Forwards) {
+		pw.Counter("serd_router_forwards_total", "Requests forwarded, by shard.",
+			[]promtext.Label{{Name: "shard", Value: k}}, float64(m.Forwards[k]))
+	}
+	pw.Counter("serd_router_errors_total", "Error responses written by the router.", nil, float64(m.Errors))
+	pw.Counter("serd_router_reroutes_total", "Requests served by a shard other than the ring owner.", nil, float64(m.Reroutes))
+	pw.Counter("serd_router_requests_shed_total", "Requests shed with 429 because every shard was saturated.", nil, float64(m.RequestsShed))
+	pw.Counter("serd_router_job_fanouts_total", "Job polls answered by asking every shard.", nil, float64(m.JobFanouts))
+	pw.Gauge("serd_router_shards", "Registered shards.", nil, float64(len(shards)))
+
+	for i, sh := range shards {
+		lbl := []promtext.Label{{Name: "shard", Value: sh.name}}
+		if snaps[i].Metrics == nil {
+			pw.Gauge("serd_shard_scrape_up", "Whether the shard's metrics could be scraped.", lbl, 0)
+			continue
+		}
+		pw.Gauge("serd_shard_scrape_up", "Whether the shard's metrics could be scraped.", lbl, 1)
+		// Label by the router's registered name so the series stay
+		// attributable even when a shard runs without -shard-name.
+		snap := *snaps[i].Metrics
+		snap.Shard = sh.name
+		promtext.WriteShardMetrics(pw, &snap)
+	}
+	promtext.WriteRuntime(pw, "")
+	w.Header().Set("Content-Type", promContentType)
+	_, _ = w.Write(pw.Bytes())
+}
+
+// sortedKeys returns a map's keys in sorted order for deterministic
+// exposition output.
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

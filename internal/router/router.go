@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"sort"
@@ -53,6 +54,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/trace"
 	"repro/serclient"
 )
 
@@ -77,6 +79,9 @@ type Config struct {
 	// http.DefaultClient — fine for tests; production routers should
 	// raise the transport's MaxIdleConnsPerHost).
 	HTTPClient *http.Client
+	// Logger receives the router's structured log records (request
+	// traces, forwards, failovers). Nil selects slog.Default().
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +112,7 @@ type Router struct {
 	cfg    Config
 	mux    *http.ServeMux
 	met    *routerMetrics
+	log    *slog.Logger
 	closed chan struct{}
 	once   sync.Once
 
@@ -130,6 +136,10 @@ func New(cfg Config) *Router {
 		shards:   make(map[string]*shard),
 		ring:     newRing(nil),
 		jobShard: make(map[string]string),
+	}
+	rt.log = rt.cfg.Logger
+	if rt.log == nil {
+		rt.log = slog.Default()
 	}
 	rt.mux.HandleFunc("POST /v1/analyze", rt.counted("analyze", rt.proxySingle("analyze", "/v1/analyze")))
 	rt.mux.HandleFunc("POST /v1/optimize", rt.counted("optimize", rt.proxySingle("optimize", "/v1/optimize")))
@@ -254,11 +264,35 @@ func routingKey(circuit, netlist, name string) string {
 	}
 }
 
-// counted wraps a handler with request counting.
+// counted wraps a handler with the shell every endpoint shares: the
+// per-endpoint request counter, request-ID generation and propagation
+// (the edge assigns one when the client did not), and a leveled
+// request log line keyed by request ID. The ID is written back into
+// the incoming request's headers so every downstream forward carries
+// it to the owning shard.
 func (rt *Router) counted(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		rt.met.countRequest(name)
-		h(w, r)
+		rid := r.Header.Get(trace.HeaderRequestID)
+		if rid == "" {
+			rid = trace.NewRequestID()
+		}
+		if rid != "" {
+			r.Header.Set(trace.HeaderRequestID, rid)
+			w.Header().Set(trace.HeaderRequestID, rid)
+		}
+		r = r.WithContext(trace.WithRequestID(r.Context(), rid))
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		h(sw, r)
+		status := sw.statusCode()
+		lvl := slog.LevelDebug
+		if status >= http.StatusInternalServerError {
+			lvl = slog.LevelWarn
+		}
+		rt.log.Log(r.Context(), lvl, "request",
+			"endpoint", name, "status", status, "request_id", rid,
+			"duration_ms", float64(time.Since(t0))/float64(time.Millisecond))
 	}
 }
 
@@ -270,7 +304,10 @@ func (rt *Router) writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (rt *Router) writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	rt.met.errors.Add(1)
-	rt.writeJSON(w, status, serclient.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+	rt.writeJSON(w, status, serclient.ErrorResponse{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: w.Header().Get(trace.HeaderRequestID),
+	})
 }
 
 // readBody reads a request body under the size limit. On failure it
@@ -375,6 +412,10 @@ func (rt *Router) forwardWithFailover(w http.ResponseWriter, r *http.Request, pa
 				rt.met.reroutes.Add(1)
 			}
 			rt.met.countForward(sh.name)
+			rt.log.Info("forwarded",
+				"path", path, "shard", sh.name, "status", resp.status,
+				"request_id", trace.RequestID(r.Context()), "key", key,
+				"rerouted", i > 0 || pass > 0)
 			if async {
 				rt.rememberJobFromResponse(resp, sh.name)
 			}
@@ -418,6 +459,9 @@ func (rt *Router) send(ctx context.Context, sh *shard, method, path string, body
 		if key := hdr.Get("Idempotency-Key"); key != "" {
 			req.Header.Set("Idempotency-Key", key)
 		}
+		if rid := hdr.Get(trace.HeaderRequestID); rid != "" {
+			req.Header.Set(trace.HeaderRequestID, rid)
+		}
 	}
 	resp, err := rt.cfg.HTTPClient.Do(req)
 	if err != nil {
@@ -433,7 +477,7 @@ func (rt *Router) send(ctx context.Context, sh *shard, method, path string, body
 
 // relay copies a buffered shard answer to the client verbatim.
 func (rt *Router) relay(w http.ResponseWriter, resp *bufferedResponse) {
-	for _, h := range []string{"Content-Type", "Retry-After"} {
+	for _, h := range []string{"Content-Type", "Retry-After", trace.HeaderRequestID} {
 		if v := resp.header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
@@ -514,7 +558,7 @@ func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
 		sh := rt.shards[name]
 		rt.mu.Unlock()
 		if sh != nil {
-			if resp, err := rt.send(r.Context(), sh, http.MethodGet, path, nil, nil); err == nil && resp.status != http.StatusNotFound {
+			if resp, err := rt.send(r.Context(), sh, http.MethodGet, path, nil, r.Header); err == nil && resp.status != http.StatusNotFound {
 				rt.relay(w, resp)
 				return
 			}
@@ -532,7 +576,7 @@ func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(sh *shard) {
 			defer wg.Done()
-			if resp, err := rt.send(r.Context(), sh, http.MethodGet, path, nil, nil); err == nil && resp.status/100 == 2 {
+			if resp, err := rt.send(r.Context(), sh, http.MethodGet, path, nil, r.Header); err == nil && resp.status/100 == 2 {
 				answers <- answer{resp, sh.name}
 			}
 		}(sh)
@@ -651,7 +695,9 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // namespaced /metrics snapshot and the cross-shard aggregate. Shard
 // snapshots are scraped live (concurrently, bounded by ProbeTimeout);
 // a shard that cannot be scraped appears with its error instead of
-// silently vanishing from the denominator.
+// silently vanishing from the denominator. With ?format=prometheus
+// the same snapshot is rendered as one text exposition whose shard
+// series carry the registered shard name as a label.
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	shards := rt.shardList()
 	snaps := make([]serclient.ShardMetrics, len(shards))
@@ -672,6 +718,10 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}(i, sh)
 	}
 	wg.Wait()
+	if r.URL.Query().Get("format") == "prometheus" {
+		rt.writePrometheus(w, shards, snaps)
+		return
+	}
 	resp := rt.met.snapshot()
 	resp.Shards = make(map[string]serclient.ShardMetrics, len(shards))
 	for i, sh := range shards {

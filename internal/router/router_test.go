@@ -19,6 +19,7 @@ import (
 type fleet struct {
 	rt     *Router
 	client *serclient.Client // speaks to the router
+	front  string            // the router's base URL, for raw HTTP
 	shards []*fleetShard
 }
 
@@ -54,6 +55,7 @@ func newFleet(t *testing.T, n int, cfg serd.Config) *fleet {
 	front := httptest.NewServer(f.rt)
 	t.Cleanup(front.Close)
 	f.client = serclient.New(front.URL, nil)
+	f.front = front.URL
 	return f
 }
 

@@ -46,6 +46,7 @@ import (
 	"repro/internal/sertopt"
 	"repro/internal/stats"
 	"repro/internal/strike"
+	"repro/internal/trace"
 )
 
 // DefaultCycles is the default multi-cycle fault-propagation horizon.
@@ -196,13 +197,18 @@ func AnalyzeCompiledContext(ctx context.Context, cc *engine.CompiledCircuit, lib
 		// ignored on combinational circuits.
 		return nil, fmt.Errorf("seq: initState has %d bits for %d flops", len(opts.InitState), len(c.DFFs()))
 	}
+	rec := trace.RecorderFrom(ctx)
+	endFrame := trace.StartStage(rec, "seq.frame")
 	fr, err := CompiledFrame(cc)
+	endFrame()
 	if err != nil {
 		return nil, err
 	}
 	cells := opts.Cells
 	if cells == nil {
+		endSizing := trace.StartStage(rec, "sertopt.sizing")
 		cells, err = sertopt.InitialSizing(fr.Comb, lib, 0, opts.POLoad)
+		endSizing()
 		if err != nil {
 			return nil, err
 		}
@@ -215,6 +221,7 @@ func AnalyzeCompiledContext(ctx context.Context, cc *engine.CompiledCircuit, lib
 		Seed:        opts.Seed,
 		POLoad:      opts.POLoad,
 		ClockPeriod: opts.ClockPeriod,
+		Spans:       rec,
 	})
 	if err != nil {
 		return nil, err
@@ -225,8 +232,10 @@ func AnalyzeCompiledContext(ctx context.Context, cc *engine.CompiledCircuit, lib
 
 	// LogicalPropagate: the multi-cycle fault chase, shared with every
 	// other pipeline flow through internal/strike.
+	endLogical := trace.StartStage(rec, "strike.logical")
 	epf, err := strike.LogicalPropagate(ctx, cc, opts.Cycles, opts.Vectors,
 		stats.NewRNG(opts.Seed+faultSeedOffset), opts.InitState, opts.Workers)
+	endLogical()
 	if err != nil {
 		return nil, err
 	}
@@ -241,6 +250,8 @@ func AnalyzeCompiledContext(ctx context.Context, cc *engine.CompiledCircuit, lib
 	}
 	// LatchingWindow + Reduce: genuine-PO columns count directly, flop
 	// columns through the capture window times E_f.
+	endReduce := trace.StartStage(rec, "strike.reduce_seq")
+	defer endReduce()
 	T := opts.ClockPeriod
 	sc := strike.ReduceSequential(fr.Comb, an.Flux, an.Wij, T, fr.NumRealPOs, fr.FlopCols, epf)
 	for fi, id := range flops {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/journal"
 	"repro/internal/par"
+	"repro/internal/trace"
 	"repro/serclient"
 )
 
@@ -28,13 +29,14 @@ const journalSpillBytes = 4096
 
 // asyncMeta carries what an async submission needs journaled: the wire
 // request with its netlist field stripped, the canonical netlist text
-// (inline submissions only) with its content address, and the client's
-// Idempotency-Key.
+// (inline submissions only) with its content address, the client's
+// Idempotency-Key, and the request ID the edge assigned.
 type asyncMeta struct {
 	req        any
 	netlist    string
 	contentKey string
 	idemKey    string
+	requestID  string
 }
 
 // newAsyncMeta assembles the journaling metadata for one submission.
@@ -44,7 +46,11 @@ type asyncMeta struct {
 // canonicalizes to itself, and the already-remapped InitState needs no
 // further permutation).
 func (s *Server) newAsyncMeta(r *http.Request, jreq any, ld loaded) asyncMeta {
-	meta := asyncMeta{req: jreq, idemKey: r.Header.Get("Idempotency-Key")}
+	meta := asyncMeta{
+		req:       jreq,
+		idemKey:   r.Header.Get("Idempotency-Key"),
+		requestID: trace.RequestID(r.Context()),
+	}
 	if s.jnl != nil && ld.h != nil && strings.HasPrefix(ld.key, "sha256:") {
 		if b, err := bench.CanonicalBytes(ld.h.Circuit()); err == nil {
 			meta.netlist, meta.contentKey = string(b), ld.key
@@ -68,7 +74,7 @@ func (s *Server) dispatchAsync(w http.ResponseWriter, kind string, meta asyncMet
 		s.shed(w)
 		return
 	}
-	j, existing := s.newAsyncJob(kind, meta.idemKey)
+	j, existing := s.newAsyncJob(kind, meta.idemKey, meta.requestID)
 	if existing != nil {
 		s.writeJSON(w, http.StatusOK, s.jobs.response(existing))
 		return
@@ -98,10 +104,11 @@ func (s *Server) dispatchAsync(w http.ResponseWriter, kind string, meta asyncMet
 	s.writeJSON(w, http.StatusAccepted, s.jobs.response(j))
 }
 
-// newAsyncJob creates a detached job carrying the configured deadline,
-// atomically claiming idemKey: when the key is already bound, no job
-// is created and the existing one is returned instead.
-func (s *Server) newAsyncJob(kind, idemKey string) (j, existing *job) {
+// newAsyncJob creates a detached job carrying the configured deadline
+// and the submission's request ID, atomically claiming idemKey: when
+// the key is already bound, no job is created and the existing one is
+// returned instead.
+func (s *Server) newAsyncJob(kind, idemKey, requestID string) (j, existing *job) {
 	s.idemMu.Lock()
 	defer s.idemMu.Unlock()
 	if idemKey != "" {
@@ -118,7 +125,8 @@ func (s *Server) newAsyncJob(kind, idemKey string) (j, existing *job) {
 	} else {
 		ctx, cancel = context.WithCancel(s.baseCtx)
 	}
-	j = s.jobs.create(kind, ctx, cancel)
+	ctx = trace.WithRequestID(ctx, requestID)
+	j = s.jobs.create(kind, requestID, ctx, cancel)
 	j.async = true
 	j.deadline = deadline
 	if idemKey != "" {
@@ -237,6 +245,10 @@ func (s *Server) scheduleRetry(j *job, attempt int, err error, run func(ctx cont
 	}
 	s.met.retries.Add(1)
 	delay := backoffDelay(s.cfg.RetryBaseDelay, s.cfg.RetryMaxDelay, attempt)
+	s.log.Warn("job attempt failed; retrying",
+		"job", j.id, "kind", j.kind, "request_id", j.requestID,
+		"attempt", attempt, "max_attempts", s.cfg.MaxAttempts,
+		"backoff", delay, "err", err)
 	var resubmit func()
 	resubmit = func() {
 		if cerr := j.ctx.Err(); cerr != nil {
@@ -287,6 +299,7 @@ func (s *Server) journalSubmitted(j *job, meta asyncMeta) error {
 		Kind:           j.kind,
 		Request:        reqJSON,
 		IdempotencyKey: meta.idemKey,
+		RequestID:      j.requestID,
 	}
 	if !j.deadline.IsZero() {
 		rec.DeadlineMS = j.deadline.UnixMilli()
@@ -356,7 +369,9 @@ func errString(err error) string {
 // idempotency keys are re-bound so client retries spanning the crash
 // still deduplicate. Called from New, before the server is ready.
 func (s *Server) restoreJournal() {
-	for _, js := range s.jnl.Jobs() {
+	jobs := s.jnl.Jobs()
+	var reenqueued, served, failed int
+	for _, js := range jobs {
 		j := s.rebuildJob(js)
 		if js.IdempotencyKey != "" {
 			s.idemMu.Lock()
@@ -364,11 +379,13 @@ func (s *Server) restoreJournal() {
 			s.idemMu.Unlock()
 		}
 		if isTerminal(j.status) {
+			served++
 			continue
 		}
 		run, err := s.rebuildRun(js)
 		if err != nil {
 			s.finishJob(j, nil, fmt.Errorf("recovery: %v", err))
+			failed++
 			continue
 		}
 		s.met.recovered.Add(1)
@@ -376,8 +393,15 @@ func (s *Server) restoreJournal() {
 		// FIFO holds; workers are already draining it.
 		if qerr := s.queue.Submit(j.ctx, func(ctx context.Context) { s.runJob(j, run) }); qerr != nil {
 			s.finishJob(j, nil, qerr)
+			failed++
+			continue
 		}
+		reenqueued++
 	}
+	s.log.Info("journal replay complete",
+		"jobs", len(jobs), "reenqueued", reenqueued,
+		"completed_served", served, "recovery_failed", failed,
+		"journal_records", s.jnl.Records())
 }
 
 // rebuildJob reconstructs the in-memory job for one journaled state
@@ -386,6 +410,7 @@ func (s *Server) rebuildJob(js *journal.JobState) *job {
 	j := &job{
 		id:        js.ID,
 		kind:      js.Kind,
+		requestID: js.RequestID,
 		async:     true,
 		journaled: true,
 		status:    js.Status,
@@ -498,7 +523,7 @@ func decodeResult(kind string, raw json.RawMessage) (any, error) {
 // jobStateResponse shapes a journaled state as the wire job response —
 // the fallback for jobs evicted from the in-memory store.
 func jobStateResponse(js *journal.JobState) (serclient.JobResponse, error) {
-	resp := serclient.JobResponse{ID: js.ID, Kind: js.Kind, Status: js.Status, Attempts: js.Attempts, Error: js.Error}
+	resp := serclient.JobResponse{ID: js.ID, Kind: js.Kind, Status: js.Status, Attempts: js.Attempts, Error: js.Error, RequestID: js.RequestID}
 	if js.Status == serclient.JobDone {
 		res, err := decodeResult(js.Kind, js.Result)
 		if err != nil {

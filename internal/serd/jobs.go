@@ -42,6 +42,12 @@ type job struct {
 	async     bool
 	journaled bool
 
+	// requestID is the X-Request-ID of the accepting submission,
+	// carried into the job's journal records and wire responses so one
+	// trace spans edge, queue and durable state. Immutable after the
+	// job is published to the store.
+	requestID string
+
 	status   string
 	attempts int // execution attempts started
 	result   any // *serclient.{Analyze,Optimize,Susceptibility}Response
@@ -67,15 +73,16 @@ func newJobStore(keep int) *jobStore {
 	return &jobStore{jobs: make(map[string]*job), keep: keep}
 }
 
-func (st *jobStore) create(kind string, ctx context.Context, cancel context.CancelFunc) *job {
+func (st *jobStore) create(kind, requestID string, ctx context.Context, cancel context.CancelFunc) *job {
 	j := &job{
-		id:      newJobID(),
-		kind:    kind,
-		ctx:     ctx,
-		cancel:  cancel,
-		done:    make(chan struct{}),
-		status:  serclient.JobQueued,
-		created: time.Now(),
+		id:        newJobID(),
+		kind:      kind,
+		requestID: requestID,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		status:    serclient.JobQueued,
+		created:   time.Now(),
 	}
 	st.add(j)
 	return j
@@ -198,7 +205,7 @@ func (st *jobStore) finish(j *job, result any, err error) (status string, first 
 func (st *jobStore) response(j *job) serclient.JobResponse {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	resp := serclient.JobResponse{ID: j.id, Kind: j.kind, Status: j.status, Attempts: j.attempts}
+	resp := serclient.JobResponse{ID: j.id, Kind: j.kind, Status: j.status, Attempts: j.attempts, RequestID: j.requestID}
 	if j.err != nil {
 		resp.Error = j.err.Error()
 	}

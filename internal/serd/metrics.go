@@ -35,14 +35,26 @@ func (lw *latWindow) add(ms float64) {
 	}
 }
 
+// summary reduces the window to its wire form. Max is the maximum over
+// the current window — consistent with P50/P99, which are also
+// windowed — while MaxLifetime keeps the process-lifetime maximum the
+// field used to (misleadingly) report under the windowed quantiles.
 func (lw *latWindow) summary() serclient.LatencySummary {
 	xs := make([]float64, lw.n)
 	copy(xs, lw.ring[:lw.n])
+	var winMax float64
+	for _, v := range xs {
+		if v > winMax {
+			winMax = v
+		}
+	}
 	return serclient.LatencySummary{
-		Count: lw.count,
-		P50:   stats.Quantile(xs, 0.50),
-		P99:   stats.Quantile(xs, 0.99),
-		Max:   lw.max,
+		Count:       lw.count,
+		P50:         stats.Quantile(xs, 0.50),
+		P99:         stats.Quantile(xs, 0.99),
+		Max:         winMax,
+		MaxLifetime: lw.max,
+		Window:      latWindowSize,
 	}
 }
 

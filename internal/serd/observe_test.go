@@ -1,0 +1,253 @@
+// Observability tests: per-stage timings must reconcile with the
+// end-to-end latency, request IDs must flow through responses and
+// errors, the Prometheus exposition must survive the in-repo parser,
+// and the debug ring must answer "what was that slow call doing".
+package serd
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/promtext"
+	"repro/serclient"
+)
+
+// rawTestServer boots a coarse-grid service and returns its base URL
+// too, for tests that need raw HTTP access (headers, query strings).
+func rawTestServer(t *testing.T, cfg Config) (string, *serclient.Client) {
+	t.Helper()
+	cfg.System = ser.NewSystem(ser.CoarseCharacterization)
+	srv := New(cfg)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+	return hs.URL, serclient.New(hs.URL, hs.Client())
+}
+
+// TestTimingsSumToElapsed is the acceptance check for the per-stage
+// span recorder: the opt-in timings block must be present exactly when
+// requested, its TotalMS must equal the response's ElapsedMS, and its
+// stages plus the residual must sum to the total (stages are flat and
+// non-overlapping by construction).
+func TestTimingsSumToElapsed(t *testing.T) {
+	_, cl := rawTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	resp, err := cl.Analyze(ctx, serclient.AnalyzeRequest{Circuit: "c432", Vectors: 800, Seed: 3, Timings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTimings(t, "analyze", resp.Timings, resp.ElapsedMS)
+
+	sresp, err := cl.Susceptibility(ctx, serclient.SusceptibilityRequest{Circuit: "c17", Vectors: 600, Seed: 4, Top: 3, Timings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTimings(t, "susceptibility", sresp.Timings, sresp.ElapsedMS)
+
+	// Without the flag the block must stay absent: recovery and batch
+	// bit-identity compare responses with reflect.DeepEqual.
+	plain, err := cl.Analyze(ctx, serclient.AnalyzeRequest{Circuit: "c432", Vectors: 800, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Timings != nil {
+		t.Fatalf("timings attached without being requested: %+v", plain.Timings)
+	}
+}
+
+func checkTimings(t *testing.T, what string, tr *serclient.TimingsReport, elapsedMS float64) {
+	t.Helper()
+	if tr == nil {
+		t.Fatalf("%s: no timings block despite timings:true", what)
+	}
+	if len(tr.Stages) == 0 {
+		t.Fatalf("%s: timings block has no stages", what)
+	}
+	if tr.TotalMS != elapsedMS {
+		t.Fatalf("%s: TotalMS = %v, ElapsedMS = %v; must be equal", what, tr.TotalMS, elapsedMS)
+	}
+	sum := tr.OtherMS
+	for _, st := range tr.Stages {
+		if st.Stage == "" {
+			t.Fatalf("%s: unnamed stage in %+v", what, tr.Stages)
+		}
+		if st.MS < 0 {
+			t.Fatalf("%s: negative stage duration %+v", what, st)
+		}
+		sum += st.MS
+	}
+	// Stages + residual must reconcile with the end-to-end time: 1% or
+	// 50µs of slack for float accumulation over sub-millisecond spans.
+	if tol := math.Max(tr.TotalMS*0.01, 0.05); math.Abs(sum-tr.TotalMS) > tol {
+		t.Fatalf("%s: stages+other = %v, total = %v (tolerance %v)\nstages: %+v",
+			what, sum, tr.TotalMS, tol, tr.Stages)
+	}
+}
+
+// TestRequestIDEchoAndGeneration: a caller-supplied X-Request-ID is
+// echoed on the response and stamped into error bodies; without one
+// the server generates an ID at the edge.
+func TestRequestIDEchoAndGeneration(t *testing.T) {
+	base, _ := rawTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	post := func(rid, body string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/analyze", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if rid != "" {
+			req.Header.Set("X-Request-ID", rid)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	// Success path: the explicit ID comes back on the response.
+	ok := post("req-test-echo", `{"circuit":"c17","vectors":500,"seed":1}`)
+	if got := ok.Header.Get("X-Request-ID"); got != "req-test-echo" {
+		t.Fatalf("echoed X-Request-ID = %q, want req-test-echo", got)
+	}
+
+	// Error path: the ID is in the header and the JSON error body.
+	bad := post("req-test-err", `{"circuit":"no-such-circuit"}`)
+	if bad.StatusCode/100 == 2 {
+		t.Fatal("bogus circuit was accepted")
+	}
+	if got := bad.Header.Get("X-Request-ID"); got != "req-test-err" {
+		t.Fatalf("error X-Request-ID header = %q, want req-test-err", got)
+	}
+	var er serclient.ErrorResponse
+	if err := json.NewDecoder(bad.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.RequestID != "req-test-err" {
+		t.Fatalf("error body request_id = %q, want req-test-err", er.RequestID)
+	}
+
+	// No caller ID: the edge generates one.
+	gen := post("", `{"circuit":"c17","vectors":500,"seed":1}`)
+	if got := gen.Header.Get("X-Request-ID"); !strings.HasPrefix(got, "req-") {
+		t.Fatalf("generated X-Request-ID = %q, want req- prefix", got)
+	}
+}
+
+// TestPrometheusExposition scrapes /metrics?format=prometheus after
+// real work and validates the document with the in-repo exposition
+// parser — the same check the CI smoke step runs cross-process.
+func TestPrometheusExposition(t *testing.T) {
+	base, cl := rawTestServer(t, Config{Workers: 2, ShardName: "s-test"})
+	ctx := context.Background()
+	if _, err := cl.Analyze(ctx, serclient.AnalyzeRequest{Circuit: "c17", Vectors: 600, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(base + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q, want text exposition", ct)
+	}
+	doc, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := promtext.Parse(string(doc))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, doc)
+	}
+
+	for _, want := range []string{
+		"serd_uptime_seconds", "serd_requests_total", "serd_queue_depth",
+		"serd_stage_duration_seconds", "go_goroutines",
+	} {
+		if fams[want] == nil {
+			t.Errorf("family %s missing from exposition", want)
+		}
+	}
+	// Every sample carries the configured shard label (runtime stats
+	// included: this process is the shard).
+	for name, f := range fams {
+		for _, s := range f.Samples {
+			if strings.HasPrefix(name, "serd_") && s.Labels["shard"] != "s-test" {
+				t.Fatalf("%s sample lacks shard label: %+v", name, s)
+			}
+		}
+	}
+	// The analyze above ran the pipeline, so stage histograms must hold
+	// observations (global state: at least this test's stages).
+	var bucketSamples int
+	for _, s := range fams["serd_stage_duration_seconds"].Samples {
+		if strings.HasSuffix(s.Name, "_count") && s.Value > 0 {
+			bucketSamples++
+		}
+	}
+	if bucketSamples == 0 {
+		t.Fatal("stage histograms recorded no observations after an analyze")
+	}
+}
+
+// TestDebugRequestsRing: completed requests land in the ring newest
+// first with IDs and durations; min_ms filters; timings blocks appear
+// for synchronous pipeline runs that asked for them.
+func TestDebugRequestsRing(t *testing.T) {
+	_, cl := rawTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	if _, err := cl.Analyze(ctx, serclient.AnalyzeRequest{Circuit: "c17", Vectors: 600, Seed: 1, Timings: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Metrics(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	dr, err := cl.DebugRequests(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Window <= 0 || len(dr.Requests) == 0 {
+		t.Fatalf("empty debug ring: %+v", dr)
+	}
+	var sawAnalyze bool
+	for _, e := range dr.Requests {
+		if e.RequestID == "" || e.Endpoint == "" || e.Status == 0 {
+			t.Fatalf("incomplete ring entry: %+v", e)
+		}
+		if e.Endpoint == "metrics" || e.Endpoint == "debug" {
+			t.Fatalf("untracked endpoint %q in ring", e.Endpoint)
+		}
+		if e.Endpoint == "analyze" {
+			sawAnalyze = true
+			if e.Timings == nil || len(e.Timings.Stages) == 0 {
+				t.Fatalf("analyze ring entry has no timings: %+v", e)
+			}
+		}
+	}
+	if !sawAnalyze {
+		t.Fatalf("analyze not in ring: %+v", dr.Requests)
+	}
+
+	// An impossible threshold filters everything out.
+	empty, err := cl.DebugRequests(ctx, 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Requests) != 0 {
+		t.Fatalf("min_ms=1e12 still returned %d requests", len(empty.Requests))
+	}
+}

@@ -113,11 +113,11 @@ func TestEvictionPressureKeepsLiveJobs(t *testing.T) {
 	live := make([]*job, 3)
 	for i := range live {
 		jctx, cancel := context.WithCancel(ctx)
-		live[i] = st.create("analyze", jctx, cancel)
+		live[i] = st.create("analyze", "", jctx, cancel)
 	}
 	for i := 0; i < 5000; i++ {
 		jctx, cancel := context.WithCancel(ctx)
-		j := st.create("analyze", jctx, cancel)
+		j := st.create("analyze", "", jctx, cancel)
 		st.finish(j, &serclient.AnalyzeResponse{}, nil)
 	}
 	for i, j := range live {

@@ -62,6 +62,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -71,6 +72,7 @@ import (
 	"repro"
 	"repro/internal/journal"
 	"repro/internal/par"
+	"repro/internal/trace"
 	"repro/serclient"
 )
 
@@ -137,6 +139,9 @@ type Config struct {
 	// after a router namespaces them. Purely observational — it does
 	// not change routing.
 	ShardName string
+	// Logger receives the server's structured log records (request
+	// traces, retry/recovery events). Nil selects slog.Default().
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -196,6 +201,8 @@ type Server struct {
 	mux    *http.ServeMux
 	ccache *ser.CompiledCache
 	jnl    *journal.Journal
+	log    *slog.Logger
+	dbg    *debugRing
 
 	// ready flips true once journal replay has re-enqueued the previous
 	// incarnation's pending jobs; draining flips true when Shutdown
@@ -220,6 +227,10 @@ func New(cfg Config) *Server {
 	if cfg.System == nil {
 		panic("serd: Config.System is required")
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	s := &Server{
 		cfg:    cfg,
 		sys:    cfg.System,
@@ -229,6 +240,8 @@ func New(cfg Config) *Server {
 		mux:    http.NewServeMux(),
 		ccache: ser.NewCompiledCache(cfg.CompiledCacheGates),
 		jnl:    cfg.Journal,
+		log:    logger,
+		dbg:    &debugRing{},
 		idem:   make(map[string]*job),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
@@ -240,6 +253,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /readyz", s.counted("readyz", s.handleReadyz))
 	s.mux.HandleFunc("GET /metrics", s.counted("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /debug/requests", s.counted("debug", s.handleDebugRequests))
 	if s.jnl != nil {
 		s.restoreJournal()
 	}
@@ -281,14 +295,6 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// counted wraps a handler with request counting.
-func (s *Server) counted(name string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		s.met.countRequest(name)
-		h(w, r)
-	}
-}
-
 // writeJSON emits a JSON body with the given status.
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -297,9 +303,15 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError emits the error wire form and bumps the error counter.
+// The request ID the shell stamped on the response headers is echoed
+// in the body so an error caught in a client log can be matched to
+// the server-side trace.
 func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	s.met.errors.Add(1)
-	s.writeJSON(w, status, serclient.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+	s.writeJSON(w, status, serclient.ErrorResponse{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: w.Header().Get(trace.HeaderRequestID),
+	})
 }
 
 // decode reads a JSON request body under the size limit. On failure it
@@ -496,7 +508,7 @@ func (s *Server) checkSequentialShape(c *ser.Circuit, cycles int, initState []bo
 // batch throttles instead of bouncing).
 func (s *Server) submit(kind string, base context.Context, blocking bool, run func(ctx context.Context) (any, error)) (*job, error) {
 	jobCtx, cancel := context.WithCancel(base)
-	j := s.jobs.create(kind, jobCtx, cancel)
+	j := s.jobs.create(kind, trace.RequestID(base), jobCtx, cancel)
 	fn := func(ctx context.Context) { s.runJob(j, run) }
 	var err error
 	if blocking {
@@ -533,14 +545,26 @@ func (s *Server) finishJob(j *job, res any, err error) {
 }
 
 // instrumented wraps a job body with the shell every analysis flow
-// shares: elapsed timing and the characterization counter delta
-// feeding the library cache-hit metric. run returns the response plus
-// a pointer to its ElapsedMS field for the shell to fill.
-func (s *Server) instrumented(run func(ctx context.Context) (any, *float64, error)) func(ctx context.Context) (any, error) {
+// shares: elapsed timing, the characterization counter delta feeding
+// the library cache-hit metric, and per-stage span collection. run
+// returns the response plus a pointer to its ElapsedMS field for the
+// shell to fill. Each job gets its own span recorder — batch items
+// sharing one request must not interleave their stage lists — and the
+// spans are merged into the request-level recorder (when the job
+// context carries one) for the /debug/requests ring. When timings is
+// set the spans are also attached to the response as its opt-in
+// timings block.
+func (s *Server) instrumented(timings bool, run func(ctx context.Context) (any, *float64, error)) func(ctx context.Context) (any, error) {
 	return func(ctx context.Context) (any, error) {
+		parent := trace.RecorderFrom(ctx)
+		rec := &trace.Recorder{}
+		ctx = trace.WithRecorder(ctx, rec)
 		t0 := time.Now()
 		before := s.sys.Characterizations()
 		res, elapsed, err := run(ctx)
+		for _, sp := range rec.Spans() {
+			parent.Add(sp) // nil-safe
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -548,6 +572,9 @@ func (s *Server) instrumented(run func(ctx context.Context) (any, *float64, erro
 			s.met.cacheHits.Add(1)
 		}
 		*elapsed = float64(time.Since(t0)) / float64(time.Millisecond)
+		if timings {
+			setTimings(res, timingsReport(rec.Spans(), *elapsed))
+		}
 		return res, nil
 	}
 }
@@ -587,7 +614,7 @@ func sequentialResult(rep *ser.SequentialReport) *serclient.SequentialResult {
 // rows and the sequential block; the shared shell lives in
 // instrumented.
 func (s *Server) runAnalyze(h *ser.Compiled, name string, req serclient.AnalyzeRequest) func(ctx context.Context) (any, error) {
-	return s.instrumented(func(ctx context.Context) (any, *float64, error) {
+	return s.instrumented(req.Timings, func(ctx context.Context) (any, *float64, error) {
 		resp := &serclient.AnalyzeResponse{Circuit: name}
 		if req.Cycles > 0 {
 			rep, err := s.sys.AnalyzeSequentialCompiledContext(ctx, h,
@@ -635,7 +662,7 @@ func gateRows[T any](top int, all []T, softest func(int) []T, row func(T) sercli
 // via Report.Susceptibility, so the wire result is exactly the
 // in-process ranking.
 func (s *Server) runSusceptibility(h *ser.Compiled, name string, req serclient.SusceptibilityRequest) func(ctx context.Context) (any, error) {
-	return s.instrumented(func(ctx context.Context) (any, *float64, error) {
+	return s.instrumented(req.Timings, func(ctx context.Context) (any, *float64, error) {
 		resp := &serclient.SusceptibilityResponse{Circuit: name}
 		var entries []ser.SusceptibilityEntry
 		if req.Cycles > 0 {
@@ -667,11 +694,10 @@ func (s *Server) runSusceptibility(h *ser.Compiled, name string, req serclient.S
 	})
 }
 
-// runOptimize builds the job body for one optimization request.
+// runOptimize builds the job body for one optimization request; it
+// shares the instrumented shell with the analysis flows.
 func (s *Server) runOptimize(h *ser.Compiled, name string, req serclient.OptimizeRequest) func(ctx context.Context) (any, error) {
-	return func(ctx context.Context) (any, error) {
-		t0 := time.Now()
-		before := s.sys.Characterizations()
+	return s.instrumented(req.Timings, func(ctx context.Context) (any, *float64, error) {
 		res, err := s.sys.OptimizeCompiledContext(ctx, h, ser.OptimizeOptions{
 			VDDs:       req.VDDs,
 			Vths:       req.Vths,
@@ -682,12 +708,9 @@ func (s *Server) runOptimize(h *ser.Compiled, name string, req serclient.Optimiz
 			Method:     req.Method,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		if s.sys.Characterizations() == before {
-			s.met.cacheHits.Add(1)
-		}
-		return &serclient.OptimizeResponse{
+		resp := &serclient.OptimizeResponse{
 			Circuit:     name,
 			UDecrease:   res.UDecrease,
 			AreaRatio:   res.AreaRatio,
@@ -695,9 +718,9 @@ func (s *Server) runOptimize(h *ser.Compiled, name string, req serclient.Optimiz
 			DelayRatio:  res.DelayRatio,
 			BaselineU:   res.BaselineU,
 			OptimizedU:  res.OptimizedU,
-			ElapsedMS:   float64(time.Since(t0)) / float64(time.Millisecond),
-		}, nil
-	}
+		}
+		return resp, &resp.ElapsedMS, nil
+	})
 }
 
 // dispatch runs one request either synchronously (waiting for the job
@@ -1029,11 +1052,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, status, resp)
 }
 
+// handleMetrics serves the JSON metrics snapshot by default, or the
+// Prometheus text exposition with ?format=prometheus.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	resp := s.met.snapshot(
 		s.queue.Depth(), s.queue.Running(), s.queue.Workers(),
 		s.sys.Characterizations(), s.ccache.Stats(),
 	)
 	resp.Shard = s.cfg.ShardName
+	if r.URL.Query().Get("format") == "prometheus" {
+		s.writePrometheus(w, &resp)
+		return
+	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

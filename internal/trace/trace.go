@@ -1,0 +1,298 @@
+// Package trace is the observability spine shared by every layer:
+// request IDs generated at the service edge and carried through
+// contexts, per-request span recorders that break an analysis into
+// its pipeline stages, and a process-global registry of per-stage
+// latency histograms and event counters rendered by /metrics.
+//
+// The package is deliberately tiny and dependency-free so the engine
+// and strike layers can observe themselves without importing any
+// serving code. Every entry point is safe on a nil recorder and on a
+// context without a request ID, and the disarmed cost of a stage
+// span is two time.Now calls plus a handful of atomic adds — far
+// below the milliseconds-per-stage granularity it measures.
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HeaderRequestID is the HTTP header that carries a request ID across
+// hops: client → router → shard. The edge generates one when the
+// header is absent and every response echoes it.
+const HeaderRequestID = "X-Request-ID"
+
+// NewRequestID returns a fresh unguessable request ID
+// ("req-" + 16 hex chars), or "" if the entropy source fails — the
+// caller then proceeds untraced rather than failing the request.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return ""
+	}
+	return "req-" + hex.EncodeToString(b[:])
+}
+
+type ctxKey int
+
+const (
+	ctxKeyRequestID ctxKey = iota
+	ctxKeyRecorder
+)
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKeyRequestID, id)
+}
+
+// RequestID extracts the request ID from a context, "" when absent.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// WithRecorder returns a context carrying a span recorder for the
+// analysis layers to report their stage boundaries into.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKeyRecorder, r)
+}
+
+// RecorderFrom extracts the span recorder from a context, nil when
+// absent. Every Recorder method is nil-safe, so callers use the
+// result unconditionally.
+func RecorderFrom(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(ctxKeyRecorder).(*Recorder)
+	return r
+}
+
+// Span is one completed pipeline stage within a single request.
+type Span struct {
+	// Name identifies the stage (e.g. "strike.electrical").
+	Name string
+	// Start is when the stage began.
+	Start time.Time
+	// Duration is how long the stage ran.
+	Duration time.Duration
+}
+
+// maxSpans bounds a recorder so a pathological caller cannot grow one
+// request's span list without bound; stages beyond the cap are still
+// observed in the global histograms, just not listed per-request.
+const maxSpans = 64
+
+// Recorder collects the stage spans of one request. The zero value is
+// ready to use; a nil *Recorder is a valid no-op target, so library
+// code records unconditionally.
+type Recorder struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// add appends one completed span. Nil-safe.
+func (r *Recorder) add(s Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.spans) < maxSpans {
+		r.spans = append(r.spans, s)
+	}
+	r.mu.Unlock()
+}
+
+// Add appends one completed span, for callers that merge spans from a
+// child recorder into a parent (e.g. a job's spans into its HTTP
+// request's). Nil-safe and bounded like every other append.
+func (r *Recorder) Add(s Span) { r.add(s) }
+
+// Spans snapshots the recorded spans in completion order. Nil-safe.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// StartStage begins timing one pipeline stage; the returned func ends
+// it, feeding both the per-request recorder (when non-nil) and the
+// process-global stage histogram. Stages are recorded flat and
+// non-overlapping so a request's spans sum to its pipeline time.
+func StartStage(r *Recorder, name string) func() {
+	t0 := time.Now()
+	return func() {
+		d := time.Since(t0)
+		Observe(name, d)
+		r.add(Span{Name: name, Start: t0, Duration: d})
+	}
+}
+
+// histBuckets are the upper bounds (seconds) of the global stage
+// histograms: exponential from 1ms to ~65s, which spans a cache-hit
+// lookup to a cold million-gate compile.
+var histBuckets = []float64{
+	0.001, 0.002, 0.004, 0.008, 0.016, 0.032, 0.064, 0.128,
+	0.256, 0.512, 1.024, 2.048, 4.096, 8.192, 16.384, 32.768, 65.536,
+}
+
+// HistBuckets returns the upper bounds (seconds) of the stage
+// histograms, smallest first; the implicit +Inf bucket is not listed.
+func HistBuckets() []float64 {
+	out := make([]float64, len(histBuckets))
+	copy(out, histBuckets)
+	return out
+}
+
+// hist is one lock-free stage histogram.
+type hist struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	buckets [18]atomic.Int64 // len(histBuckets)+1, last is +Inf
+}
+
+var (
+	histMu sync.Mutex
+	hists  = map[string]*hist{}
+	histsV atomic.Value // map[string]*hist, read-mostly snapshot
+)
+
+// lookupHist returns the histogram for a stage, creating it on first
+// use. The fast path is a single atomic map load.
+func lookupHist(name string) *hist {
+	if m, _ := histsV.Load().(map[string]*hist); m != nil {
+		if h := m[name]; h != nil {
+			return h
+		}
+	}
+	histMu.Lock()
+	defer histMu.Unlock()
+	if h := hists[name]; h != nil {
+		return h
+	}
+	h := &hist{}
+	hists[name] = h
+	snap := make(map[string]*hist, len(hists))
+	for k, v := range hists {
+		snap[k] = v
+	}
+	histsV.Store(snap)
+	return h
+}
+
+// Observe feeds one stage duration into the global histogram for that
+// stage. Safe for concurrent use; cost is a map load plus three
+// atomic adds once the stage exists.
+func Observe(name string, d time.Duration) {
+	h := lookupHist(name)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+	s := d.Seconds()
+	i := 0
+	for ; i < len(histBuckets); i++ {
+		if s <= histBuckets[i] {
+			break
+		}
+	}
+	h.buckets[i].Add(1)
+}
+
+// StageHist is a consistent snapshot of one stage's global histogram.
+type StageHist struct {
+	// Stage is the stage name the histogram aggregates.
+	Stage string
+	// Count is the number of observations.
+	Count int64
+	// SumSeconds is the total observed time in seconds.
+	SumSeconds float64
+	// Buckets holds per-bucket (non-cumulative) observation counts,
+	// aligned with HistBuckets; the final element is the +Inf bucket.
+	Buckets []int64
+}
+
+// Histograms snapshots every stage histogram, sorted by stage name.
+func Histograms() []StageHist {
+	m, _ := histsV.Load().(map[string]*hist)
+	out := make([]StageHist, 0, len(m))
+	for name, h := range m {
+		sh := StageHist{
+			Stage:      name,
+			Count:      h.count.Load(),
+			SumSeconds: time.Duration(h.sumNS.Load()).Seconds(),
+			Buckets:    make([]int64, len(histBuckets)+1),
+		}
+		for i := range sh.Buckets {
+			sh.Buckets[i] = h.buckets[i].Load()
+		}
+		out = append(out, sh)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
+}
+
+var (
+	ctrMu sync.Mutex
+	ctrs  = map[string]*atomic.Int64{}
+	ctrsV atomic.Value // map[string]*atomic.Int64
+)
+
+// lookupCounter returns the named global counter, creating it on
+// first use; the fast path is one atomic map load.
+func lookupCounter(name string) *atomic.Int64 {
+	if m, _ := ctrsV.Load().(map[string]*atomic.Int64); m != nil {
+		if c := m[name]; c != nil {
+			return c
+		}
+	}
+	ctrMu.Lock()
+	defer ctrMu.Unlock()
+	if c := ctrs[name]; c != nil {
+		return c
+	}
+	c := &atomic.Int64{}
+	ctrs[name] = c
+	snap := make(map[string]*atomic.Int64, len(ctrs))
+	for k, v := range ctrs {
+		snap[k] = v
+	}
+	ctrsV.Store(snap)
+	return c
+}
+
+// Count increments a named global event counter (e.g.
+// "engine.memo.hit"). Safe for concurrent use.
+func Count(name string) {
+	lookupCounter(name).Add(1)
+}
+
+// CounterEvent is one named global counter's snapshot value.
+type CounterEvent struct {
+	// Name identifies the event.
+	Name string
+	// Value is the count so far.
+	Value int64
+}
+
+// Counters snapshots every global event counter, sorted by name.
+func Counters() []CounterEvent {
+	m, _ := ctrsV.Load().(map[string]*atomic.Int64)
+	out := make([]CounterEvent, 0, len(m))
+	for name, c := range m {
+		out = append(out, CounterEvent{Name: name, Value: c.Load()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"context"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewRequestIDFormat(t *testing.T) {
+	re := regexp.MustCompile(`^req-[0-9a-f]{16}$`)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if !re.MatchString(id) {
+			t.Fatalf("bad request id %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate request id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if got := RequestID(ctx); got != "" {
+		t.Fatalf("empty context yielded request id %q", got)
+	}
+	if RecorderFrom(ctx) != nil {
+		t.Fatal("empty context yielded a recorder")
+	}
+	rec := &Recorder{}
+	ctx = WithRequestID(WithRecorder(ctx, rec), "req-abc")
+	if got := RequestID(ctx); got != "req-abc" {
+		t.Fatalf("RequestID = %q, want req-abc", got)
+	}
+	if RecorderFrom(ctx) != rec {
+		t.Fatal("RecorderFrom did not round-trip")
+	}
+	// Empty ID and nil recorder must not be stored.
+	ctx2 := WithRequestID(WithRecorder(context.Background(), nil), "")
+	if RequestID(ctx2) != "" || RecorderFrom(ctx2) != nil {
+		t.Fatal("empty values were stored in context")
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	done := StartStage(r, "test.nil")
+	done()
+	if got := r.Spans(); got != nil {
+		t.Fatalf("nil recorder returned spans %v", got)
+	}
+}
+
+func TestRecorderSpansAndGlobalHistogram(t *testing.T) {
+	rec := &Recorder{}
+	done := StartStage(rec, "test.stage_a")
+	time.Sleep(2 * time.Millisecond)
+	done()
+	StartStage(rec, "test.stage_b")() // immediate
+	spans := rec.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "test.stage_a" || spans[1].Name != "test.stage_b" {
+		t.Fatalf("span names %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Duration < 2*time.Millisecond {
+		t.Fatalf("stage_a duration %v, want >= 2ms", spans[0].Duration)
+	}
+	var found bool
+	for _, h := range Histograms() {
+		if h.Stage != "test.stage_a" {
+			continue
+		}
+		found = true
+		if h.Count < 1 {
+			t.Fatalf("stage_a histogram count %d", h.Count)
+		}
+		if len(h.Buckets) != len(HistBuckets())+1 {
+			t.Fatalf("bucket count %d, want %d", len(h.Buckets), len(HistBuckets())+1)
+		}
+		var n int64
+		for _, b := range h.Buckets {
+			n += b
+		}
+		if n != h.Count {
+			t.Fatalf("bucket sum %d != count %d", n, h.Count)
+		}
+	}
+	if !found {
+		t.Fatal("stage_a missing from global histograms")
+	}
+}
+
+func TestRecorderBounded(t *testing.T) {
+	rec := &Recorder{}
+	for i := 0; i < maxSpans+10; i++ {
+		StartStage(rec, "test.bounded")()
+	}
+	if got := len(rec.Spans()); got != maxSpans {
+		t.Fatalf("recorder grew to %d spans, want cap %d", got, maxSpans)
+	}
+}
+
+func TestObserveBucketEdges(t *testing.T) {
+	Observe("test.edges", 500*time.Microsecond) // below first bound
+	Observe("test.edges", 100*time.Second)      // above last bound -> +Inf
+	for _, h := range Histograms() {
+		if h.Stage != "test.edges" {
+			continue
+		}
+		if h.Buckets[0] < 1 {
+			t.Fatal("sub-millisecond observation missed first bucket")
+		}
+		if h.Buckets[len(h.Buckets)-1] < 1 {
+			t.Fatal("overlong observation missed +Inf bucket")
+		}
+		return
+	}
+	t.Fatal("test.edges histogram missing")
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				Count("test.concurrent")
+			}
+		}()
+	}
+	wg.Wait()
+	for _, c := range Counters() {
+		if c.Name == "test.concurrent" {
+			if c.Value != 8000 {
+				t.Fatalf("counter = %d, want 8000", c.Value)
+			}
+			return
+		}
+	}
+	t.Fatal("test.concurrent counter missing")
+}

@@ -56,6 +56,7 @@ import (
 	"repro/internal/seq"
 	"repro/internal/sertopt"
 	"repro/internal/strike"
+	"repro/internal/trace"
 )
 
 // Circuit is the public alias for the gate-level netlist type.
@@ -463,13 +464,18 @@ func (s *System) AnalyzeCompiledContext(ctx context.Context, h *Compiled, opts A
 	if opts.POLoad == 0 {
 		opts.POLoad = engine.DefaultPOLoad
 	}
-	if err := s.Lib.PrecharacterizeContext(ctx, charlib.CircuitClasses(c)); err != nil {
+	rec := trace.RecorderFrom(ctx)
+	endChar := trace.StartStage(rec, "charlib.precharacterize")
+	err := s.Lib.PrecharacterizeContext(ctx, charlib.CircuitClasses(c))
+	endChar()
+	if err != nil {
 		return nil, err
 	}
 	cells := opts.Cells
 	if cells == nil {
-		var err error
+		endSizing := trace.StartStage(rec, "sertopt.sizing")
 		cells, err = sertopt.InitialSizing(c, s.Lib, 0, opts.POLoad)
+		endSizing()
 		if err != nil {
 			return nil, err
 		}
@@ -481,6 +487,7 @@ func (s *System) AnalyzeCompiledContext(ctx context.Context, h *Compiled, opts A
 		Vectors: opts.Vectors,
 		Seed:    opts.Seed,
 		POLoad:  opts.POLoad,
+		Spans:   rec,
 	})
 	if err != nil {
 		return nil, err
@@ -603,7 +610,10 @@ func (s *System) AnalyzeSequentialCompiled(h *Compiled, opts SequentialOptions) 
 // cooperative cancellation.
 func (s *System) AnalyzeSequentialCompiledContext(ctx context.Context, h *Compiled, opts SequentialOptions) (*SequentialReport, error) {
 	c := h.c
-	if err := s.Lib.PrecharacterizeContext(ctx, charlib.CircuitClasses(c)); err != nil {
+	endChar := trace.StartStage(trace.RecorderFrom(ctx), "charlib.precharacterize")
+	err := s.Lib.PrecharacterizeContext(ctx, charlib.CircuitClasses(c))
+	endChar()
+	if err != nil {
 		return nil, err
 	}
 	res, err := seq.AnalyzeCompiledContext(ctx, h.cc, s.Lib, seq.Options{
@@ -712,7 +722,11 @@ func (s *System) OptimizeCompiledContext(ctx context.Context, h *Compiled, opts 
 	if c.Sequential() {
 		return nil, fmt.Errorf("ser: circuit %q has flip-flops; SERTOPT optimizes combinational logic only", c.Name)
 	}
-	if err := s.Lib.PrecharacterizeContext(ctx, charlib.CircuitClasses(c)); err != nil {
+	rec := trace.RecorderFrom(ctx)
+	endChar := trace.StartStage(rec, "charlib.precharacterize")
+	err := s.Lib.PrecharacterizeContext(ctx, charlib.CircuitClasses(c))
+	endChar()
+	if err != nil {
 		return nil, err
 	}
 	if len(opts.VDDs) == 0 {
@@ -732,7 +746,12 @@ func (s *System) OptimizeCompiledContext(ctx context.Context, h *Compiled, opts 
 	if opts.Weights != nil {
 		sopts.Weights = *opts.Weights
 	}
+	// One span for the whole optimizer: its cost loop re-enters the
+	// pipeline thousands of times through RecomputeU, which is far too
+	// hot to instrument per call.
+	endOpt := trace.StartStage(rec, "sertopt.optimize")
 	res, err := sertopt.OptimizeCompiled(h.cc, s.Lib, sopts)
+	endOpt()
 	if err != nil {
 		return nil, err
 	}

@@ -33,6 +33,11 @@ type AnalyzeRequest struct {
 	// Async makes the server return 202 + a job id immediately; poll
 	// GET /v1/jobs/{id} for the result.
 	Async bool `json:"async,omitempty"`
+	// Timings asks the server to attach a per-stage timing breakdown
+	// (see TimingsReport) to the response. Off by default: timing
+	// fields are wall-clock and vary run to run, so bit-identity
+	// comparisons should leave this unset.
+	Timings bool `json:"timings,omitempty"`
 }
 
 // GateResult is one gate's analysis summary (all times in seconds).
@@ -70,6 +75,9 @@ type AnalyzeResponse struct {
 	// sequential analysis (Cycles > 0).
 	Sequential *SequentialResult `json:"sequential,omitempty"`
 	ElapsedMS  float64           `json:"elapsed_ms"`
+	// Timings is the per-stage breakdown of ElapsedMS, present only
+	// when the request set Timings.
+	Timings *TimingsReport `json:"timings,omitempty"`
 }
 
 // SusceptibilityRequest asks for the ranked per-gate susceptibility of
@@ -91,6 +99,8 @@ type SusceptibilityRequest struct {
 	Cycles    int    `json:"cycles,omitempty"`
 	InitState []bool `json:"init_state,omitempty"`
 	Async     bool   `json:"async,omitempty"`
+	// Timings asks for the per-stage breakdown (see AnalyzeRequest).
+	Timings bool `json:"timings,omitempty"`
 }
 
 // SusceptibilityEntry is one ranked per-gate contribution.
@@ -116,6 +126,9 @@ type SusceptibilityResponse struct {
 	// flow (Cycles > 0).
 	Sequential *SequentialResult `json:"sequential,omitempty"`
 	ElapsedMS  float64           `json:"elapsed_ms"`
+	// Timings is the per-stage breakdown of ElapsedMS, present only
+	// when the request set Timings.
+	Timings *TimingsReport `json:"timings,omitempty"`
 }
 
 // OptimizeRequest asks for one SERTOPT optimization run.
@@ -134,6 +147,8 @@ type OptimizeRequest struct {
 	// Method is "sqp" (default) or "anneal".
 	Method string `json:"method,omitempty"`
 	Async  bool   `json:"async,omitempty"`
+	// Timings asks for the per-stage breakdown (see AnalyzeRequest).
+	Timings bool `json:"timings,omitempty"`
 }
 
 // OptimizeResponse is the SERTOPT outcome for one circuit.
@@ -146,6 +161,33 @@ type OptimizeResponse struct {
 	BaselineU   float64 `json:"baseline_u"`
 	OptimizedU  float64 `json:"optimized_u"`
 	ElapsedMS   float64 `json:"elapsed_ms"`
+	// Timings is the per-stage breakdown of ElapsedMS, present only
+	// when the request set Timings.
+	Timings *TimingsReport `json:"timings,omitempty"`
+}
+
+// StageTiming is one pipeline stage's share of a request's elapsed
+// time.
+type StageTiming struct {
+	// Stage names the pipeline stage (e.g. "strike.electrical",
+	// "logicsim.sensitization", "engine.compile").
+	Stage string `json:"stage"`
+	// MS is the stage's wall-clock duration in milliseconds.
+	MS float64 `json:"ms"`
+}
+
+// TimingsReport breaks a response's elapsed time into its pipeline
+// stages. Stages are flat and non-overlapping, so
+// sum(Stages[].MS) + OtherMS == TotalMS (within float tolerance), and
+// TotalMS equals the response's ElapsedMS.
+type TimingsReport struct {
+	// Stages lists the instrumented stages in completion order.
+	Stages []StageTiming `json:"stages"`
+	// OtherMS is the residual — total minus the instrumented stages:
+	// request decode, cache lookups, glue.
+	OtherMS float64 `json:"other_ms"`
+	// TotalMS is the end-to-end job time, equal to ElapsedMS.
+	TotalMS float64 `json:"total_ms"`
 }
 
 // BatchRequest bundles many analyses and/or optimizations into one
@@ -199,6 +241,11 @@ type JobResponse struct {
 	ID     string `json:"id"`
 	Kind   string `json:"kind"` // "analyze", "optimize" or "susceptibility"
 	Status string `json:"status"`
+	// RequestID is the X-Request-ID of the submission that created the
+	// job. It is journaled with the job, so it survives restarts and
+	// ties every poll, journal record and worker log line back to the
+	// originating request.
+	RequestID string `json:"request_id,omitempty"`
 	// Attempts counts execution attempts started so far. A job queued
 	// with Attempts > 0 is waiting for a retry after a failed attempt
 	// (Error then holds the last attempt's failure).
@@ -235,13 +282,23 @@ type ReadyResponse struct {
 	QueueDepth int  `json:"queue_depth"`
 }
 
-// LatencySummary summarizes one endpoint's job latency (milliseconds,
-// over a sliding window of recent jobs).
+// LatencySummary summarizes one job kind's latency in milliseconds.
+// P50, P99 and Max are computed over the same sliding window of the
+// most recent Window jobs, so the three quantile fields are mutually
+// consistent; Count and MaxLifetime cover the whole process lifetime.
 type LatencySummary struct {
-	Count int64   `json:"count"`
-	P50   float64 `json:"p50"`
-	P99   float64 `json:"p99"`
-	Max   float64 `json:"max"`
+	// Count is the lifetime number of observations.
+	Count int64 `json:"count"`
+	// P50 and P99 are quantiles over the sliding window.
+	P50 float64 `json:"p50"`
+	P99 float64 `json:"p99"`
+	// Max is the maximum over the same sliding window as P50/P99.
+	Max float64 `json:"max"`
+	// MaxLifetime is the maximum since process start.
+	MaxLifetime float64 `json:"max_lifetime"`
+	// Window is the sliding-window size in observations; fewer than
+	// Window lifetime observations mean the window holds them all.
+	Window int `json:"window"`
 }
 
 // CompiledCacheMetrics reports the server's content-addressed
@@ -316,6 +373,37 @@ type MetricsResponse struct {
 // ErrorResponse is the JSON body of every non-2xx answer.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// RequestID echoes the request's X-Request-ID so a failed call can
+	// be matched to server logs and the /debug/requests ring.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// DebugRequestEntry is one request in the GET /debug/requests ring.
+type DebugRequestEntry struct {
+	// RequestID is the request's X-Request-ID.
+	RequestID string `json:"request_id,omitempty"`
+	// Endpoint is the handler name (same keys as the requests counter).
+	Endpoint string `json:"endpoint"`
+	// Status is the HTTP status the request was answered with.
+	Status int `json:"status"`
+	// StartMS is the request's arrival time (Unix milliseconds).
+	StartMS int64 `json:"start_ms"`
+	// DurationMS is the end-to-end handler time in milliseconds.
+	DurationMS float64 `json:"duration_ms"`
+	// Timings is the per-stage breakdown when the request ran the
+	// analysis pipeline synchronously.
+	Timings *TimingsReport `json:"timings,omitempty"`
+}
+
+// DebugRequestsResponse is the GET /debug/requests body: a bounded
+// in-memory ring of recently completed requests, newest first —
+// enough to answer "what was that slow call doing" without external
+// tooling. ?min_ms=N keeps only requests at least that slow.
+type DebugRequestsResponse struct {
+	// Window is the ring capacity (older requests are dropped).
+	Window int `json:"window"`
+	// Requests lists the retained requests, newest first.
+	Requests []DebugRequestEntry `json:"requests"`
 }
 
 // ShardInfo is one worker's registration and health as the router sees

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"syscall"
@@ -385,6 +386,21 @@ func (c *Client) Ready(ctx context.Context) (*ReadyResponse, error) {
 func (c *Client) Metrics(ctx context.Context) (*MetricsResponse, error) {
 	var out MetricsResponse
 	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DebugRequests fetches the server's bounded ring of recently
+// completed requests, newest first. minMS > 0 keeps only requests at
+// least that slow.
+func (c *Client) DebugRequests(ctx context.Context, minMS float64) (*DebugRequestsResponse, error) {
+	path := "/debug/requests"
+	if minMS > 0 {
+		path += "?min_ms=" + url.QueryEscape(strconv.FormatFloat(minMS, 'g', -1, 64))
+	}
+	var out DebugRequestsResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -23,6 +23,8 @@ var wireTypes = []any{
 	RouteRequest{}, RouteResponse{},
 	RouterReadyResponse{}, ShardMetrics{},
 	RouterAggregateMetrics{}, RouterMetricsResponse{},
+	TimingsReport{}, StageTiming{},
+	DebugRequestEntry{}, DebugRequestsResponse{},
 }
 
 // endpoints every serd or router process serves; each path must be
@@ -30,7 +32,7 @@ var wireTypes = []any{
 var documentedEndpoints = []string{
 	"/v1/analyze", "/v1/optimize", "/v1/susceptibility", "/v1/batch",
 	"/v1/jobs/{id}", "/v1/shards", "/v1/shards/{name}", "/v1/route",
-	"/healthz", "/readyz", "/metrics",
+	"/healthz", "/readyz", "/metrics", "/debug/requests",
 }
 
 // jsonTags collects the json field names of a struct type,
