@@ -56,6 +56,7 @@ func main() {
 	compare := flag.String("compare", "", "baseline BENCH_*.json to gate against; exit 1 on regression")
 	metricTol := flag.Float64("metric-tol", 0.005, "allowed relative drift of paper metrics (0.005 = 0.5%)")
 	nsFactor := flag.Float64("ns-factor", 2.5, "allowed ns/op slowdown factor (loose bound for noisy runners)")
+	allocFactor := flag.Float64("alloc-factor", 8, "allowed allocs/op growth factor (0 disables; loose enough for worker-count variation, tight enough to catch per-call allocation regressions)")
 	flag.Parse()
 
 	if *in != "" {
@@ -64,7 +65,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 			os.Exit(1)
 		}
-		gate(*compare, fr.Report, *metricTol, *nsFactor)
+		gate(*compare, fr.Report, *metricTol, *nsFactor, *allocFactor)
 		return
 	}
 
@@ -119,7 +120,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchreport: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
-	gate(*compare, rep, *metricTol, *nsFactor)
+	gate(*compare, rep, *metricTol, *nsFactor, *allocFactor)
 }
 
 // readReport loads a BENCH_*.json written by this command.
@@ -140,7 +141,7 @@ func readReport(path string) (*fileReport, error) {
 
 // gate compares cur against the baseline at comparePath (no-op when
 // empty) and exits 1 on any regression.
-func gate(comparePath string, cur *benchfmt.Report, metricTol, nsFactor float64) {
+func gate(comparePath string, cur *benchfmt.Report, metricTol, nsFactor, allocFactor float64) {
 	if comparePath == "" {
 		return
 	}
@@ -153,6 +154,7 @@ func gate(comparePath string, cur *benchfmt.Report, metricTol, nsFactor float64)
 		MetricTol:      metricTol,
 		NsFactor:       nsFactor,
 		SkipMemMetrics: true,
+		AllocFactor:    allocFactor,
 	})
 	if len(regs) > 0 {
 		fmt.Fprintf(os.Stderr, "benchreport: %d regression(s) vs %s:\n%s", len(regs), comparePath, benchfmt.FormatRegressions(regs))

@@ -23,6 +23,7 @@ package aserta
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/charlib"
 	"repro/internal/ckt"
@@ -68,6 +69,20 @@ type Config struct {
 	// the delta propagation (default 64; negative disables the
 	// cadence).
 	FullRecomputeEvery int
+	// Lean skips retaining the per-analysis WS/Wij arenas: the
+	// electrical pass runs in pooled scratch that is returned when the
+	// analysis completes, so a serving tier's warm path stops paying a
+	// ~nGates·nPOs·K allocation (tens of MB on c7552) per request.
+	// U and Ui are bit-identical to a full analysis; Analysis.WS and
+	// Analysis.Wij are nil, SpectrumU is unavailable, and RecomputeU
+	// falls back to an exact full re-evaluation per call (no
+	// incremental delta baseline is retained).
+	Lean bool
+	// LaneWords is the bit-parallel simulation lane width in 64-bit
+	// words (1, 4 or 8; default 1). Sensitization counts are
+	// bit-identical across widths — wider lanes only change how many
+	// vectors each arena pass carries.
+	LaneWords int
 	// Spans, when non-nil, receives one span per pipeline stage
 	// (sources, sensitization, electrical, reduce). Timing is
 	// observational only — it never alters numerics or RNG streams —
@@ -85,6 +100,7 @@ func (cfg Config) withDefaults() Config {
 		POLoad:       cfg.POLoad,
 		ClockPeriod:  cfg.ClockPeriod,
 		WideWidth:    cfg.WideWidth,
+		LaneWords:    cfg.LaneWords,
 	}
 	p.Normalize()
 	cfg.Vectors = p.Vectors
@@ -92,6 +108,7 @@ func (cfg Config) withDefaults() Config {
 	cfg.POLoad = p.POLoad
 	cfg.ClockPeriod = p.ClockPeriod
 	cfg.WideWidth = p.WideWidth
+	cfg.LaneWords = p.LaneWords
 	if cfg.FullRecomputeEvery == 0 {
 		cfg.FullRecomputeEvery = 64
 	}
@@ -168,6 +185,26 @@ type Analysis struct {
 // 2(wi−d) (d ≤ wi ≤ 2d), or wi (wi > 2d).
 func Attenuate(wi, d float64) float64 { return strike.Attenuate(wi, d) }
 
+// wsPool recycles the electrical-pass scratch arenas of Lean analyses:
+// the WS table alone is nGates·nPOs·K floats (tens of MB on c7552),
+// and a serving tier would otherwise allocate and zero one per
+// request. Buffers are returned un-zeroed; Propagator.Run is written
+// to tolerate stale scratch.
+type floatPool struct{ p sync.Pool }
+
+func (fp *floatPool) get(n int) []float64 {
+	if v := fp.p.Get(); v != nil {
+		if s := v.([]float64); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+func (fp *floatPool) put(s []float64) { fp.p.Put(s[:0]) } //nolint:staticcheck // slice header boxing is one small alloc
+
+var wsPool floatPool
+
 // GateLoads computes each gate's output load: the input capacitance of
 // every fanout pin plus the PO latch load where applicable.
 func GateLoads(c *ckt.Circuit, lib *charlib.Library, cells Assignment, poLoad float64) ([]float64, error) {
@@ -218,9 +255,9 @@ func AnalyzeCompiled(cc *engine.CompiledCircuit, lib *charlib.Library, cells Ass
 		// Memoized on the handle: repeated analyses of one compiled
 		// circuit (the serving tier's warm path, SERTOPT's cost loop,
 		// the sequential engine's frames) run the simulation once per
-		// (vectors, seed) pair.
+		// (vectors, seed, lane-width) triple.
 		endSens := trace.StartStage(cfg.Spans, "logicsim.sensitization")
-		a.Sens, err = logicsim.Sensitization(cc, cfg.Vectors, cfg.Seed)
+		a.Sens, err = logicsim.SensitizationLanes(cc, cfg.Vectors, cfg.Seed, cfg.LaneWords)
 		endSens()
 		if err != nil {
 			return nil, err
@@ -235,6 +272,21 @@ func AnalyzeCompiled(cc *engine.CompiledCircuit, lib *charlib.Library, cells Ass
 	nGates := len(c.Gates)
 	nPOs := len(c.Outputs())
 	K := len(a.Samples)
+	if cfg.Lean {
+		// Pooled scratch: Run zero-fills every wij entry and never
+		// reads an unwritten ws row, so stale pool contents are safe.
+		ws := wsPool.get(nGates * nPOs * K)
+		wij := wsPool.get(nGates * nPOs)
+		a.prop.Run(a.Delays, ws, wij)
+		endElec()
+		endReduce := trace.StartStage(cfg.Spans, "strike.reduce")
+		a.Ui, a.U = strike.ReduceFlat(c, a.Flux, wij, nPOs, cfg.ClockPeriod)
+		a.delta = a.prop.NewDelta(a.Delays, nil, nil, a.Ui, a.U, a.uiOf)
+		wsPool.put(ws)
+		wsPool.put(wij)
+		endReduce()
+		return a, nil
+	}
 	a.wsFlat = make([]float64, nGates*nPOs*K)
 	a.wijFlat = make([]float64, nGates*nPOs)
 	a.prop.Run(a.Delays, a.wsFlat, a.wijFlat)

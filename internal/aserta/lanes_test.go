@@ -1,0 +1,38 @@
+package aserta
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestAnalyzeLaneWordsBitIdentical checks the full masking chain —
+// sensitization, electrical ladder, latching window, U — is
+// bit-identical across bit-parallel lane widths.
+func TestAnalyzeLaneWordsBitIdentical(t *testing.T) {
+	for _, name := range []string{"c17", "c432"} {
+		c, err := gen.ISCAS85(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells := NominalAssignment(c, lib(), 2)
+		want, err := Analyze(c, lib(), cells, Config{Vectors: 2000, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{4, 8} {
+			got, err := Analyze(c, lib(), cells, Config{Vectors: 2000, Seed: 5, LaneWords: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.U != want.U {
+				t.Fatalf("%s W=%d: U = %v, want %v", name, w, got.U, want.U)
+			}
+			for i := range want.Ui {
+				if got.Ui[i] != want.Ui[i] {
+					t.Fatalf("%s W=%d: Ui[%d] = %v, want %v", name, w, i, got.Ui[i], want.Ui[i])
+				}
+			}
+		}
+	}
+}

@@ -89,3 +89,40 @@ func TestCompareSkipsMemMetrics(t *testing.T) {
 		t.Fatalf("mem metrics not checked when enabled: %v", regs)
 	}
 }
+
+func TestCompareAllocFactor(t *testing.T) {
+	base := report(bench("X", 1e6, map[string]float64{"allocs/op": 10, "B/op": 1000}))
+	// 9x more allocations under SkipMemMetrics alone: invisible.
+	cur := report(bench("X", 1e6, map[string]float64{"allocs/op": 90, "B/op": 99000}))
+	if regs := Compare(base, cur, CompareOptions{SkipMemMetrics: true}); len(regs) != 0 {
+		t.Fatalf("skip-only run flagged: %v", regs)
+	}
+	// With the alloc gate the 9x blowup fails; B/op stays exempt.
+	regs := Compare(base, cur, CompareOptions{SkipMemMetrics: true, AllocFactor: 8})
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("alloc blowup not flagged exactly once: %v", regs)
+	}
+	// Growth inside the factor passes (worker-count variation).
+	cur2 := report(bench("X", 1e6, map[string]float64{"allocs/op": 40, "B/op": 4000}))
+	if regs := Compare(base, cur2, CompareOptions{SkipMemMetrics: true, AllocFactor: 8}); len(regs) != 0 {
+		t.Fatalf("4x alloc growth flagged under 8x bound: %v", regs)
+	}
+}
+
+func TestCompareWidePairs(t *testing.T) {
+	// Baseline: wide runs at 0.5x the scalar time.
+	base := report(bench("Susc", 1e9, nil), bench("SuscWide", 5e8, nil))
+	// Both absolute times within the loose 2.5x bound (scalar got
+	// faster, wide 2.4x slower), but the wide engine slid from 0.5x to
+	// 1.5x of scalar — past the 1.25 ratio limit.
+	cur := report(bench("Susc", 8e8, nil), bench("SuscWide", 1.2e9, nil))
+	regs := Compare(base, cur, CompareOptions{})
+	if len(regs) != 1 || regs[0].Benchmark != "SuscWide" || regs[0].Metric != "ns/op vs Susc" {
+		t.Fatalf("pair drift not flagged exactly once: %v", regs)
+	}
+	// A uniformly slower machine keeps the ratio: clean.
+	cur2 := report(bench("Susc", 2e9, nil), bench("SuscWide", 1e9, nil))
+	if regs := Compare(base, cur2, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("ratio-preserving slowdown flagged: %v", regs)
+	}
+}

@@ -52,6 +52,15 @@ type Library struct {
 	delayC  map[lutKey]float64
 	rampC   map[lutKey]float64
 	glitchC map[lutKey]float64
+	// capC/selfC/leakC memoize the analytic cell properties
+	// (InputCap/SelfCap/StaticPower). Each is a pure function of the
+	// cell identity, but computing one builds a transistor network —
+	// and strike.GateLoads asks for an input capacitance per fanout
+	// edge, which made these queries the dominant cost of a warm
+	// analysis before they were cached.
+	capC  map[Cell]float64
+	selfC map[Cell]float64
+	leakC map[Cell]float64
 }
 
 // lutKey identifies one memoized table query: the full cell identity
@@ -88,6 +97,9 @@ func NewLibrary(tech *devmodel.Tech, g Grid) *Library {
 		delayC:  make(map[lutKey]float64),
 		rampC:   make(map[lutKey]float64),
 		glitchC: make(map[lutKey]float64),
+		capC:    make(map[Cell]float64),
+		selfC:   make(map[Cell]float64),
+		leakC:   make(map[Cell]float64),
 	}
 }
 
@@ -248,15 +260,37 @@ func (l *Library) GlitchGenAt(c Cell, load, q float64) (float64, error) {
 // HasChargeAxis reports whether GlitchGenAt is available.
 func (l *Library) HasChargeAxis() bool { return len(l.Grid.Charges) > 0 }
 
+// memoCell serves a pure per-cell property through the given cache.
+func (l *Library) memoCell(cache map[Cell]float64, compute func() (float64, error), c Cell) (float64, error) {
+	l.evalMu.RLock()
+	v, ok := cache[c]
+	l.evalMu.RUnlock()
+	if ok {
+		return v, nil
+	}
+	v, err := compute()
+	if err != nil {
+		return 0, err
+	}
+	l.evalMu.Lock()
+	cache[c] = v
+	l.evalMu.Unlock()
+	return v, nil
+}
+
 // InputCap returns the capacitance one input pin of the cell presents
 // to its driver.
 func (l *Library) InputCap(c Cell) (float64, error) {
-	return spice.CellInputCap(l.Tech, c.Type, c.Fanin, c.Params)
+	return l.memoCell(l.capC, func() (float64, error) {
+		return spice.CellInputCap(l.Tech, c.Type, c.Fanin, c.Params)
+	}, c)
 }
 
 // SelfCap returns the cell's output diffusion capacitance.
 func (l *Library) SelfCap(c Cell) (float64, error) {
-	return spice.CellSelfCap(l.Tech, c.Type, c.Fanin, c.Params)
+	return l.memoCell(l.selfC, func() (float64, error) {
+		return spice.CellSelfCap(l.Tech, c.Type, c.Fanin, c.Params)
+	}, c)
 }
 
 // DynEnergyPerTransition returns the CV² energy of one output swing
@@ -271,7 +305,9 @@ func (l *Library) DynEnergyPerTransition(c Cell, load float64) (float64, error) 
 
 // StaticPower returns the cell's leakage power (W).
 func (l *Library) StaticPower(c Cell) (float64, error) {
-	leak, err := spice.CellLeakage(l.Tech, c.Type, c.Fanin, c.Params)
+	leak, err := l.memoCell(l.leakC, func() (float64, error) {
+		return spice.CellLeakage(l.Tech, c.Type, c.Fanin, c.Params)
+	}, c)
 	if err != nil {
 		return 0, err
 	}

@@ -177,6 +177,17 @@ func Generate(p Profile) (*ckt.Circuit, error) {
 				// nearly all of them.
 				anchor = 1 + rng.Intn(levels-1)
 			}
+			// The sampler below draws distinct sources from levels
+			// [0, anchor]; a fanin demand beyond the distinct sources
+			// actually reachable (tiny PI counts, narrow early levels)
+			// would never terminate. Clamp to what exists.
+			avail := 0
+			for sl := 0; sl <= anchor; sl++ {
+				avail += len(levelNodes[sl])
+			}
+			if nIn > avail {
+				nIn = avail
+			}
 			chosen := make(map[int]bool)
 			for len(chosen) < nIn {
 				srcLevel := anchor

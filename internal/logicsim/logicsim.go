@@ -131,10 +131,15 @@ func AnalyzeWorkers(c *ckt.Circuit, nVectors int, rng *stats.RNG, workers int) (
 	return AnalyzeCompiled(cc, nVectors, rng, workers)
 }
 
-// sensKey memoizes Sensitization results on the compiled handle.
+// sensKey memoizes Sensitization results on the compiled handle. The
+// lane width is part of the key even though results are bit-identical
+// across widths: a mixed-width workload must never block one width's
+// callers on another width's in-flight build, and the key documents
+// which engine produced the retained value.
 type sensKey struct {
 	vectors int
 	seed    uint64
+	lanes   int
 }
 
 // conesKey memoizes the fanout-cone CSR arena on the compiled handle.
@@ -151,7 +156,7 @@ func Sensitization(cc *engine.CompiledCircuit, vectors int, seed uint64) (*Resul
 	if vectors <= 0 {
 		vectors = DefaultVectors
 	}
-	v, err := cc.Memo(sensKey{vectors, seed}, func() (any, error) {
+	v, err := cc.Memo(sensKey{vectors, seed, 1}, func() (any, error) {
 		return AnalyzeCompiled(cc, vectors, stats.NewRNG(seed), 0)
 	})
 	if err != nil {

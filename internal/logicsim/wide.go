@@ -1,0 +1,722 @@
+package logicsim
+
+// Multi-word bit-parallel simulation lanes. The historical engine
+// (AnalyzeCompiled) walks every strike source's fanout cone through
+// the pointer-rich netlist once, carrying the full vector run
+// (⌈N/64⌉ words) per gate row; on large circuits the per-source
+// sensitization arena outgrows the cache and every row streams from
+// memory. The wide engine restructures that walk around W-word lanes
+// (W ∈ {4, 8}: 256/512 vectors per pass):
+//
+//   - Strike sources are cone-batched: sources with identical fanout
+//     sets necessarily have identical fanout cones (and are mutually
+//     unreachable, the circuit being acyclic), so one traversal
+//     serves up to laneGroupCap of them (laneGroups, memoized on the
+//     compiled handle).
+//   - Each group's cone is compiled once per run into a flat edge
+//     program: positions instead of gate IDs, fanin edges resolved to
+//     (position, side-condition row) pairs, gates outside the cone
+//     dropped. The pointer chasing through ckt.Gate happens once per
+//     group — not once per chunk.
+//   - The program then runs once per W-word chunk of the vector run:
+//     OR-AND dataflow in unrolled W-word blocks over a dense
+//     position-indexed lane arena, with one liveness byte per
+//     position standing in for the historical engine's mark/epoch
+//     pruning (a dead chunk skips its loads and stores). The
+//     per-chunk state (cone length × W words, member-dense) stays
+//     cache-resident no matter how many vectors the run carries, and
+//     the side-OK arena is chunk-major so each chunk's walk streams
+//     monotonically through one dense block.
+//
+// The trade: W > 1 pays a per-chunk replay of each cone program, so
+// on a machine whose last-level cache holds the full-run arenas
+// comfortably, the historical single-pass walk is still somewhat
+// faster single-threaded. Wide lanes win when the full-run
+// sensitization arena does not fit — very long vector runs, or many
+// workers contending for the cache (a W=1 worker drags ⌈N/64⌉ words
+// per gate; a wide worker W words per cone position).
+//
+// Bit-identity: chunk pruning is at least as precise as full-row
+// pruning (a row dead over the whole run is dead in every chunk),
+// and the OR-AND recurrence maps zero inputs to zero outputs, so
+// pruning never changes a counted bit. Population counts of
+// identical columns are accumulated as integers across chunks;
+// results are therefore bit-identical to AnalyzeCompiled for any
+// lane width, chunk count or batch composition. The RNG stream is
+// consumed in the historical order (all words of input 0, then input
+// 1, ...), so the simulated vector set is identical too.
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/ckt"
+	"repro/internal/engine"
+	"repro/internal/par"
+	"repro/internal/stats"
+)
+
+// laneGroupCap bounds how many cone-sharing sources one batched
+// traversal carries.
+const laneGroupCap = 8
+
+// NormalizeLaneWords snaps a requested lane width to a supported one
+// (1, 4 or 8 — engine.Params applies the same rule).
+func NormalizeLaneWords(w int) int {
+	switch {
+	case w >= 8:
+		return 8
+	case w >= 4:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// AnalyzeCompiledLanes is AnalyzeCompiled at an explicit lane width:
+// laneWords 64-bit words (64·laneWords vectors) per pass. Results are
+// bit-identical to AnalyzeCompiled for every supported width; width 1
+// is the historical engine itself.
+func AnalyzeCompiledLanes(cc *engine.CompiledCircuit, nVectors int, rng *stats.RNG, workers, laneWords int) (*Result, error) {
+	W := NormalizeLaneWords(laneWords)
+	if W == 1 {
+		return AnalyzeCompiled(cc, nVectors, rng, workers)
+	}
+	return analyzeLanes(cc, nVectors, rng, workers, W)
+}
+
+// SensitizationLanes is Sensitization at an explicit lane width,
+// memoized on the handle under a (vectors, seed, laneWords) key. The
+// statistics are bit-identical across widths; the key still carries
+// the width so a mixed-width workload never blocks one width's callers
+// on another width's in-flight build.
+func SensitizationLanes(cc *engine.CompiledCircuit, vectors int, seed uint64, laneWords int) (*Result, error) {
+	if vectors <= 0 {
+		vectors = DefaultVectors
+	}
+	lanes := NormalizeLaneWords(laneWords)
+	v, err := cc.Memo(sensKey{vectors, seed, lanes}, func() (any, error) {
+		return AnalyzeCompiledLanes(cc, vectors, stats.NewRNG(seed), 0, lanes)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Result), nil
+}
+
+// laneGroupsKey memoizes the cone-batched source grouping on the
+// compiled handle.
+type laneGroupsKey struct{}
+
+// laneGroups is the cone-batched source structure: sources partitioned
+// into groups with identical fanout sets (CSR over members, each group
+// at most laneGroupCap sources, members in topological order), plus
+// one precomputed fanout cone per group. A nil cone arena means the
+// cone budget was exceeded; the program builder then scans the
+// topological suffix from the group's first member instead.
+type laneGroups struct {
+	memOff  []int32
+	members []int32
+	coneOff []int
+	cones   []int32
+	// start[g] is the topological position of group g's first member;
+	// the suffix fallback scans order[start[g]+1:].
+	start []int32
+}
+
+// MemoWeight reports the grouping's retained size in cache-weight
+// units (engine.MemoWeigher).
+func (lg *laneGroups) MemoWeight() int64 {
+	return int64(len(lg.members)+len(lg.cones)+len(lg.start)) * 4 / 128
+}
+
+func (lg *laneGroups) groups() int             { return len(lg.memOff) - 1 }
+func (lg *laneGroups) membersOf(g int) []int32 { return lg.members[lg.memOff[g]:lg.memOff[g+1]] }
+func (lg *laneGroups) coneOf(g int) []int32 {
+	if lg.cones == nil {
+		return nil
+	}
+	return lg.cones[lg.coneOff[g]:lg.coneOff[g+1]]
+}
+
+// laneGroupsFor returns the memoized cone-batched grouping.
+func laneGroupsFor(cc *engine.CompiledCircuit, order, posIdx []int, workers int) *laneGroups {
+	v, _ := cc.Memo(laneGroupsKey{}, func() (any, error) {
+		return buildLaneGroups(cc.Circuit(), order, posIdx, workers), nil
+	})
+	return v.(*laneGroups)
+}
+
+// buildLaneGroups partitions the strike sources (non-input gates, in
+// topological order) by fanout-set signature and sweeps one cone per
+// group. Deterministic in the netlist regardless of worker count.
+func buildLaneGroups(c *ckt.Circuit, order, posIdx []int, workers int) *laneGroups {
+	type group struct{ members []int32 }
+	bySig := make(map[string]int)
+	var groups []*group
+	var sigBuf []int32
+	var keyBuf []byte
+	for _, id := range order {
+		if c.Gates[id].Type == ckt.Input {
+			continue
+		}
+		sigBuf = sigBuf[:0]
+		for _, f := range c.Gates[id].Fanout {
+			sigBuf = append(sigBuf, int32(f))
+		}
+		sort.Slice(sigBuf, func(i, j int) bool { return sigBuf[i] < sigBuf[j] })
+		keyBuf = keyBuf[:0]
+		for _, f := range sigBuf {
+			keyBuf = append(keyBuf, byte(f), byte(f>>8), byte(f>>16), byte(f>>24))
+		}
+		k := string(keyBuf)
+		gi, ok := bySig[k]
+		if !ok || len(groups[gi].members) >= laneGroupCap {
+			gi = len(groups)
+			groups = append(groups, &group{})
+			bySig[k] = gi
+		}
+		groups[gi].members = append(groups[gi].members, int32(id))
+	}
+
+	lg := &laneGroups{
+		memOff: make([]int32, len(groups)+1),
+		start:  make([]int32, len(groups)),
+	}
+	for gi, g := range groups {
+		lg.memOff[gi+1] = lg.memOff[gi] + int32(len(g.members))
+		lg.members = append(lg.members, g.members...)
+		lg.start[gi] = int32(posIdx[g.members[0]])
+	}
+
+	// Cone sweep per group: members share one fanout set, so the
+	// reachability from the first member is the whole group's cone.
+	n := len(groups)
+	counts := make([]int, n)
+	nw := par.Workers(workers)
+	marks := make([][]int, nw)
+	epochs := make([]int, nw)
+	for i := range marks {
+		marks[i] = make([]int, len(c.Gates))
+		for j := range marks[i] {
+			marks[i][j] = -1
+		}
+	}
+	sweep := func(worker, gi int, emit []int32) int {
+		mark := marks[worker]
+		epochs[worker]++
+		epoch := epochs[worker]
+		fid := int(groups[gi].members[0])
+		mark[fid] = epoch
+		cnt := 0
+		for oi := int(lg.start[gi]) + 1; oi < len(order); oi++ {
+			id := order[oi]
+			g := c.Gates[id]
+			if g.Type == ckt.Input {
+				continue
+			}
+			for _, f := range g.Fanin {
+				if mark[f] == epoch {
+					mark[id] = epoch
+					if emit != nil {
+						emit[cnt] = int32(id)
+					}
+					cnt++
+					break
+				}
+			}
+		}
+		return cnt
+	}
+	par.Each(n, nw, 0, func(worker, lo, hi int) {
+		for gi := lo; gi < hi; gi++ {
+			counts[gi] = sweep(worker, gi, nil)
+		}
+	})
+	total := 0
+	for _, cn := range counts {
+		total += cn
+	}
+	if total > maxConeEntries {
+		return lg // nil cone arena: suffix-scan fallback
+	}
+	lg.coneOff = make([]int, n+1)
+	for gi, cn := range counts {
+		lg.coneOff[gi+1] = lg.coneOff[gi] + cn
+	}
+	lg.cones = make([]int32, total)
+	par.Each(n, nw, 0, func(worker, lo, hi int) {
+		for gi := lo; gi < hi; gi++ {
+			sweep(worker, gi, lg.cones[lg.coneOff[gi]:lg.coneOff[gi+1]])
+		}
+	})
+	return lg
+}
+
+// laneScratch is one DP worker's reusable state: the compiled cone
+// program, its primary-output extraction list, the chunk-local
+// sensitization lanes, and the gate→position map used during program
+// builds (epoch-retired, never cleared).
+type laneScratch struct {
+	prog  []int32  // per gate: nEdges, then nEdges × (srcPos, edgeIdx)
+	poEnt []int32  // pairs: (position, PO column)
+	cone  []int32  // suffix-fallback cone buffer
+	sens  []uint64 // (members + coneLen) × members × W words, member-dense
+	live  []uint8  // per position: member bitmask of nonzero lanes
+	pos   []int32  // gate -> program position, valid when mark == epoch
+	mark  []int32
+	epoch int32
+}
+
+// analyzeLanes is the cone-batched, chunk-blocked engine body. W is
+// the lane width in 64-bit words (4 or 8).
+func analyzeLanes(cc *engine.CompiledCircuit, nVectors int, rng *stats.RNG, workers, W int) (*Result, error) {
+	c := cc.Circuit()
+	if nVectors <= 0 {
+		nVectors = DefaultVectors
+	}
+	if c.Sequential() {
+		return nil, fmt.Errorf("logicsim: circuit %q has flip-flops; analyze its combinational frame (seq.BuildFrame) or use SimulateFrames", c.Name)
+	}
+	order := cc.TopoOrder()
+	nGates := len(c.Gates)
+	nWordsTot := (nVectors + 63) / 64
+	nChunks := (nWordsTot + W - 1) / W
+	// Rows are padded to whole chunks so every chunk slice is in
+	// bounds; padding words stay zero and the masked seeds keep them
+	// zero through the whole dataflow.
+	nWordsPad := nChunks * W
+	lastMask := ^uint64(0)
+	if r := nVectors % 64; r != 0 {
+		lastMask = (uint64(1) << uint(r)) - 1
+	}
+
+	// Base simulation over one flat padded arena, indexed
+	// gateID*nWordsPad. The PI words consume the RNG stream in
+	// Inputs() order, so the vector set matches the historical engine
+	// exactly.
+	base := make([]uint64, nGates*nWordsPad)
+	for _, id := range c.Inputs() {
+		w := base[id*nWordsPad : id*nWordsPad+nWordsTot]
+		for k := range w {
+			w[k] = rng.Uint64()
+		}
+		w[nWordsTot-1] &= lastMask
+	}
+	maxFanin := 0
+	for _, g := range c.Gates {
+		if len(g.Fanin) > maxFanin {
+			maxFanin = len(g.Fanin)
+		}
+	}
+	fin := make([]uint64, maxFanin)
+	for _, id := range order {
+		g := c.Gates[id]
+		if g.Type == ckt.Input {
+			continue
+		}
+		w := base[id*nWordsPad : id*nWordsPad+nWordsTot]
+		fi := fin[:len(g.Fanin)]
+		for k := 0; k < nWordsTot; k++ {
+			for i, f := range g.Fanin {
+				fi[i] = base[f*nWordsPad+k]
+			}
+			w[k] = g.Type.EvalWord(fi)
+		}
+		w[nWordsTot-1] &= lastMask
+	}
+
+	// Side-input conditions per fanin edge. The arena is chunk-major —
+	// sideOK[chunk*nEdges*W + edge*W + w] — so each chunk's program
+	// walk reads monotonically through one dense block (programs list
+	// edges in ascending order), which keeps the hardware prefetcher
+	// ahead of the OR-AND loads.
+	edgeOff := cc.FaninEdgeOffsets()
+	nEdges := edgeOff[nGates]
+	sideOK := make([]uint64, nEdges*nWordsPad)
+	par.ForChunks(nGates, workers, 0, func(lo, hi int) {
+		row := make([]uint64, nWordsPad)
+		for id := lo; id < hi; id++ {
+			g := c.Gates[id]
+			if g.Type == ckt.Input {
+				continue
+			}
+			cv, hasCV := g.Type.ControllingValue()
+			for fi := range g.Fanin {
+				w := row[:nWordsTot]
+				for k := range w {
+					ok := ^uint64(0)
+					if hasCV {
+						for oi, f := range g.Fanin {
+							if oi == fi {
+								continue
+							}
+							if cv {
+								ok &= ^base[f*nWordsPad+k]
+							} else {
+								ok &= base[f*nWordsPad+k]
+							}
+						}
+					}
+					w[k] = ok
+				}
+				w[nWordsTot-1] &= lastMask
+				ei := edgeOff[id] + fi
+				for chunk := 0; chunk < nChunks; chunk++ {
+					copy(sideOK[chunk*nEdges*W+ei*W:chunk*nEdges*W+(ei+1)*W], row[chunk*W:(chunk+1)*W])
+				}
+			}
+		}
+	})
+
+	// Valid-vector masks per chunk: all ones inside the run, the
+	// historical lastMask at the boundary word, zero in padding.
+	masks := make([]uint64, nChunks*W)
+	for k := 0; k < nWordsTot-1; k++ {
+		masks[k] = ^uint64(0)
+	}
+	masks[nWordsTot-1] = lastMask
+
+	posIdx := make([]int, nGates)
+	for i, id := range order {
+		posIdx[id] = i
+	}
+	poColOf := make([]int32, nGates)
+	pos := c.Outputs()
+	nPOs := len(pos)
+	for i := range poColOf {
+		poColOf[i] = -1
+	}
+	for k, id := range pos {
+		poColOf[id] = int32(k)
+	}
+
+	lg := laneGroupsFor(cc, order, posIdx, workers)
+	nGroups := lg.groups()
+
+	// Integer accumulators: base-value population counts (P1) and
+	// per-source sensitized-vector counts (Pij, one row per source —
+	// groups are write-disjoint).
+	onesCnt := make([]int64, nGates)
+	for id := 0; id < nGates; id++ {
+		ones := 0
+		for _, w := range base[id*nWordsPad : id*nWordsPad+nWordsTot] {
+			ones += bits.OnesCount64(w)
+		}
+		onesCnt[id] = int64(ones)
+	}
+	cntPij := make([]int64, nGates*nPOs)
+
+	nw := par.Workers(workers)
+	if nw > nGroups {
+		nw = nGroups
+	}
+	// Each worker's sensitization buffer peaks at coneLen × members
+	// lanes; bound the combined scratch like the historical engine.
+	if per := nGates * laneGroupCap * W * 8; per > 0 {
+		if maxW := maxScratchBytes / per; nw > maxW {
+			nw = maxW
+		}
+		if nw < 1 {
+			nw = 1
+		}
+	}
+	scratches := make([]*laneScratch, nw)
+	for i := range scratches {
+		scratches[i] = &laneScratch{
+			pos:  make([]int32, nGates),
+			mark: make([]int32, nGates),
+		}
+		for j := range scratches[i].mark {
+			scratches[i].mark[j] = -1
+		}
+	}
+
+	par.Each(nGroups, nw, 1, func(worker, lo, hi int) {
+		sc := scratches[worker]
+		for gi := lo; gi < hi; gi++ {
+			members := lg.membersOf(gi)
+			m := len(members)
+			cone := lg.coneOf(gi)
+			if lg.cones == nil {
+				cone = sc.suffixCone(c, order, int(lg.start[gi]), members)
+			}
+			sc.buildProgram(c, edgeOff, poColOf, members, cone)
+
+			nPos := m + len(cone)
+			need := nPos * m * W
+			if cap(sc.sens) < need {
+				sc.sens = make([]uint64, need)
+			}
+			sens := sc.sens[:need]
+			if cap(sc.live) < nPos {
+				sc.live = make([]uint8, nPos)
+			}
+			live := sc.live[:nPos]
+
+			for chunk := 0; chunk < nChunks; chunk++ {
+				// Seed the member block: member b's own row carries
+				// the chunk mask, its rows for other members stay
+				// zero (members are mutually unreachable).
+				for j := 0; j < m*m*W; j++ {
+					sens[j] = 0
+				}
+				k0 := chunk * W
+				for b := 0; b < m; b++ {
+					copy(sens[(b*m+b)*W:(b*m+b+1)*W], masks[k0:k0+W])
+					live[b] = 1 << b
+				}
+				obase := chunk * nEdges * W
+				if m == 1 {
+					if W == 8 {
+						runProgram1x8(sens, live, sc.prog, sideOK, obase)
+					} else {
+						runProgram1x4(sens, live, sc.prog, sideOK, obase)
+					}
+				} else {
+					runProgramM(sens, live, sc.prog, sideOK, obase, m, W)
+				}
+				for e := 0; e+1 < len(sc.poEnt); e += 2 {
+					p, col := int(sc.poEnt[e]), int(sc.poEnt[e+1])
+					if live[p] == 0 {
+						continue
+					}
+					for b, fid := range members {
+						if live[p]&(1<<b) == 0 {
+							continue
+						}
+						row := sens[(p*m+b)*W : (p*m+b+1)*W]
+						cnt := 0
+						for _, w := range row {
+							cnt += bits.OnesCount64(w)
+						}
+						cntPij[int(fid)*nPOs+col] += int64(cnt)
+					}
+				}
+			}
+		}
+	})
+
+	// Fold the integer counts into the historical Result shape.
+	res := &Result{
+		N:        nVectors,
+		P1:       make([]float64, nGates),
+		Activity: make([]float64, nGates),
+		Pij:      make([][]float64, nGates),
+		poCol:    make(map[int]int),
+	}
+	for k, id := range pos {
+		res.poCol[id] = k
+	}
+	pijFlat := make([]float64, nGates*nPOs)
+	for id := 0; id < nGates; id++ {
+		p := float64(onesCnt[id]) / float64(nVectors)
+		res.P1[id] = p
+		res.Activity[id] = 2 * p * (1 - p)
+		res.Pij[id] = pijFlat[id*nPOs : (id+1)*nPOs]
+	}
+	for _, id := range order {
+		if c.Gates[id].Type == ckt.Input {
+			continue
+		}
+		out := res.Pij[id]
+		row := cntPij[id*nPOs : (id+1)*nPOs]
+		for k2, poID := range pos {
+			if poID == id {
+				out[k2] = 1 // paper: P_jj = 1 for a PO gate itself
+				continue
+			}
+			out[k2] = float64(row[k2]) / float64(nVectors)
+		}
+	}
+	return res, nil
+}
+
+// suffixCone rebuilds a group's cone by scanning the topological
+// suffix (the fallback when the memoized cone arena exceeded its
+// budget), reusing the worker's mark array and cone buffer.
+func (sc *laneScratch) suffixCone(c *ckt.Circuit, order []int, start int, members []int32) []int32 {
+	sc.epoch++
+	for _, fid := range members {
+		sc.mark[fid] = sc.epoch
+	}
+	sc.cone = sc.cone[:0]
+	for oi := start + 1; oi < len(order); oi++ {
+		id := order[oi]
+		g := c.Gates[id]
+		if g.Type == ckt.Input {
+			continue
+		}
+		for _, f := range g.Fanin {
+			if sc.mark[f] == sc.epoch {
+				sc.mark[id] = sc.epoch
+				sc.cone = append(sc.cone, int32(id))
+				break
+			}
+		}
+	}
+	return sc.cone
+}
+
+// buildProgram compiles a group's cone into the flat edge program: one
+// record per cone gate (edge count, then (source position, side-OK
+// row) per in-cone fanin edge), positions 0..m-1 being the members and
+// m+i cone gate i. The pointer chasing through the netlist happens
+// here, once per group; the per-chunk walk only streams the program.
+func (sc *laneScratch) buildProgram(c *ckt.Circuit, edgeOff []int, poColOf []int32, members []int32, cone []int32) {
+	sc.epoch++
+	m := len(members)
+	for b, fid := range members {
+		sc.mark[fid] = sc.epoch
+		sc.pos[fid] = int32(b)
+	}
+	sc.prog = sc.prog[:0]
+	sc.poEnt = sc.poEnt[:0]
+	p := int32(m)
+	for _, id32 := range cone {
+		id := int(id32)
+		g := c.Gates[id]
+		sc.prog = append(sc.prog, 0)
+		cntAt := len(sc.prog) - 1
+		nE := int32(0)
+		for fi, f := range g.Fanin {
+			if sc.mark[f] != sc.epoch {
+				continue
+			}
+			sc.prog = append(sc.prog, sc.pos[f], int32(edgeOff[id]+fi))
+			nE++
+		}
+		sc.prog[cntAt] = nE
+		sc.mark[id] = sc.epoch
+		sc.pos[id] = p
+		if col := poColOf[id]; col >= 0 {
+			sc.poEnt = append(sc.poEnt, p, col)
+		}
+		p++
+	}
+}
+
+// runProgram1x8 executes a singleton group's program for one chunk at
+// W=8: OR-AND dataflow, manually unrolled so the eight accumulator
+// words live in registers. Every position's liveness byte is written
+// before any later position reads it; edges from dead positions skip
+// their side-OK loads and dead positions skip their stores — the
+// chunk-local equivalent of the historical engine's dead-row pruning.
+func runProgram1x8(sens []uint64, live []uint8, prog []int32, sideOK []uint64, obase int) {
+	p := 1 // position 0 is the member seed
+	for i := 0; i < len(prog); {
+		nE := int(prog[i])
+		i++
+		var v0, v1, v2, v3, v4, v5, v6, v7 uint64
+		for e := 0; e < nE; e++ {
+			sp := int(prog[i])
+			ob := obase + int(prog[i+1])*8
+			i += 2
+			if live[sp] == 0 {
+				continue
+			}
+			s := sens[sp*8 : sp*8+8 : sp*8+8]
+			ok := sideOK[ob : ob+8 : ob+8]
+			v0 |= s[0] & ok[0]
+			v1 |= s[1] & ok[1]
+			v2 |= s[2] & ok[2]
+			v3 |= s[3] & ok[3]
+			v4 |= s[4] & ok[4]
+			v5 |= s[5] & ok[5]
+			v6 |= s[6] & ok[6]
+			v7 |= s[7] & ok[7]
+		}
+		if v0|v1|v2|v3|v4|v5|v6|v7 == 0 {
+			live[p] = 0
+		} else {
+			live[p] = 1
+			d := sens[p*8 : p*8+8 : p*8+8]
+			d[0], d[1], d[2], d[3] = v0, v1, v2, v3
+			d[4], d[5], d[6], d[7] = v4, v5, v6, v7
+		}
+		p++
+	}
+}
+
+// runProgram1x4 is runProgram1x8 at W=4.
+func runProgram1x4(sens []uint64, live []uint8, prog []int32, sideOK []uint64, obase int) {
+	p := 1
+	for i := 0; i < len(prog); {
+		nE := int(prog[i])
+		i++
+		var v0, v1, v2, v3 uint64
+		for e := 0; e < nE; e++ {
+			sp := int(prog[i])
+			ob := obase + int(prog[i+1])*4
+			i += 2
+			if live[sp] == 0 {
+				continue
+			}
+			s := sens[sp*4 : sp*4+4 : sp*4+4]
+			ok := sideOK[ob : ob+4 : ob+4]
+			v0 |= s[0] & ok[0]
+			v1 |= s[1] & ok[1]
+			v2 |= s[2] & ok[2]
+			v3 |= s[3] & ok[3]
+		}
+		if v0|v1|v2|v3 == 0 {
+			live[p] = 0
+		} else {
+			live[p] = 1
+			d := sens[p*4 : p*4+4 : p*4+4]
+			d[0], d[1], d[2], d[3] = v0, v1, v2, v3
+		}
+		p++
+	}
+}
+
+// runProgramM executes a batched group's program for one chunk: each
+// edge's side-condition lane is applied to every live member's source
+// row before moving on, so the batch shares one pass over the program
+// and the side-OK rows. Lanes are member-dense: position p, member b
+// lives at word offset (p*m+b)*W; liveness is a per-position member
+// bitmask.
+func runProgramM(sens []uint64, live []uint8, prog []int32, sideOK []uint64, obase, m, W int) {
+	stride := m * W
+	p := m
+	for i := 0; i < len(prog); {
+		nE := int(prog[i])
+		i++
+		row := sens[p*stride : (p+1)*stride]
+		for j := range row {
+			row[j] = 0
+		}
+		for e := 0; e < nE; e++ {
+			sp := int(prog[i])
+			ob := obase + int(prog[i+1])*W
+			i += 2
+			um := live[sp]
+			if um == 0 {
+				continue
+			}
+			src := sens[sp*stride : (sp+1)*stride : (sp+1)*stride]
+			ok := sideOK[ob : ob+W : ob+W]
+			for b := 0; b < m; b++ {
+				if um&(1<<b) == 0 {
+					continue
+				}
+				for w := 0; w < W; w++ {
+					row[b*W+w] |= src[b*W+w] & ok[w]
+				}
+			}
+		}
+		lm := uint8(0)
+		for b := 0; b < m; b++ {
+			var any uint64
+			for w := 0; w < W; w++ {
+				any |= row[b*W+w]
+			}
+			if any != 0 {
+				lm |= 1 << b
+			}
+		}
+		live[p] = lm
+		p++
+	}
+}

@@ -1,0 +1,185 @@
+package logicsim
+
+import (
+	"testing"
+
+	"repro/internal/ckt"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/stats"
+)
+
+// mustEqualResults asserts two analyses are bit-identical (==, not
+// within epsilon: both engines accumulate the same integer counts).
+func mustEqualResults(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.N != want.N {
+		t.Fatalf("%s: N = %d, want %d", label, got.N, want.N)
+	}
+	for id := range want.P1 {
+		if got.P1[id] != want.P1[id] {
+			t.Fatalf("%s: P1[%d] = %v, want %v", label, id, got.P1[id], want.P1[id])
+		}
+		if got.Activity[id] != want.Activity[id] {
+			t.Fatalf("%s: Activity[%d] = %v, want %v", label, id, got.Activity[id], want.Activity[id])
+		}
+		for j := range want.Pij[id] {
+			if got.Pij[id][j] != want.Pij[id][j] {
+				t.Fatalf("%s: Pij[%d][%d] = %v, want %v", label, id, j, got.Pij[id][j], want.Pij[id][j])
+			}
+		}
+	}
+}
+
+// TestLanesBitIdentical checks the wide engine (W=4, W=8) against the
+// historical W=1 engine word for word, across vector counts that
+// exercise full chunks, partial chunks and runs shorter than one lane.
+func TestLanesBitIdentical(t *testing.T) {
+	c432, err := gen.ISCAS85("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	xor, err := gen.Generate(gen.Profile{
+		Name: "xorish", PIs: 12, POs: 6, Gates: 80, Depth: 8, Seed: 9,
+		TypeMix: map[ckt.GateType]float64{ckt.Xor: 0.5, ckt.Nand: 0.3, ckt.Or: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		c    *ckt.Circuit
+		nVec []int
+	}{
+		{"c17", gen.C17(), []int{1, 63, 64, 100, 512, 1000}},
+		{"xorish", xor, []int{97, 256, 513, 2000}},
+		{"c432", c432, []int{1000, 4000}},
+	} {
+		cc := engine.MustCompile(tc.c)
+		for _, nVec := range tc.nVec {
+			want, err := AnalyzeCompiled(cc, nVec, stats.NewRNG(1), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, lanes := range []int{4, 8} {
+				got, err := AnalyzeCompiledLanes(cc, nVec, stats.NewRNG(1), 0, lanes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mustEqualResults(t, tc.name+"/"+itoa2(nVec)+"/W="+itoa2(lanes), got, want)
+			}
+		}
+	}
+}
+
+// TestLanesConeFallback forces the suffix-scan fallback (no cone
+// arena) in the wide engine and checks bit-identity against the
+// default path's reference.
+func TestLanesConeFallback(t *testing.T) {
+	c, err := gen.ISCAS85("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := AnalyzeWorkers(c, 2000, stats.NewRNG(7), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := maxConeEntries
+	maxConeEntries = 0
+	defer func() { maxConeEntries = saved }()
+	cc := engine.MustCompile(c) // fresh handle: no memoized cone arena
+	got, err := AnalyzeCompiledLanes(cc, 2000, stats.NewRNG(7), 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualResults(t, "fallback", got, want)
+}
+
+// TestSensitizationLanesMemo checks the handle memo serves each lane
+// width under its own key while the statistics stay bit-identical.
+func TestSensitizationLanesMemo(t *testing.T) {
+	c, err := gen.ISCAS85("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := engine.MustCompile(c)
+	r1, err := SensitizationLanes(cc, 1000, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := SensitizationLanes(cc, 1000, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 == r8 {
+		t.Fatal("lane widths share one memo entry; keys must differ")
+	}
+	mustEqualResults(t, "memo", r8, r1)
+	again, err := SensitizationLanes(cc, 1000, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != r8 {
+		t.Fatal("repeated W=8 call was not served from the memo")
+	}
+	viaDefault, err := Sensitization(cc, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaDefault != r1 {
+		t.Fatal("Sensitization must share the W=1 memo entry")
+	}
+}
+
+// FuzzSimWide differentially fuzzes the wide engine: on a random
+// profile-generated netlist with fuzzed vector counts and seeds, the
+// W=4 and W=8 analyses must equal the W=1 reference word for word.
+func FuzzSimWide(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint8(8), uint8(30), uint8(4), uint16(100))
+	f.Add(uint64(7), uint64(5), uint8(4), uint8(60), uint8(6), uint16(517))
+	f.Add(uint64(42), uint64(9), uint8(16), uint8(120), uint8(9), uint16(1000))
+	f.Fuzz(func(t *testing.T, genSeed, simSeed uint64, pis, gates, depth uint8, nVec uint16) {
+		p := gen.Profile{
+			Name:  "fuzz",
+			PIs:   2 + int(pis%24),
+			POs:   1 + int(pis%8),
+			Gates: 8 + int(gates),
+			Depth: 2 + int(depth%16),
+			Seed:  genSeed,
+		}
+		if p.Gates < p.POs {
+			p.Gates = p.POs
+		}
+		c, err := gen.Generate(p)
+		if err != nil {
+			t.Skip() // unsatisfiable profile, not a simulator bug
+		}
+		n := 1 + int(nVec%1200)
+		cc := engine.MustCompile(c)
+		want, err := AnalyzeCompiled(cc, n, stats.NewRNG(simSeed), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lanes := range []int{4, 8} {
+			got, err := AnalyzeCompiledLanes(cc, n, stats.NewRNG(simSeed), 0, lanes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustEqualResults(t, "W="+itoa2(lanes), got, want)
+		}
+	})
+}
+
+func itoa2(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,32 @@
+package logicsim
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/stats"
+)
+
+func benchLanes(b *testing.B, name string, lanes int) {
+	c, err := gen.ISCAS85(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cc := engine.MustCompile(c)
+	// Warm the memoized cone/group arenas outside the timed loop.
+	if _, err := AnalyzeCompiledLanes(cc, 64, stats.NewRNG(1), 0, lanes); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyzeCompiledLanes(cc, 10000, stats.NewRNG(1), 0, lanes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyzeLanesC7552W1(b *testing.B) { benchLanes(b, "c7552", 1) }
+func BenchmarkAnalyzeLanesC7552W4(b *testing.B) { benchLanes(b, "c7552", 4) }
+func BenchmarkAnalyzeLanesC7552W8(b *testing.B) { benchLanes(b, "c7552", 8) }

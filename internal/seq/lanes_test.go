@@ -1,0 +1,43 @@
+package seq
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestSequentialLaneWordsBitIdentical checks the sequential pipeline —
+// frame sensitization plus the chunked multi-cycle fault chase — is
+// bit-identical across bit-parallel lane widths.
+func TestSequentialLaneWordsBitIdentical(t *testing.T) {
+	for _, name := range []string{"s27", "s344"} {
+		c, err := gen.ISCAS89(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib := coarseLib()
+		want, err := Analyze(c, lib, Options{Cycles: 6, Vectors: 700, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{4, 8} {
+			got, err := Analyze(c, lib, Options{Cycles: 6, Vectors: 700, Seed: 3, LaneWords: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.U != want.U || got.DirectU != want.DirectU || got.LatchedU != want.LatchedU {
+				t.Fatalf("%s W=%d: U/Direct/Latched = %v/%v/%v, want %v/%v/%v",
+					name, w, got.U, got.DirectU, got.LatchedU, want.U, want.DirectU, want.LatchedU)
+			}
+			if got.FIT != want.FIT {
+				t.Fatalf("%s W=%d: FIT = %v, want %v", name, w, got.FIT, want.FIT)
+			}
+			for fi := range want.FlopReports {
+				if got.FlopReports[fi].ErrorsPerFault != want.FlopReports[fi].ErrorsPerFault {
+					t.Fatalf("%s W=%d: E_f[%d] = %v, want %v", name, w, fi,
+						got.FlopReports[fi].ErrorsPerFault, want.FlopReports[fi].ErrorsPerFault)
+				}
+			}
+		}
+	}
+}

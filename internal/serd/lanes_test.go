@@ -1,0 +1,104 @@
+// Wire-level tests for the bit-parallel lane and sampled-Approx
+// request knobs: lane widths must not change results over the wire,
+// the Approx block must round-trip with a sane interval, invalid
+// combinations must be rejected, and both modes must surface on
+// /metrics (JSON and Prometheus exposition alike).
+package serd
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/promtext"
+	"repro/serclient"
+)
+
+func TestAnalyzeLaneWordsWire(t *testing.T) {
+	_, cl := rawTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	want, err := cl.Analyze(ctx, serclient.AnalyzeRequest{Circuit: "c432", Vectors: 800, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{4, 8} {
+		got, err := cl.Analyze(ctx, serclient.AnalyzeRequest{Circuit: "c432", Vectors: 800, Seed: 3, LaneWords: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.U != want.U {
+			t.Fatalf("lane_words=%d: U = %v, want %v", w, got.U, want.U)
+		}
+		if got.Approx != nil {
+			t.Fatalf("lane_words=%d: exact response carries approx block", w)
+		}
+	}
+}
+
+func TestAnalyzeApproxWire(t *testing.T) {
+	url, cl := rawTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	exact, err := cl.Analyze(ctx, serclient.AnalyzeRequest{Circuit: "c432", Vectors: 10000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Analyze(ctx, serclient.AnalyzeRequest{
+		Circuit: "c432", Seed: 3, LaneWords: 8,
+		Approx: &serclient.ApproxRequest{RelErr: 0.05, BatchVectors: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := resp.Approx
+	if a == nil {
+		t.Fatal("approx response missing approx block")
+	}
+	if a.Batches < 4 || a.VectorsUsed != a.Batches*1000 || a.Confidence != 0.95 {
+		t.Fatalf("approx block malformed: %+v", a)
+	}
+	if !(a.UCILow < resp.U && resp.U < a.UCIHigh) {
+		t.Fatalf("interval [%v, %v] does not contain mean %v", a.UCILow, a.UCIHigh, resp.U)
+	}
+	if exact.U < a.UCILow || exact.U > a.UCIHigh {
+		t.Fatalf("exact U %v outside CI [%v, %v]", exact.U, a.UCILow, a.UCIHigh)
+	}
+
+	// Approx is combinational-only: the sequential flow must reject it
+	// at validation time, not fall back silently.
+	_, err = cl.Analyze(ctx, serclient.AnalyzeRequest{
+		Circuit: "s27", Cycles: 4, Vectors: 600,
+		Approx: &serclient.ApproxRequest{},
+	})
+	if err == nil {
+		t.Fatal("sequential approx request accepted")
+	}
+
+	// Both non-default modes must be visible to operators: the JSON
+	// snapshot and the Prometheus exposition.
+	m, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WideLaneJobs == 0 || m.ApproxJobs == 0 {
+		t.Fatalf("mode counters not incremented: wide=%d approx=%d", m.WideLaneJobs, m.ApproxJobs)
+	}
+	hr, err := http.Get(url + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	fams, err := promtext.Parse(string(doc))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	for _, name := range []string{"serd_wide_lane_jobs_total", "serd_approx_jobs_total"} {
+		fam := fams[name]
+		if fam == nil || len(fam.Samples) == 0 || fam.Samples[0].Value == 0 {
+			t.Fatalf("family %q missing or zero in exposition", name)
+		}
+	}
+}

@@ -69,6 +69,8 @@ type metrics struct {
 	recovered     atomic.Int64
 	shed          atomic.Int64
 	journalErrors atomic.Int64
+	wideLaneJobs  atomic.Int64
+	approxJobs    atomic.Int64
 
 	mu       sync.Mutex
 	requests map[string]int64
@@ -80,6 +82,18 @@ func newMetrics() *metrics {
 		start:    time.Now(),
 		requests: make(map[string]int64),
 		lat:      make(map[string]*latWindow),
+	}
+}
+
+// countModes tallies a job's simulation-path selections once it has
+// passed validation: a lane width above the 64-bit default, and the
+// sampled Approx mode.
+func (m *metrics) countModes(laneWords int, approx bool) {
+	if laneWords > 1 {
+		m.wideLaneJobs.Add(1)
+	}
+	if approx {
+		m.approxJobs.Add(1)
 	}
 }
 
@@ -111,6 +125,8 @@ func (m *metrics) snapshot(queueDepth, jobsRunning, workers int, characterizatio
 		JobsRecovered:     m.recovered.Load(),
 		RequestsShed:      m.shed.Load(),
 		JournalErrors:     m.journalErrors.Load(),
+		WideLaneJobs:      m.wideLaneJobs.Load(),
+		ApproxJobs:        m.approxJobs.Load(),
 		LibCacheHits:      m.cacheHits.Load(),
 		Characterizations: characterizations,
 		CompiledCache: serclient.CompiledCacheMetrics{

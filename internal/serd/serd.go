@@ -483,6 +483,26 @@ func (s *Server) checkAnalyze(vectors, cycles int, initState []bool) error {
 	return nil
 }
 
+// checkApprox enforces the sampled-mode limits: combinational flow
+// only, non-negative tuning fields, and the per-batch vector count
+// under the same MaxVectors cap the exact mode honors. The worst-case
+// total work is then bounded by MaxBatches batches of a legal size.
+func (s *Server) checkApprox(approx *serclient.ApproxRequest, cycles int) error {
+	if approx == nil {
+		return nil
+	}
+	if cycles > 0 {
+		return fmt.Errorf("approx is not supported with the sequential flow (cycles >= 1)")
+	}
+	if approx.RelErr < 0 || approx.Confidence < 0 || approx.BatchVectors < 0 || approx.MaxBatches < 0 {
+		return fmt.Errorf("approx fields must be >= 0")
+	}
+	if err := s.checkVectors(approx.BatchVectors); err != nil {
+		return fmt.Errorf("approx batch_vectors: %v", err)
+	}
+	return nil
+}
+
 // checkSequentialShape enforces the limits that need the resolved
 // circuit: the init_state length and the joint cycles × flops work
 // budget (fault propagation costs one frame evaluation per flop per
@@ -582,18 +602,39 @@ func (s *Server) instrumented(timings bool, run func(ctx context.Context) (any, 
 // sequentialOptions and analysisOptions assemble the flow options the
 // analyze and susceptibility endpoints share, so a new knob cannot be
 // wired into one endpoint and silently missed in the other.
-func sequentialOptions(vectors int, seed uint64, poLoad float64, cycles int, initState []bool) ser.SequentialOptions {
+func sequentialOptions(vectors int, seed uint64, poLoad float64, cycles int, initState []bool, laneWords int) ser.SequentialOptions {
 	return ser.SequentialOptions{
 		Cycles:    cycles,
 		Vectors:   vectors,
 		Seed:      seed,
 		POLoad:    poLoad,
 		InitState: initState,
+		LaneWords: laneWords,
 	}
 }
 
-func analysisOptions(vectors int, seed uint64, poLoad float64) ser.AnalysisOptions {
-	return ser.AnalysisOptions{Vectors: vectors, Seed: seed, POLoad: poLoad}
+func analysisOptions(vectors int, seed uint64, poLoad float64, laneWords int, approx *serclient.ApproxRequest) ser.AnalysisOptions {
+	return ser.AnalysisOptions{
+		Vectors:   vectors,
+		Seed:      seed,
+		POLoad:    poLoad,
+		LaneWords: laneWords,
+		Approx:    approxOptions(approx),
+	}
+}
+
+// approxOptions maps the wire Approx block to the flow options; nil —
+// the exact mode — passes through untouched.
+func approxOptions(req *serclient.ApproxRequest) *ser.ApproxOptions {
+	if req == nil {
+		return nil
+	}
+	return &ser.ApproxOptions{
+		RelErr:       req.RelErr,
+		Confidence:   req.Confidence,
+		BatchVectors: req.BatchVectors,
+		MaxBatches:   req.MaxBatches,
+	}
 }
 
 // sequentialResult maps a sequential report's summary to its wire
@@ -618,7 +659,7 @@ func (s *Server) runAnalyze(h *ser.Compiled, name string, req serclient.AnalyzeR
 		resp := &serclient.AnalyzeResponse{Circuit: name}
 		if req.Cycles > 0 {
 			rep, err := s.sys.AnalyzeSequentialCompiledContext(ctx, h,
-				sequentialOptions(req.Vectors, req.Seed, req.POLoad, req.Cycles, req.InitState))
+				sequentialOptions(req.Vectors, req.Seed, req.POLoad, req.Cycles, req.InitState, req.LaneWords))
 			if err != nil {
 				return nil, nil, err
 			}
@@ -629,11 +670,20 @@ func (s *Server) runAnalyze(h *ser.Compiled, name string, req serclient.AnalyzeR
 			})
 		} else {
 			rep, err := s.sys.AnalyzeCompiledContext(ctx, h,
-				analysisOptions(req.Vectors, req.Seed, req.POLoad))
+				analysisOptions(req.Vectors, req.Seed, req.POLoad, req.LaneWords, req.Approx))
 			if err != nil {
 				return nil, nil, err
 			}
 			resp.Gates, resp.U = len(rep.Gates), rep.U
+			if rep.Approx {
+				resp.Approx = &serclient.ApproxResult{
+					UCILow:      rep.UCILow,
+					UCIHigh:     rep.UCIHigh,
+					Confidence:  rep.Confidence,
+					Batches:     rep.Batches,
+					VectorsUsed: rep.VectorsUsed,
+				}
+			}
 			resp.GateReports = gateRows(req.Top, rep.Gates, rep.Softest, func(g ser.GateReport) serclient.GateResult {
 				return serclient.GateResult{Name: g.Name, U: g.U, GenWidth: g.GenWidth, Delay: g.Delay}
 			})
@@ -667,7 +717,7 @@ func (s *Server) runSusceptibility(h *ser.Compiled, name string, req serclient.S
 		var entries []ser.SusceptibilityEntry
 		if req.Cycles > 0 {
 			rep, err := s.sys.AnalyzeSequentialCompiledContext(ctx, h,
-				sequentialOptions(req.Vectors, req.Seed, req.POLoad, req.Cycles, req.InitState))
+				sequentialOptions(req.Vectors, req.Seed, req.POLoad, req.Cycles, req.InitState, req.LaneWords))
 			if err != nil {
 				return nil, nil, err
 			}
@@ -676,7 +726,7 @@ func (s *Server) runSusceptibility(h *ser.Compiled, name string, req serclient.S
 			resp.Sequential = sequentialResult(rep)
 		} else {
 			rep, err := s.sys.AnalyzeCompiledContext(ctx, h,
-				analysisOptions(req.Vectors, req.Seed, req.POLoad))
+				analysisOptions(req.Vectors, req.Seed, req.POLoad, req.LaneWords, nil))
 			if err != nil {
 				return nil, nil, err
 			}
@@ -706,6 +756,7 @@ func (s *Server) runOptimize(h *ser.Compiled, name string, req serclient.Optimiz
 			Vectors:    req.Vectors,
 			Seed:       req.Seed,
 			Method:     req.Method,
+			LaneWords:  req.LaneWords,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -770,11 +821,16 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if err := s.checkApprox(req.Approx, req.Cycles); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	ld, err := s.loadChecked(req.Circuit, req.Netlist, req.Name, req.Cycles, &req.InitState)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.met.countModes(req.LaneWords, req.Approx != nil)
 	var meta asyncMeta
 	if req.Async {
 		// Journal the request in canonical form: the netlist body is
@@ -802,6 +858,7 @@ func (s *Server) handleSusceptibility(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.met.countModes(req.LaneWords, false)
 	var meta asyncMeta
 	if req.Async {
 		jreq := req
@@ -854,6 +911,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.met.countModes(req.LaneWords, false)
 	var meta asyncMeta
 	if req.Async {
 		jreq := req
@@ -905,11 +963,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Analyze[i].Error = err.Error()
 			continue
 		}
+		if err := s.checkApprox(ar.Approx, ar.Cycles); err != nil {
+			resp.Analyze[i].Error = err.Error()
+			continue
+		}
 		ld, err := s.loadChecked(ar.Circuit, ar.Netlist, ar.Name, ar.Cycles, &ar.InitState)
 		if err != nil {
 			resp.Analyze[i].Error = err.Error()
 			continue
 		}
+		s.met.countModes(ar.LaneWords, ar.Approx != nil)
 		j, err := s.submit("analyze", r.Context(), true, s.runAnalyze(ld.h, ld.display, ar))
 		if err != nil {
 			resp.Analyze[i].Error = err.Error()
@@ -931,6 +994,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Optimize[i].Error = err.Error()
 			continue
 		}
+		s.met.countModes(or.LaneWords, false)
 		j, err := s.submit("optimize", r.Context(), true, s.runOptimize(ld.h, ld.display, or))
 		if err != nil {
 			resp.Optimize[i].Error = err.Error()
@@ -953,6 +1017,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Susceptibility[i].Error = err.Error()
 			continue
 		}
+		s.met.countModes(sr.LaneWords, false)
 		j, err := s.submit("susceptibility", r.Context(), true, s.runSusceptibility(ld.h, ld.display, sr))
 		if err != nil {
 			resp.Susceptibility[i].Error = err.Error()

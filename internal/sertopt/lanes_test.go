@@ -1,0 +1,38 @@
+package sertopt
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestOptimizeLaneWordsBitIdentical checks the optimizer — whose cost
+// loop re-enters the shared strike pipeline through the incremental
+// RecomputeU path — lands on a bit-identical result at every
+// bit-parallel lane width.
+func TestOptimizeLaneWordsBitIdentical(t *testing.T) {
+	c, err := gen.ISCAS85("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(w int) *Result {
+		res, err := Optimize(c, lib(), Options{Vectors: 1000, Seed: 2, Iterations: 2, LaneWords: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := run(1)
+	for _, w := range []int{4, 8} {
+		got := run(w)
+		if got.OptAnalysis.U != want.OptAnalysis.U || got.BaseAnalysis.U != want.BaseAnalysis.U {
+			t.Fatalf("W=%d: U base/opt = %v/%v, want %v/%v",
+				w, got.BaseAnalysis.U, got.OptAnalysis.U, want.BaseAnalysis.U, want.OptAnalysis.U)
+		}
+		for id, cell := range want.Optimized {
+			if got.Optimized[id] != cell {
+				t.Fatalf("W=%d: optimized cell[%d] = %+v, want %+v", w, id, got.Optimized[id], cell)
+			}
+		}
+	}
+}

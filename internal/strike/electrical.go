@@ -61,9 +61,73 @@ type Propagator struct {
 	nPOs int
 }
 
+// elecStatics are the sens-derived electrical statics: per-fanout-edge
+// side sensitizations S_is and the Eq. 2 denominators Σ_s S_is·P_sj.
+// Both depend only on the netlist and the sensitization statistics —
+// never on the cell assignment — so they are memoized on the compiled
+// handle and shared by every warm analysis at the same (vectors, seed).
+type elecStatics struct {
+	sis []float64
+	den []float64
+}
+
+// MemoWeight reports the statics' retained size in cache-weight units
+// (engine.MemoWeigher): the denominator arena dominates.
+func (s *elecStatics) MemoWeight() int64 {
+	return int64(len(s.sis)+len(s.den)) * 8 / 128
+}
+
+// elecKey memoizes elecStatics on the compiled handle, keyed by the
+// identity of the sensitization result they were derived from (one
+// entry per live (vectors, seed) result).
+type elecKey struct{ sens *logicsim.Result }
+
+// staticsFor returns the memoized sens-derived statics for the handle.
+func staticsFor(cc *engine.CompiledCircuit, sens *logicsim.Result) *elecStatics {
+	v, _ := cc.Memo(elecKey{sens}, func() (any, error) {
+		c := cc.Circuit()
+		nGates := len(c.Gates)
+		nPOs := len(c.Outputs())
+		foutOff := cc.FanoutOffsets()
+		st := &elecStatics{
+			sis: make([]float64, foutOff[nGates]),
+			den: make([]float64, nGates*nPOs),
+		}
+		par.ForChunks(nGates, 0, 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				g := c.Gates[i]
+				if g.Type.IsSource() {
+					continue
+				}
+				sis := st.sis[foutOff[i]:foutOff[i+1]]
+				for si, s := range g.Fanout {
+					sis[si] = logicsim.SideSensitization(c, sens, i, s)
+				}
+				// π_isj = S_is · P_ij / Σ_k S_ik · P_kj  (Eq. 2), which
+				// satisfies the paper's normalization
+				// Σ_s π_isj · P_sj = P_ij. The denominator is
+				// delay-independent, so it is computed once here.
+				den := st.den[i*nPOs : (i+1)*nPOs]
+				for j := 0; j < nPOs; j++ {
+					d := 0.0
+					for si, s := range g.Fanout {
+						d += sis[si] * sens.Pij[s][j]
+					}
+					den[j] = d
+				}
+			}
+		})
+		return st, nil
+	})
+	return v.(*elecStatics)
+}
+
 // NewPropagator builds the electrical-filter statics for a compiled
 // circuit, its sensitization statistics, the per-gate generated glitch
-// widths and the sample ladder.
+// widths and the sample ladder. The sens-derived statics (side
+// sensitizations, Eq. 2 denominators) are memoized on the handle, so a
+// warm analysis only pays for the assignment-derived interpolation
+// coefficients.
 func NewPropagator(cc *engine.CompiledCircuit, sens *logicsim.Result, genWidth, samples []float64) *Propagator {
 	c := cc.Circuit()
 	p := &Propagator{
@@ -75,39 +139,20 @@ func NewPropagator(cc *engine.CompiledCircuit, sens *logicsim.Result, genWidth, 
 		nPOs:     len(c.Outputs()),
 	}
 	nGates := len(c.Gates)
-	nPOs := p.nPOs
 	p.foutOff = cc.FanoutOffsets()
-	p.sis = make([]float64, p.foutOff[nGates])
-	p.den = make([]float64, nGates*nPOs)
+	st := staticsFor(cc, sens)
+	p.sis = st.sis
+	p.den = st.den
 	p.genIdx = make([]int32, nGates)
 	p.genFrac = make([]float64, nGates)
-	par.ForChunks(nGates, 0, 0, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			g := c.Gates[i]
-			if g.Type.IsSource() {
-				continue
-			}
-			sis := p.sis[p.foutOff[i]:p.foutOff[i+1]]
-			for si, s := range g.Fanout {
-				sis[si] = logicsim.SideSensitization(c, sens, i, s)
-			}
-			// π_isj = S_is · P_ij / Σ_k S_ik · P_kj  (Eq. 2), which
-			// satisfies the paper's normalization
-			// Σ_s π_isj · P_sj = P_ij. The denominator is
-			// delay-independent, so it is computed once here.
-			den := p.den[i*nPOs : (i+1)*nPOs]
-			for j := 0; j < nPOs; j++ {
-				d := 0.0
-				for si, s := range g.Fanout {
-					d += sis[si] * sens.Pij[s][j]
-				}
-				den[j] = d
-			}
-			gi, gf := lut.PrepInterp1D(samples, genWidth[i])
-			p.genIdx[i] = int32(gi)
-			p.genFrac[i] = gf
+	for _, g := range c.Gates {
+		if g.Type.IsSource() {
+			continue
 		}
-	})
+		gi, gf := lut.PrepInterp1D(samples, genWidth[g.ID])
+		p.genIdx[g.ID] = int32(gi)
+		p.genFrac[g.ID] = gf
+	}
 	p.rorder = cc.ReverseTopoOrder()
 	return p
 }
@@ -193,13 +238,34 @@ func (p *Propagator) computeGateColumns(i, jLo, jHi int, accK []float64, wsDst, 
 			continue
 		}
 		pij := p.sens.Pij[i][j]
-		if pij == 0 || den[j] == 0 {
+		if pij == 0 {
+			// Row (i, j) is never read downstream: a predecessor's
+			// combine loop skips zero-P_sj successors, so the row needs
+			// no zero-fill — this is what lets Run work in a reused
+			// (un-zeroed) arena.
+			continue
+		}
+		if den[j] == 0 {
+			// Reachable but with a zero Eq. 2 denominator (every side
+			// sensitization vanished): the glitch contributes nothing,
+			// but predecessors WILL read this row, so it must hold
+			// zeros even in a reused arena.
+			row := wsDst[(i*nPOs+j)*K : (i*nPOs+j+1)*K]
+			for k := range row {
+				row[k] = 0
+			}
 			continue
 		}
 		for k := 0; k < K; k++ {
 			accK[k] = 0
 		}
 		for si, s := range succs {
+			if p.sens.Pij[s][j] == 0 {
+				// Zero sensitization to this PO: the successor's row is
+				// identically zero (and may be un-zeroed scratch), and
+				// its contribution to the combine is zero either way.
+				continue
+			}
 			w := sis[si]
 			src := wsDst
 			if affected != nil && !affected[s] {
@@ -239,13 +305,17 @@ func (p *Propagator) computeGateColumns(i, jLo, jHi int, accK []float64, wsDst, 
 // PO columns are independent of one another, so the pass fans out over
 // column chunks; each chunk owns all rows of its columns, making the
 // parallel result identical to the serial one.
+//
+// wsDst may hold stale data from a previous Run: every row the pass
+// reads is written (or zero-filled) first, because the combine loop
+// skips zero-P_sj successors. Rows of unreachable (i, j) pairs are left
+// untouched — callers exposing the WS table must supply a zeroed arena;
+// callers that only consume wijDst (which IS fully zero-filled here)
+// may reuse scratch.
 func (p *Propagator) Run(delays, wsDst, wijDst []float64) {
 	p.prepAtten(delays)
 	K := len(p.samples)
 	nPOs := p.nPOs
-	for i := range wsDst {
-		wsDst[i] = 0
-	}
 	for i := range wijDst {
 		wijDst[i] = 0
 	}
@@ -339,6 +409,23 @@ func (d *Delta) Recompute(delays []float64, fullEvery int) (float64, error) {
 	p := d.p
 	c := p.c
 	nGates := len(c.Gates)
+	if d.baseWS == nil {
+		// Lean baseline (the analysis did not retain its WS arena):
+		// there is nothing to serve unaffected rows from, so every
+		// re-evaluation is a full pass. Unchanged-delay calls still
+		// short-circuit to the baseline U.
+		same := true
+		for _, g := range c.Gates {
+			if !g.Type.IsSource() && delays[g.ID] != d.baseDelays[g.ID] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return d.baseU, nil
+		}
+		return d.RecomputeFull(delays)
+	}
 	if d.changed == nil {
 		d.changed = make([]bool, nGates)
 		d.affected = make([]bool, nGates)

@@ -336,6 +336,25 @@ type AnalysisOptions struct {
 	// Size sizes every gate uniformly when Cells is nil (default:
 	// speed-driven baseline sizing).
 	Cells aserta.Assignment
+	// Lean runs the analysis in pooled scratch: U and the per-gate
+	// report are bit-identical, but the report's Raw() analysis
+	// retains no WS/Wij tables (SpectrumU is unavailable and
+	// RecomputeU is non-incremental). The serving tier's default —
+	// it cuts tens of MB of per-request allocation on large circuits.
+	Lean bool
+	// LaneWords selects the bit-parallel simulation lane width in
+	// 64-bit words (1, 4 or 8 — 64, 256 or 512 vectors per pass;
+	// default 1). Results are bit-identical across widths; wider lanes
+	// trade a larger inner block for fewer passes over the arena on
+	// circuits big enough to fall out of cache.
+	LaneWords int
+	// Approx, when non-nil, switches to the sampled analysis mode:
+	// U is estimated from independent vector batches with a Student-t
+	// confidence interval and early termination (see ApproxOptions).
+	// Nil — the default everywhere — runs the exact fixed-Vectors
+	// analysis. Approximate reports are NOT bit-identical to exact
+	// ones; regression gates and the serving tier default to exact.
+	Approx *ApproxOptions
 }
 
 // GateReport is one gate's analysis summary.
@@ -351,10 +370,22 @@ type GateReport struct {
 
 // Report is the public ASERTA result.
 type Report struct {
-	// U is the circuit unreliability (Eq. 4).
+	// U is the circuit unreliability (Eq. 4). In approximate mode it
+	// is the mean over sampled batches.
 	U float64
 	// Gates lists per-gate results in netlist order.
 	Gates []GateReport
+
+	// Approx reports whether the sampled mode produced this report.
+	// When true, [UCILow, UCIHigh] brackets U at the requested
+	// Confidence, Batches counts the sampled batches and VectorsUsed
+	// the total vectors actually simulated; exact reports leave all of
+	// them zero.
+	Approx          bool
+	UCILow, UCIHigh float64
+	Confidence      float64
+	Batches         int
+	VectorsUsed     int
 
 	analysis *aserta.Analysis
 }
@@ -483,11 +514,16 @@ func (s *System) AnalyzeCompiledContext(ctx context.Context, h *Compiled, opts A
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if opts.Approx != nil {
+		return s.analyzeApprox(ctx, h, opts, cells)
+	}
 	an, err := aserta.AnalyzeCompiled(h.cc, s.Lib, cells, aserta.Config{
-		Vectors: opts.Vectors,
-		Seed:    opts.Seed,
-		POLoad:  opts.POLoad,
-		Spans:   rec,
+		Vectors:   opts.Vectors,
+		Seed:      opts.Seed,
+		POLoad:    opts.POLoad,
+		Spans:     rec,
+		Lean:      opts.Lean,
+		LaneWords: opts.LaneWords,
 	})
 	if err != nil {
 		return nil, err
@@ -525,6 +561,11 @@ type SequentialOptions struct {
 	// InitState is the flop reset state in Circuit.DFFs() order; nil
 	// means all zeros.
 	InitState []bool
+	// LaneWords selects the bit-parallel lane width for both frame
+	// sensitization and the multi-cycle fault chase (1, 4 or 8; other
+	// values snap down; see AnalysisOptions.LaneWords). Bit-identical
+	// at every width.
+	LaneWords int
 }
 
 // SequentialGateReport is one gate's sequential summary.
@@ -624,6 +665,7 @@ func (s *System) AnalyzeSequentialCompiledContext(ctx context.Context, h *Compil
 		ClockPeriod: opts.ClockPeriod,
 		FluxPerHour: opts.FluxPerHour,
 		InitState:   opts.InitState,
+		LaneWords:   opts.LaneWords,
 	})
 	if err != nil {
 		return nil, err
@@ -655,6 +697,10 @@ type OptimizeOptions struct {
 	Method string
 	// Weights override the Eq. 5 cost weights.
 	Weights *sertopt.Weights
+	// LaneWords selects the bit-parallel lane width for the optimizer's
+	// sensitization and cost loop (1, 4 or 8; other values snap down;
+	// see AnalysisOptions.LaneWords). Bit-identical at every width.
+	LaneWords int
 }
 
 // OptimizeResult is the public SERTOPT outcome.
@@ -742,6 +788,7 @@ func (s *System) OptimizeCompiledContext(ctx context.Context, h *Compiled, opts 
 		Vectors:    opts.Vectors,
 		Seed:       opts.Seed,
 		Method:     opts.Method,
+		LaneWords:  opts.LaneWords,
 	}
 	if opts.Weights != nil {
 		sopts.Weights = *opts.Weights

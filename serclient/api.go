@@ -38,6 +38,50 @@ type AnalyzeRequest struct {
 	// fields are wall-clock and vary run to run, so bit-identity
 	// comparisons should leave this unset.
 	Timings bool `json:"timings,omitempty"`
+	// LaneWords selects the bit-parallel simulation lane width: 1
+	// (64-bit, the default), 4 (256-bit) or 8 (512-bit); other values
+	// snap down. Results are bit-identical at every width, so this is
+	// purely a performance knob.
+	LaneWords int `json:"lane_words,omitempty"`
+	// Approx opts into the bounded-error sampled analysis instead of
+	// the exact fixed-vector run (combinational only; rejected when
+	// Cycles > 0). The response then carries an ApproxResult with the
+	// confidence interval. nil keeps the exact mode — the default, and
+	// the only mode whose results are bit-identical across runs.
+	Approx *ApproxRequest `json:"approx,omitempty"`
+}
+
+// ApproxRequest tunes the sampled analysis mode. Every zero field
+// takes the server default; the mode itself is selected by the
+// field's presence on the request, never by its contents.
+type ApproxRequest struct {
+	// RelErr is the target relative half-width of the confidence
+	// interval (default 0.05): sampling stops once half-width ≤
+	// RelErr·U.
+	RelErr float64 `json:"rel_err,omitempty"`
+	// Confidence is the interval coverage: 0.90, 0.95 (default) or
+	// 0.99; other values snap to the nearest.
+	Confidence float64 `json:"confidence,omitempty"`
+	// BatchVectors is the vector count per Monte-Carlo batch (default
+	// 1,000; capped by the server's MaxVectors limit).
+	BatchVectors int `json:"batch_vectors,omitempty"`
+	// MaxBatches bounds the sampling loop regardless of convergence
+	// (default 32).
+	MaxBatches int `json:"max_batches,omitempty"`
+}
+
+// ApproxResult reports the sampled mode's convergence: the response's
+// top-level U is the batch-mean estimate and [UCILow, UCIHigh] its
+// two-sided Student-t confidence interval at Confidence coverage.
+type ApproxResult struct {
+	UCILow     float64 `json:"u_ci_low"`
+	UCIHigh    float64 `json:"u_ci_high"`
+	Confidence float64 `json:"confidence"`
+	// Batches is the number of Monte-Carlo batches run before the
+	// interval converged (or MaxBatches stopped it); VectorsUsed the
+	// total random vectors across them.
+	Batches     int `json:"batches"`
+	VectorsUsed int `json:"vectors_used"`
 }
 
 // GateResult is one gate's analysis summary (all times in seconds).
@@ -74,7 +118,10 @@ type AnalyzeResponse struct {
 	// Sequential is set when the request asked for a multi-cycle
 	// sequential analysis (Cycles > 0).
 	Sequential *SequentialResult `json:"sequential,omitempty"`
-	ElapsedMS  float64           `json:"elapsed_ms"`
+	// Approx carries the confidence interval when the request opted
+	// into the sampled mode; nil for exact analyses.
+	Approx    *ApproxResult `json:"approx,omitempty"`
+	ElapsedMS float64       `json:"elapsed_ms"`
 	// Timings is the per-stage breakdown of ElapsedMS, present only
 	// when the request set Timings.
 	Timings *TimingsReport `json:"timings,omitempty"`
@@ -101,6 +148,9 @@ type SusceptibilityRequest struct {
 	Async     bool   `json:"async,omitempty"`
 	// Timings asks for the per-stage breakdown (see AnalyzeRequest).
 	Timings bool `json:"timings,omitempty"`
+	// LaneWords selects the bit-parallel lane width (see
+	// AnalyzeRequest); the ranking is bit-identical at every width.
+	LaneWords int `json:"lane_words,omitempty"`
 }
 
 // SusceptibilityEntry is one ranked per-gate contribution.
@@ -149,6 +199,10 @@ type OptimizeRequest struct {
 	Async  bool   `json:"async,omitempty"`
 	// Timings asks for the per-stage breakdown (see AnalyzeRequest).
 	Timings bool `json:"timings,omitempty"`
+	// LaneWords selects the bit-parallel lane width (see
+	// AnalyzeRequest); the optimization is bit-identical at every
+	// width.
+	LaneWords int `json:"lane_words,omitempty"`
 }
 
 // OptimizeResponse is the SERTOPT outcome for one circuit.
@@ -358,6 +412,13 @@ type MetricsResponse struct {
 	// was already accepted (submission-time failures reject the
 	// request instead).
 	JournalErrors int64 `json:"journal_errors"`
+	// WideLaneJobs counts accepted analysis-family submissions that
+	// requested a bit-parallel lane width above the 64-bit default;
+	// ApproxJobs those that opted into the sampled Approx mode. Both
+	// count requests, not batches, so operators can see how much
+	// traffic exercises the non-default simulation paths.
+	WideLaneJobs int64 `json:"wide_lane_jobs"`
+	ApproxJobs   int64 `json:"approx_jobs"`
 	// Characterizations counts cell-class characterizations executed by
 	// the shared library (cache misses); LibCacheHits counts jobs that
 	// ran entirely against already-characterized tables.

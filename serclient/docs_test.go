@@ -12,6 +12,7 @@ import (
 // them, so the reference cannot silently drift from the code.
 var wireTypes = []any{
 	AnalyzeRequest{}, AnalyzeResponse{}, GateResult{}, SequentialResult{},
+	ApproxRequest{}, ApproxResult{},
 	SusceptibilityRequest{}, SusceptibilityResponse{}, SusceptibilityEntry{},
 	OptimizeRequest{}, OptimizeResponse{},
 	BatchRequest{}, BatchResponse{},
