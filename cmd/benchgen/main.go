@@ -9,7 +9,12 @@
 //	benchgen -circuit c432 > c432.bench
 //	benchgen -circuit s1196 > s1196.bench
 //	benchgen -gates 400 -flops 32 -seed 7 > rand.bench
+//	benchgen -scale 1000000 -seed 1 > scale1m.bench
 //	benchgen -list
+//
+// -scale uses the streaming generator (internal/gen.WriteScale):
+// million-gate netlists are emitted straight to stdout with memory
+// proportional to one block, never materializing the circuit graph.
 package main
 
 import (
@@ -30,6 +35,7 @@ func main() {
 		circuit = flag.String("circuit", "", "benchmark name to emit")
 		list    = flag.Bool("list", false, "list available benchmarks with their shapes")
 		gates   = flag.Int("gates", 0, "generate a random circuit with this many logic gates (instead of -circuit)")
+		scale   = flag.Int("scale", 0, "stream a block-structured netlist with this many logic gates (bounded cones, for million-gate runs)")
 		flops   = flag.Int("flops", 0, "number of D flip-flops in the generated circuit (0 = combinational)")
 		pis     = flag.Int("pis", 8, "primary inputs of the generated circuit")
 		pos     = flag.Int("pos", 4, "primary outputs of the generated circuit")
@@ -46,6 +52,19 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Println(ser.Summary(c))
+		}
+		return
+	}
+	if *scale > 0 {
+		err := gen.WriteScale(os.Stdout, gen.ScaleProfile{
+			Name:  *name,
+			Gates: *scale,
+			PIs:   *pis,
+			POs:   *pos,
+			Seed:  *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
 		}
 		return
 	}

@@ -25,6 +25,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -57,6 +58,19 @@ func main() {
 	metricTol := flag.Float64("metric-tol", 0.005, "allowed relative drift of paper metrics (0.005 = 0.5%)")
 	nsFactor := flag.Float64("ns-factor", 2.5, "allowed ns/op slowdown factor (loose bound for noisy runners)")
 	allocFactor := flag.Float64("alloc-factor", 8, "allowed allocs/op growth factor (0 disables; loose enough for worker-count variation, tight enough to catch per-call allocation regressions)")
+	memCeilings := map[string]float64{}
+	flag.Func("mem-ceiling", "absolute B/op ceiling as Name=bytes (repeatable; gates even without -compare; needs -benchmem)", func(s string) error {
+		name, val, ok := strings.Cut(s, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("want Name=bytes, got %q", s)
+		}
+		bytes, err := strconv.ParseFloat(val, 64)
+		if err != nil || bytes <= 0 {
+			return fmt.Errorf("bad ceiling %q", val)
+		}
+		memCeilings[name] = bytes
+		return nil
+	})
 	flag.Parse()
 
 	if *in != "" {
@@ -65,7 +79,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 			os.Exit(1)
 		}
-		gate(*compare, fr.Report, *metricTol, *nsFactor, *allocFactor)
+		gate(*compare, fr.Report, *metricTol, *nsFactor, *allocFactor, memCeilings)
 		return
 	}
 
@@ -120,7 +134,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchreport: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
-	gate(*compare, rep, *metricTol, *nsFactor, *allocFactor)
+	gate(*compare, rep, *metricTol, *nsFactor, *allocFactor, memCeilings)
 }
 
 // readReport loads a BENCH_*.json written by this command.
@@ -139,27 +153,34 @@ func readReport(path string) (*fileReport, error) {
 	return &fr, nil
 }
 
-// gate compares cur against the baseline at comparePath (no-op when
-// empty) and exits 1 on any regression.
-func gate(comparePath string, cur *benchfmt.Report, metricTol, nsFactor, allocFactor float64) {
-	if comparePath == "" {
+// gate compares cur against the baseline at comparePath and applies
+// the absolute memory ceilings, exiting 1 on any regression. With no
+// baseline the ceilings still gate (against an empty base report);
+// with neither it is a no-op.
+func gate(comparePath string, cur *benchfmt.Report, metricTol, nsFactor, allocFactor float64, memCeilings map[string]float64) {
+	if comparePath == "" && len(memCeilings) == 0 {
 		return
 	}
-	base, err := readReport(comparePath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchreport: baseline: %v\n", err)
-		os.Exit(1)
+	base := &benchfmt.Report{}
+	if comparePath != "" {
+		fr, err := readReport(comparePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		base = fr.Report
 	}
-	regs := benchfmt.Compare(base.Report, cur, benchfmt.CompareOptions{
+	regs := benchfmt.Compare(base, cur, benchfmt.CompareOptions{
 		MetricTol:      metricTol,
 		NsFactor:       nsFactor,
 		SkipMemMetrics: true,
 		AllocFactor:    allocFactor,
+		MemCeilingsB:   memCeilings,
 	})
 	if len(regs) > 0 {
 		fmt.Fprintf(os.Stderr, "benchreport: %d regression(s) vs %s:\n%s", len(regs), comparePath, benchfmt.FormatRegressions(regs))
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchreport: no regressions vs %s (%d baseline benchmarks, metric tol %.2f%%, ns/op bound %.2fx)\n",
-		comparePath, len(base.Benchmarks), 100*metricTol, nsFactor)
+	fmt.Fprintf(os.Stderr, "benchreport: no regressions vs %s (%d baseline benchmarks, %d memory ceilings, metric tol %.2f%%, ns/op bound %.2fx)\n",
+		comparePath, len(base.Benchmarks), len(memCeilings), 100*metricTol, nsFactor)
 }

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	serd [-addr :8080] [-coarse] [-workers N] [-queue N]
-//	     [-libcache lib.json] [-journal DIR]
+//	     [-libcache lib.json] [-journal DIR] [-artifact-dir DIR]
+//	     [-sens-mem-budget BYTES]
 //	     [-job-timeout 15m] [-max-attempts 3]
 //	     [-shard-name NAME] [-register ROUTER-URL [-advertise URL]]
 //	     [-log-level info] [-log-format text] [-pprof ADDR]
@@ -30,6 +31,15 @@
 // fsync'd log; a restart on the same directory re-enqueues jobs that
 // were queued or running and serves finished results under their
 // original IDs.
+//
+// With -artifact-dir, every compiled circuit is also persisted as a
+// versioned, checksummed on-disk artifact keyed by content hash; a
+// restart on the same directory serves the first request for any
+// previously-seen netlist from disk (mmap'd read-only where the
+// platform allows) without recompiling. Corrupt artifacts are
+// detected, removed and recompiled. -sens-mem-budget bounds the
+// transient memory of one sensitization analysis; larger jobs run in
+// chunks with bit-identical results.
 //
 // With -route, the process runs as a multi-node coordinator instead of
 // an analysis shard: it speaks the same wire protocol but
@@ -62,6 +72,7 @@ import (
 
 	"repro"
 	"repro/internal/journal"
+	"repro/internal/logicsim"
 	"repro/internal/router"
 	"repro/internal/serd"
 	"repro/serclient"
@@ -79,6 +90,8 @@ func main() {
 		maxFrames   = flag.Int("max-seq-frames", 65536, "largest accepted cycles x flops work budget")
 		libcache    = flag.String("libcache", "", "JSON library cache (loaded if present, saved on shutdown)")
 		ckktCache   = flag.Int64("compiled-cache-gates", 500000, "compiled-circuit cache budget (total gate records; 0 = default)")
+		artifactDir = flag.String("artifact-dir", "", "persistent compiled-circuit artifact directory (empty = compile from scratch after every restart)")
+		sensBudget  = flag.Int64("sens-mem-budget", 0, "sensitization transient-memory budget in bytes (0 = default 2 GiB; oversized analyses run chunked)")
 		journalDir  = flag.String("journal", "", "durable job journal directory (empty = async jobs are lost on restart)")
 		jobTimeout  = flag.Duration("job-timeout", 15*time.Minute, "async job deadline across all attempts (negative = none)")
 		maxAttempts = flag.Int("max-attempts", 3, "execution attempts per async job before it fails terminally")
@@ -111,6 +124,11 @@ func main() {
 	if routerMode {
 		runRouter(*addr, *routeSpec, *healthInterval)
 		return
+	}
+
+	if *sensBudget > 0 {
+		logicsim.DefaultSensBudgetBytes = *sensBudget
+		slog.Info("sensitization memory budget set", "bytes", *sensBudget)
 	}
 
 	level := ser.DefaultCharacterization
@@ -149,6 +167,7 @@ func main() {
 		MaxSeqFrames:       *maxFrames,
 		KeepJobs:           *keepJobs,
 		CompiledCacheGates: *ckktCache,
+		ArtifactDir:        *artifactDir,
 		Journal:            jnl,
 		JobTimeout:         *jobTimeout,
 		MaxAttempts:        *maxAttempts,

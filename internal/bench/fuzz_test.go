@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -56,6 +57,38 @@ var fuzzSeeds = []string{
 	// canonicalize to the same content hash as its tidy form — the
 	// cache-key property the serving tier relies on.
 	"# canon seed\ny  =  NOT( g2 )\nOUTPUT(q)\nINPUT( b )\ng2=NOR(g1,q)\nOUTPUT( y )\nq = DFF(g2)\nINPUT(a)\ng1 = NAND(a, b)\n",
+	// Deep chain: a long inverter ladder stresses topological depth and
+	// the streaming parser's forward-resolution arrays.
+	deepChainSeed(),
+	// Wide gate: one AND over many operands stresses per-line operand
+	// scanning and the CSR fanin arena.
+	wideGateSeed(),
+}
+
+// deepChainSeed builds a 64-deep inverter ladder declared backwards,
+// so every fanin is a forward reference at parse time.
+func deepChainSeed() string {
+	var sb strings.Builder
+	sb.WriteString("INPUT(x0)\nOUTPUT(x64)\n")
+	for i := 64; i >= 1; i-- {
+		fmt.Fprintf(&sb, "x%d = NOT(x%d)\n", i, i-1)
+	}
+	return sb.String()
+}
+
+// wideGateSeed builds a single 64-input NAND.
+func wideGateSeed() string {
+	var sb strings.Builder
+	sb.WriteString("OUTPUT(y)\n")
+	for i := 0; i < 64; i++ {
+		fmt.Fprintf(&sb, "INPUT(w%d)\n", i)
+	}
+	sb.WriteString("y = NAND(w0")
+	for i := 1; i < 64; i++ {
+		fmt.Fprintf(&sb, ", w%d", i)
+	}
+	sb.WriteString(")\n")
+	return sb.String()
 }
 
 // FuzzCanonicalHash is the canonical-hash fixed-point fuzz the CI
@@ -104,6 +137,21 @@ func FuzzCanonicalHash(f *testing.F) {
 		if h != key {
 			t.Fatalf("ContentHash(canonical) = %s, CanonicalContent key = %s", h, key)
 		}
+	})
+}
+
+// FuzzParseStream is the differential fuzz behind the streaming
+// compile path: for ANY input, the streaming parser must make the same
+// accept/reject decision as the legacy parser with the same error
+// text, and on accept produce a structurally identical circuit with
+// the same content hash — the property that lets every production
+// path use ParseStream while Parse remains the executable spec.
+func FuzzParseStream(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		diffParse(t, data, "fuzz")
 	})
 }
 

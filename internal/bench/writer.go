@@ -14,8 +14,15 @@ import (
 // levelized listing. DFF lines come first among the assignments (flop
 // outputs are frame sources); their D operands may be forward
 // references, which the parser accepts.
+//
+// Output is buffered and streamed: operand lists are written directly
+// from the gate records (no per-gate string join), and a destination
+// write error aborts the topological walk immediately instead of
+// formatting the remainder of a multi-hundred-MB netlist into a dead
+// writer. The byte output is unchanged, so canonical content hashes
+// are unaffected.
 func Write(w io.Writer, c *ckt.Circuit) error {
-	bw := bufio.NewWriter(w)
+	bw := bufio.NewWriterSize(w, 1<<16)
 	fmt.Fprintf(bw, "# %s\n", c.Name)
 	if n := len(c.DFFs()); n > 0 {
 		fmt.Fprintf(bw, "# %d inputs, %d outputs, %d flops, %d gates\n", len(c.Inputs()), len(c.Outputs()), n, c.NumGates()-n)
@@ -23,10 +30,14 @@ func Write(w io.Writer, c *ckt.Circuit) error {
 		fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates\n", len(c.Inputs()), len(c.Outputs()), c.NumGates())
 	}
 	for _, id := range c.Inputs() {
-		fmt.Fprintf(bw, "INPUT(%s)\n", c.Gates[id].Name)
+		bw.WriteString("INPUT(")
+		bw.WriteString(c.Gates[id].Name)
+		bw.WriteString(")\n")
 	}
 	for _, id := range c.Outputs() {
-		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Gates[id].Name)
+		bw.WriteString("OUTPUT(")
+		bw.WriteString(c.Gates[id].Name)
+		bw.WriteString(")\n")
 	}
 	order, err := c.TopoOrder()
 	if err != nil {
@@ -37,11 +48,21 @@ func Write(w io.Writer, c *ckt.Circuit) error {
 		if g.Type == ckt.Input {
 			continue
 		}
-		names := make([]string, len(g.Fanin))
+		bw.WriteString(g.Name)
+		bw.WriteString(" = ")
+		bw.WriteString(g.Type.String())
+		bw.WriteByte('(')
 		for i, f := range g.Fanin {
-			names[i] = c.Gates[f].Name
+			if i > 0 {
+				bw.WriteString(", ")
+			}
+			bw.WriteString(c.Gates[f].Name)
 		}
-		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Type, strings.Join(names, ", "))
+		// The final write of the line returns bufio's sticky error, so
+		// one check per gate both propagates and early-aborts.
+		if _, err := bw.WriteString(")\n"); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }

@@ -3,6 +3,7 @@ package benchfmt
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -36,6 +37,15 @@ type CompareOptions struct {
 	// much more tightly than two absolute ns/op gates on noisy,
 	// heterogeneous runners ever could. Defaults to NsFactor.
 	WidePairFactor float64
+	// MemCeilingsB, when non-empty, gates the named benchmarks' B/op
+	// against an absolute byte ceiling — independent of any baseline
+	// (an empty baseline report works). Relative factors cannot pin
+	// "a 1M-gate compile stays under N bytes"; an absolute ceiling
+	// can, which is what keeps million-gate memory budgets honest in
+	// CI. A benchmark named here must be present in the run and carry
+	// a B/op metric (-benchmem), otherwise that is itself a violation
+	// — a ceiling that silently stops being measured is no ceiling.
+	MemCeilingsB map[string]float64
 }
 
 // WithDefaults fills zero fields with the gate defaults.
@@ -154,6 +164,51 @@ func Compare(base, cur *Report, opts CompareOptions) []Regression {
 		}
 	}
 	regs = append(regs, compareWidePairs(base, curByName, opts)...)
+	regs = append(regs, compareMemCeilings(curByName, opts)...)
+	return regs
+}
+
+// compareMemCeilings applies the absolute B/op ceilings in
+// deterministic (sorted) order.
+func compareMemCeilings(curByName map[string]*Benchmark, opts CompareOptions) []Regression {
+	names := make([]string, 0, len(opts.MemCeilingsB))
+	for name := range opts.MemCeilingsB {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regs []Regression
+	for _, name := range names {
+		ceil := opts.MemCeilingsB[name]
+		nb, ok := curByName[name]
+		if !ok {
+			regs = append(regs, Regression{
+				Benchmark: name,
+				Metric:    "B/op",
+				Base:      ceil,
+				Reason:    "benchmark has a B/op ceiling but is missing from this run",
+			})
+			continue
+		}
+		bop, ok := nb.Metrics["B/op"]
+		if !ok {
+			regs = append(regs, Regression{
+				Benchmark: name,
+				Metric:    "B/op",
+				Base:      ceil,
+				Reason:    "B/op ceiling set but the run has no B/op metric (need -benchmem)",
+			})
+			continue
+		}
+		if bop > ceil {
+			regs = append(regs, Regression{
+				Benchmark: name,
+				Metric:    "B/op",
+				Base:      ceil,
+				New:       bop,
+				Reason:    fmt.Sprintf("%.0f B/op over the absolute ceiling %.0f", bop, ceil),
+			})
+		}
+	}
 	return regs
 }
 

@@ -126,3 +126,27 @@ func TestCompareWidePairs(t *testing.T) {
 		t.Fatalf("ratio-preserving slowdown flagged: %v", regs)
 	}
 }
+
+func TestCompareMemCeilings(t *testing.T) {
+	ceil := map[string]float64{"Compile1M": 2e9}
+	// Under the ceiling: clean, even with an empty baseline.
+	cur := report(bench("Compile1M", 1e9, map[string]float64{"B/op": 1.5e9, "allocs/op": 100}))
+	if regs := Compare(report(), cur, CompareOptions{MemCeilingsB: ceil}); len(regs) != 0 {
+		t.Fatalf("under-ceiling run flagged: %v", regs)
+	}
+	// Over the ceiling: fails.
+	cur = report(bench("Compile1M", 1e9, map[string]float64{"B/op": 2.5e9}))
+	regs := Compare(report(), cur, CompareOptions{MemCeilingsB: ceil})
+	if len(regs) != 1 || regs[0].Benchmark != "Compile1M" || regs[0].Metric != "B/op" {
+		t.Fatalf("over-ceiling run not flagged: %v", regs)
+	}
+	// Missing benchmark or missing B/op metric: also violations — a
+	// ceiling that stops being measured must not pass silently.
+	if regs := Compare(report(), report(), CompareOptions{MemCeilingsB: ceil}); len(regs) != 1 {
+		t.Fatalf("missing benchmark not flagged: %v", regs)
+	}
+	cur = report(bench("Compile1M", 1e9, nil))
+	if regs := Compare(report(), cur, CompareOptions{MemCeilingsB: ceil}); len(regs) != 1 {
+		t.Fatalf("missing B/op not flagged: %v", regs)
+	}
+}

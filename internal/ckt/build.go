@@ -1,0 +1,124 @@
+package ckt
+
+import "fmt"
+
+// BuildSpec describes a complete netlist as flat arrays, the form a
+// streaming parser or an on-disk artifact reader produces: no per-gate
+// allocations, no incremental Connect calls. Gate IDs are implicit
+// array indices, exactly as AddGate would have assigned them in the
+// same order.
+type BuildSpec struct {
+	// Name is the circuit name.
+	Name string
+	// GateNames holds one name per gate ID, in declaration order.
+	GateNames []string
+	// Types holds the gate type per gate ID.
+	Types []GateType
+	// FaninOff is the CSR offset table into Fanin: gate id's fanin IDs
+	// are Fanin[FaninOff[id]:FaninOff[id+1]], in operand order. Length
+	// must be len(GateNames)+1 with FaninOff[0] == 0.
+	FaninOff []int32
+	// Fanin holds the concatenated fanin gate IDs of every gate.
+	Fanin []int32
+	// Outputs lists the gate IDs to mark as primary outputs, in marking
+	// order. Duplicates collapse exactly like repeated MarkPO calls.
+	Outputs []int32
+}
+
+// Build materializes a Circuit from a BuildSpec in bulk. The gate
+// records come from a single slab allocation and the fanin/fanout
+// adjacency lists are views into two exact-capacity arenas, so the
+// resulting circuit is structurally identical to one built with
+// AddGate/Connect/MarkPO in the same order — same IDs, same fanin
+// operand order, same fanout order (ascending destination ID), same
+// Inputs()/DFFs()/Outputs() sequences — at a fraction of the
+// allocations. Build checks the same structural invariants Connect
+// does (index range, combinational self-loops) but does not run
+// Validate; callers decide when to validate.
+func Build(spec BuildSpec) (*Circuit, error) {
+	n := len(spec.GateNames)
+	if len(spec.Types) != n || len(spec.FaninOff) != n+1 {
+		return nil, fmt.Errorf("ckt: build: inconsistent spec shapes (%d names, %d types, %d offsets)",
+			n, len(spec.Types), len(spec.FaninOff))
+	}
+	if spec.FaninOff[0] != 0 || int(spec.FaninOff[n]) != len(spec.Fanin) {
+		return nil, fmt.Errorf("ckt: build: fanin offsets cover [%d,%d), want [0,%d)",
+			spec.FaninOff[0], spec.FaninOff[n], len(spec.Fanin))
+	}
+	c := &Circuit{Name: spec.Name, byName: make(map[string]int, n)}
+	slab := make([]Gate, n)
+	c.Gates = make([]*Gate, n)
+	for id := 0; id < n; id++ {
+		name := spec.GateNames[id]
+		if _, dup := c.byName[name]; dup {
+			return nil, fmt.Errorf("ckt: duplicate gate name %q", name)
+		}
+		c.byName[name] = id
+		g := &slab[id]
+		g.ID, g.Name, g.Type = id, name, spec.Types[id]
+		c.Gates[id] = g
+		switch g.Type {
+		case Input:
+			c.inputs = append(c.inputs, id)
+		case DFF:
+			c.dffs = append(c.dffs, id)
+		}
+	}
+
+	// Fanin views plus fanout counting in one pass over the CSR edges.
+	faninArena := make([]int, len(spec.Fanin))
+	foutCnt := make([]int32, n)
+	for id := 0; id < n; id++ {
+		lo, hi := spec.FaninOff[id], spec.FaninOff[id+1]
+		if lo > hi {
+			return nil, fmt.Errorf("ckt: build: fanin offsets of gate %d decrease (%d > %d)", id, lo, hi)
+		}
+		for e := lo; e < hi; e++ {
+			s := int(spec.Fanin[e])
+			if s < 0 || s >= n {
+				return nil, fmt.Errorf("ckt: connect %d->%d out of range (have %d gates)", s, id, n)
+			}
+			if s == id && slab[id].Type != DFF {
+				return nil, fmt.Errorf("ckt: self-loop on gate %d (%s)", s, slab[s].Name)
+			}
+			faninArena[e] = s
+			foutCnt[s]++
+		}
+		if lo < hi {
+			// Gates with no fanin keep a nil slice, exactly like a gate
+			// that never saw a Connect call.
+			slab[id].Fanin = faninArena[lo:hi:hi]
+		}
+	}
+
+	// Fanout arena, filled in ascending destination-ID order — the
+	// order the legacy parser issues Connect calls in.
+	foutArena := make([]int, len(spec.Fanin))
+	cursor := make([]int32, n+1)
+	for id := 0; id < n; id++ {
+		cursor[id+1] = cursor[id] + foutCnt[id]
+	}
+	fill := make([]int32, n)
+	copy(fill, cursor[:n])
+	for id := 0; id < n; id++ {
+		for _, s := range slab[id].Fanin {
+			foutArena[fill[s]] = id
+			fill[s]++
+		}
+	}
+	for id := 0; id < n; id++ {
+		lo, hi := cursor[id], cursor[id+1]
+		if lo < hi {
+			slab[id].Fanout = foutArena[lo:hi:hi]
+		}
+	}
+
+	for _, o := range spec.Outputs {
+		id := int(o)
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("ckt: build: output gate %d out of range (have %d gates)", id, n)
+		}
+		c.MarkPO(id)
+	}
+	return c, nil
+}

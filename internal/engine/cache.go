@@ -27,6 +27,12 @@ type Cache struct {
 	hits      int64
 	misses    int64
 	evictions int64
+
+	// artifacts, when non-nil, is the persistent second level: an
+	// in-memory miss first tries ArtifactStore.Load (a warm restart
+	// serves its first request without recompiling), and a successful
+	// build is written back so the next process finds it.
+	artifacts *ArtifactStore
 }
 
 type cacheEntry struct {
@@ -70,6 +76,19 @@ func NewCache(budget int64) *Cache {
 		lru:     list.New(),
 	}
 }
+
+// NewCacheWithArtifacts creates a cache backed by a persistent
+// artifact store: in-memory misses consult the store before building,
+// and successful builds are persisted. store may be nil, in which case
+// the cache behaves exactly like NewCache.
+func NewCacheWithArtifacts(budget int64, store *ArtifactStore) *Cache {
+	ca := NewCache(budget)
+	ca.artifacts = store
+	return ca
+}
+
+// Artifacts returns the persistent second-level store, or nil.
+func (ca *Cache) Artifacts() *ArtifactStore { return ca.artifacts }
 
 // Get returns the compiled circuit for key, building it at most once:
 // the first caller for a missing key runs build while concurrent
@@ -142,9 +161,27 @@ func (ca *Cache) Get(key string, build func() (*CompiledCircuit, error)) (*Compi
 		close(e.ready)
 		ca.mu.Unlock()
 	}()
-	cc, err = build()
+	cc, err = ca.buildOrLoad(key, build)
 	if err == nil && cc == nil {
 		err = fmt.Errorf("engine: cache build for %q returned no circuit", key)
+	}
+	return cc, err
+}
+
+// buildOrLoad tries the persistent artifact store before running the
+// build, and persists a successful build. Artifact failures are
+// counted by the store and degrade to a plain build; the save is
+// synchronous so that by the time a caller observes its result, the
+// warm artifact exists (tests and operators can rely on it).
+func (ca *Cache) buildOrLoad(key string, build func() (*CompiledCircuit, error)) (*CompiledCircuit, error) {
+	if ca.artifacts != nil {
+		if cc, ok := ca.artifacts.Load(key); ok {
+			return cc, nil
+		}
+	}
+	cc, err := build()
+	if err == nil && cc != nil && ca.artifacts != nil {
+		ca.artifacts.Save(key, cc)
 	}
 	return cc, err
 }

@@ -1,0 +1,20 @@
+//go:build !unix
+
+package engine
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile reads the whole file on platforms without the mmap fast
+// path; the artifact decode copies everything out regardless, so the
+// only difference is one extra buffer during Open.
+func mapFile(f *os.File, size int64) ([]byte, func(), error) {
+	_ = size
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() {}, nil
+}

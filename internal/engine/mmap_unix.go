@@ -1,0 +1,33 @@
+//go:build unix
+
+package engine
+
+import (
+	"io"
+	"os"
+	"syscall"
+)
+
+// mapFile maps an open file read-only. On any mmap failure (exotic
+// filesystems, size limits) it degrades to a plain read so Open never
+// depends on the platform fast path. The returned cleanup is safe to
+// call exactly once.
+func mapFile(f *os.File, size int64) ([]byte, func(), error) {
+	if size <= 0 || size > int64(int(^uint(0)>>1)) {
+		return readFile(f)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return readFile(f)
+	}
+	return data, func() { _ = syscall.Munmap(data) }, nil
+}
+
+// readFile is the chunked-read fallback shared with non-unix builds.
+func readFile(f *os.File) ([]byte, func(), error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() {}, nil
+}

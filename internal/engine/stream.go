@@ -1,0 +1,23 @@
+package engine
+
+import (
+	"io"
+
+	"repro/internal/bench"
+)
+
+// CompileStream parses a .bench netlist through the one-pass streaming
+// parser and compiles it, skipping the legacy per-line string splits
+// and the incremental gate-object construction. The compiled handle is
+// bit-identical to Compile over bench.Parse — same gate IDs, arenas,
+// topological orders and content hash — because the streaming parser
+// is differentially fuzzed against the legacy one and both feed the
+// same Compile. This is the intended entry point for million-gate
+// netlists.
+func CompileStream(r io.Reader, name string) (*CompiledCircuit, error) {
+	c, err := bench.ParseStream(r, name)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(c)
+}

@@ -1,0 +1,236 @@
+package gen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/stats"
+)
+
+// ScaleProfile describes a million-gate-class synthetic netlist for
+// the streaming generator. Unlike Profile, the circuit is never
+// materialized: WriteScale emits .bench text straight to a writer with
+// memory proportional to one block, so generating a 1M-gate netlist
+// costs a few megabytes, not a circuit graph.
+//
+// The structure is block-based: gates are grouped into cone-bounded
+// blocks (each block is a tapered chain with side taps drawn from
+// primary inputs), and block outputs feed per-PO merge chains of
+// varying arity, so primary outputs sit at varied depths. The fanout
+// cone of any gate is bounded by its block plus one merge chain — the
+// shape that makes bounded-memory sensitization of million-gate
+// circuits tractable and realistic (flat netlists with whole-circuit
+// cones are neither).
+type ScaleProfile struct {
+	// Name is the circuit name; default "scale<Gates>".
+	Name string
+	// Gates is the exact number of logic gates to emit, merge chains
+	// included (primary inputs not counted).
+	Gates int
+	// PIs is the primary-input count; default 64.
+	PIs int
+	// POs is the primary-output count; default 16, reduced when there
+	// are fewer blocks than POs.
+	POs int
+	// BlockSize bounds the gates per block, and with it every gate's
+	// fanout cone; default 1024.
+	BlockSize int
+	// MaxFanin bounds gate fanin; default 4, minimum 2.
+	MaxFanin int
+	// Seed drives the deterministic generation stream.
+	Seed uint64
+}
+
+// withDefaults fills zero fields and clamps degenerate ones.
+func (p ScaleProfile) withDefaults() ScaleProfile {
+	if p.PIs <= 1 {
+		p.PIs = 64
+	}
+	if p.POs <= 0 {
+		p.POs = 16
+	}
+	if p.BlockSize <= 1 {
+		p.BlockSize = 1024
+	}
+	if p.MaxFanin < 2 {
+		p.MaxFanin = 4
+	}
+	if p.Name == "" {
+		p.Name = "scale" + strconv.Itoa(p.Gates)
+	}
+	return p
+}
+
+// mergeArity returns the merge-chain arity for PO k: cycling through
+// 2..MaxFanin, so different POs sit at different depths.
+func (p ScaleProfile) mergeArity(k int) int {
+	return 2 + k%(p.MaxFanin-1)
+}
+
+// mergeGates returns the exact merge-chain gate count for nBlocks
+// block outputs distributed round-robin over nPOs chains.
+func (p ScaleProfile) mergeGates(nBlocks, nPOs int) int {
+	total := 0
+	for k := 0; k < nPOs; k++ {
+		m := nBlocks / nPOs
+		if k < nBlocks%nPOs {
+			m++
+		}
+		if m == 0 {
+			continue
+		}
+		a := p.mergeArity(k)
+		// First chain gate consumes up to a block outputs, each later
+		// one consumes a-1 more plus the chain so far; a single-block
+		// chain still needs one gate to own the OUTPUT.
+		total++
+		for rem := m - min(m, a); rem > 0; rem -= a - 1 {
+			total++
+		}
+	}
+	return total
+}
+
+// WriteScale streams the profile's netlist in .bench format to w.
+// Output is deterministic in the profile (byte-for-byte identical
+// across runs) and exactly p.Gates logic gates. The emitted text
+// parses with bench.Parse and bench.ParseStream into a valid, acyclic,
+// combinational circuit.
+func WriteScale(w io.Writer, p ScaleProfile) error {
+	p = p.withDefaults()
+	nBlocks := p.Gates / p.BlockSize
+	if nBlocks < 1 {
+		nBlocks = 1
+	}
+	nPOs := p.POs
+	if nPOs > nBlocks {
+		nPOs = nBlocks
+	}
+	merge := p.mergeGates(nBlocks, nPOs)
+	blockGates := p.Gates - merge
+	if blockGates < 2*nBlocks {
+		return fmt.Errorf("gen: scale profile too small: %d gates for %d blocks (+%d merge gates)",
+			p.Gates, nBlocks, merge)
+	}
+
+	rng := stats.NewRNG(p.Seed)
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintf(bw, "# %s: streaming synthetic netlist (%d gates, %d blocks, seed %d)\n",
+		p.Name, p.Gates, nBlocks, p.Seed)
+	pis := make([]string, p.PIs)
+	for i := range pis {
+		pis[i] = "pi" + strconv.Itoa(i)
+		fmt.Fprintf(bw, "INPUT(%s)\n", pis[i])
+	}
+
+	// Multi-input gate types cycle deterministically; ~1/8 of gates
+	// are inverters, keeping signal probabilities away from the rails.
+	multi := []string{"NAND", "AND", "NOR", "OR", "XOR"}
+	gid := 0
+	gname := func(id int) string { return "g" + strconv.Itoa(id) }
+
+	blockOuts := make([]string, 0, nBlocks)
+	emitGate := func(typ string, fanin []string) string {
+		name := gname(gid)
+		gid++
+		bw.WriteString(name)
+		bw.WriteString(" = ")
+		bw.WriteString(typ)
+		bw.WriteByte('(')
+		for i, f := range fanin {
+			if i > 0 {
+				bw.WriteString(", ")
+			}
+			bw.WriteString(f)
+		}
+		bw.WriteString(")\n")
+		return name
+	}
+
+	// Each block's external inputs are primary inputs only: blocks
+	// connect forward exclusively through their output's merge chain.
+	// Tapping earlier block outputs would look richer but makes every
+	// early gate's fanout cone transitively cover the rest of the
+	// netlist — exactly the shape that breaks bounded-memory
+	// sensitization. Reconvergence still happens inside blocks
+	// (repeated taps, shared recent locals).
+	taps := make([]string, 0, 2+p.MaxFanin)
+	local := make([]string, 0, p.BlockSize)
+	fanin := make([]string, 0, p.MaxFanin)
+	for b := 0; b < nBlocks; b++ {
+		size := blockGates / nBlocks
+		if b < blockGates%nBlocks {
+			size++
+		}
+		taps = taps[:0]
+		for t := 0; t < 2+p.MaxFanin; t++ {
+			taps = append(taps, pis[rng.Intn(p.PIs)])
+		}
+		local = local[:0]
+		for i := 0; i < size; i++ {
+			fanin = fanin[:0]
+			if len(local) > 0 {
+				// Chain spine: each gate consumes its predecessor, so
+				// the block is one connected cone and a gate's fanout
+				// cone is bounded by the rest of its block.
+				fanin = append(fanin, local[len(local)-1])
+			}
+			if len(local) > 0 && rng.Float64() < 0.125 {
+				local = append(local, emitGate("NOT", fanin))
+				continue
+			}
+			want := 2 + rng.Intn(p.MaxFanin-1)
+			for len(fanin) < want {
+				// Side inputs: recent local gates (depth) or taps
+				// (reconvergence), biased 3:1 once locals exist.
+				if n := len(local); n > 0 && rng.Intn(4) != 0 {
+					back := rng.Intn(min(n, 64))
+					fanin = append(fanin, local[n-1-back])
+				} else {
+					fanin = append(fanin, taps[rng.Intn(len(taps))])
+				}
+			}
+			local = append(local, emitGate(multi[rng.Intn(len(multi))], fanin))
+		}
+		blockOuts = append(blockOuts, local[len(local)-1])
+	}
+
+	// Merge chains: PO k folds its round-robin share of block outputs
+	// with arity mergeArity(k), giving each PO a distinct depth.
+	poNames := make([]string, 0, nPOs)
+	for k := 0; k < nPOs; k++ {
+		chain := ""
+		pending := 0
+		a := p.mergeArity(k)
+		fanin = fanin[:0]
+		flush := func(typ string) {
+			chain = emitGate(typ, fanin)
+			fanin = append(fanin[:0], chain)
+			pending = 0
+		}
+		for bi := k; bi < nBlocks; bi += nPOs {
+			fanin = append(fanin, blockOuts[bi])
+			pending++
+			if len(fanin) == a {
+				flush(multi[rng.Intn(len(multi))])
+			}
+		}
+		if pending > 0 || chain == "" {
+			if len(fanin) == 1 {
+				flush("NOT")
+			} else {
+				flush(multi[rng.Intn(len(multi))])
+			}
+		}
+		poNames = append(poNames, chain)
+	}
+	for _, n := range poNames {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", n)
+	}
+	if gid != p.Gates {
+		return fmt.Errorf("gen: scale emitter produced %d gates, want %d", gid, p.Gates)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,151 @@
+package gen_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/ckt"
+	"repro/internal/gen"
+)
+
+// External test package: the bench parser's own tests import gen, so
+// gen tests that parse generated text must live outside package gen to
+// keep the import graph acyclic.
+
+// TestWriteScaleDeterministic proves the streamed netlist is
+// byte-identical across runs and changes with the seed.
+func TestWriteScaleDeterministic(t *testing.T) {
+	p := gen.ScaleProfile{Gates: 5000, Seed: 7}
+	var a, b bytes.Buffer
+	if err := gen.WriteScale(&a, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := gen.WriteScale(&b, p); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two runs of one profile differ")
+	}
+	var c bytes.Buffer
+	p.Seed = 8
+	if err := gen.WriteScale(&c, p); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("different seeds produced identical netlists")
+	}
+}
+
+// TestWriteScaleParses proves the emitted text is a valid .bench
+// netlist with the exact requested shape: gate count, PO count,
+// bounded fanin, combinational and acyclic.
+func TestWriteScaleParses(t *testing.T) {
+	for _, p := range []gen.ScaleProfile{
+		{Gates: 3000, Seed: 1},
+		{Gates: 20000, PIs: 32, POs: 7, BlockSize: 512, MaxFanin: 6, Seed: 2},
+		{Gates: 900, BlockSize: 4096, Seed: 3}, // single block
+	} {
+		var buf bytes.Buffer
+		if err := gen.WriteScale(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+		c, err := bench.ParseStream(bytes.NewReader(buf.Bytes()), "scale")
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		legacy, err := bench.Parse(strings.NewReader(buf.String()), "scale")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPIs, wantPOs, wantFanin := 64, 16, 4
+		if p.PIs > 0 {
+			wantPIs = p.PIs
+		}
+		if p.POs > 0 {
+			wantPOs = p.POs
+		}
+		if p.MaxFanin > 0 {
+			wantFanin = p.MaxFanin
+		}
+		nBlocks := p.Gates / max(p.BlockSize, 1024)
+		if nBlocks < 1 {
+			nBlocks = 1
+		}
+		if wantPOs > nBlocks {
+			wantPOs = nBlocks
+		}
+		if got := len(c.Gates) - len(c.Inputs()); got != p.Gates {
+			t.Fatalf("%+v: %d logic gates, want %d", p, got, p.Gates)
+		}
+		if got := len(c.Inputs()); got != wantPIs {
+			t.Fatalf("%+v: %d PIs, want %d", p, got, wantPIs)
+		}
+		if got := len(c.Outputs()); got != wantPOs {
+			t.Fatalf("%+v: %d POs, want %d", p, got, wantPOs)
+		}
+		if c.Sequential() {
+			t.Fatalf("%+v: generated circuit is sequential", p)
+		}
+		for _, g := range c.Gates {
+			if len(g.Fanin) > wantFanin {
+				t.Fatalf("%+v: gate %s has fanin %d > %d", p, g.Name, len(g.Fanin), wantFanin)
+			}
+		}
+		if _, err := c.TopoOrder(); err != nil {
+			t.Fatalf("%+v: not acyclic: %v", p, err)
+		}
+		// Streaming and legacy parses of the generated text agree.
+		wh, err := bench.ContentHash(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lh, err := bench.ContentHash(legacy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wh != lh {
+			t.Fatalf("%+v: stream/legacy content hashes differ", p)
+		}
+	}
+}
+
+// TestWriteScaleConeBound spot-checks the structural claim behind the
+// block design: fanout cones stay bounded by roughly a block plus a
+// merge chain, never a constant fraction of the whole netlist.
+func TestWriteScaleConeBound(t *testing.T) {
+	p := gen.ScaleProfile{Gates: 12000, BlockSize: 512, Seed: 4}
+	var buf bytes.Buffer
+	if err := gen.WriteScale(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	c, err := bench.ParseStream(bytes.NewReader(buf.Bytes()), "scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cone of any single gate: walk fanout closure.
+	bound := 2*512 + 64 // block + merge slack
+	seen := make(map[int]bool)
+	var stack []int
+	for probe := 0; probe < len(c.Gates); probe += 997 {
+		if c.Gates[probe].Type == ckt.Input {
+			continue
+		}
+		clear(seen)
+		stack = append(stack[:0], probe)
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, f := range c.Gates[id].Fanout {
+				if !seen[f] {
+					seen[f] = true
+					stack = append(stack, f)
+				}
+			}
+		}
+		if len(seen) > bound {
+			t.Fatalf("gate %d cone has %d gates (> %d)", probe, len(seen), bound)
+		}
+	}
+}

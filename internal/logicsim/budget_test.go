@@ -1,0 +1,90 @@
+package logicsim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/stats"
+)
+
+// requireSameResult asserts two analyses are bit-identical in every
+// statistic (floats compared exactly, not approximately).
+func requireSameResult(t *testing.T, want, got *Result, label string) {
+	t.Helper()
+	if got.N != want.N {
+		t.Fatalf("%s: N = %d, want %d", label, got.N, want.N)
+	}
+	if !reflect.DeepEqual(want.P1, got.P1) {
+		t.Fatalf("%s: P1 differs", label)
+	}
+	if !reflect.DeepEqual(want.Activity, got.Activity) {
+		t.Fatalf("%s: Activity differs", label)
+	}
+	if !reflect.DeepEqual(want.Pij, got.Pij) {
+		t.Fatalf("%s: Pij differs", label)
+	}
+}
+
+// TestAnalyzeBudgetBitIdentity proves the chunked analysis is
+// bit-identical to the unbounded run at every budget, including
+// budgets small enough to force one-word chunks and worker shedding,
+// and with a vector count that exercises the final-chunk mask.
+func TestAnalyzeBudgetBitIdentity(t *testing.T) {
+	for _, name := range []string{"c432", "c880"} {
+		c, err := gen.ISCAS85(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc := engine.MustCompile(c)
+		// 1000 vectors → 16 words with a 40-bit final mask.
+		want, err := AnalyzeCompiledBudget(cc, 1000, stats.NewRNG(11), 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nGates := len(c.Gates)
+		nEdges := cc.FaninEdgeOffsets()[nGates]
+		perWord := int64(nGates+nEdges+nGates) * 8
+		for _, budget := range []int64{1, perWord * 3, perWord * 100} {
+			for _, workers := range []int{1, 3} {
+				got, err := AnalyzeCompiledBudget(cc, 1000, stats.NewRNG(11), workers, budget)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameResult(t, want, got, name)
+			}
+		}
+		// The default entry point must agree too (its 2 GiB budget
+		// keeps this workload in a single chunk).
+		got, err := AnalyzeCompiled(cc, 1000, stats.NewRNG(11), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResult(t, want, got, name+" default budget")
+	}
+}
+
+// TestAnalyzeBudgetConeFallback combines both degradation modes: the
+// cone arena over budget (walk-on-the-fly) and a transient budget
+// small enough to chunk the vectors. Results must still be
+// bit-identical to the fully resident run.
+func TestAnalyzeBudgetConeFallback(t *testing.T) {
+	c, err := gen.ISCAS85("c1355")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := AnalyzeCompiledBudget(engine.MustCompile(c), 2000, stats.NewRNG(5), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := maxConeEntries
+	maxConeEntries = 0
+	defer func() { maxConeEntries = saved }()
+	// Fresh handle: the cone arena (here nil) is memoized per handle.
+	got, err := AnalyzeCompiledBudget(engine.MustCompile(c), 2000, stats.NewRNG(5), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, want, got, "c1355 fallback+chunked")
+}

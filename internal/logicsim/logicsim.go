@@ -19,6 +19,7 @@ package logicsim
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/ckt"
 	"repro/internal/engine"
@@ -38,9 +39,28 @@ const DefaultVectors = engine.DefaultVectors
 var maxConeEntries = 1 << 25
 
 // maxScratchBytes bounds the combined per-worker sensitization
-// arenas: on very large circuits the worker count is reduced rather
-// than letting parallelism multiply peak memory past the budget.
+// arenas of the wide-lane engine: on very large circuits the worker
+// count is reduced rather than letting parallelism multiply peak
+// memory past the budget. (The scalar engine uses the finer-grained
+// DefaultSensBudgetBytes chunking policy instead.)
 const maxScratchBytes = 1 << 30
+
+// DefaultSensBudgetBytes bounds the transient working set of one
+// scalar sensitization analysis: the base-value arena, the per-edge
+// side-input arena and every DP worker's scratch arena together. When
+// a circuit × vector-count combination would exceed it, the analysis
+// processes the vector set in chunks of 64-vector words through
+// recycled arenas — results are bit-identical (popcounts are summed
+// across chunks), only peak memory and a per-chunk cone re-walk
+// change. The default (2 GiB) keeps every ISCAS-class workload in a
+// single chunk; serd exposes it as -sens-mem-budget. It does not
+// count the returned Result (the Pij matrix is the analysis' output)
+// or the memoized cone arena (bounded separately by maxConeEntries).
+var DefaultSensBudgetBytes = int64(2) << 30
+
+// minChunkWords is the smallest chunk width worth paying a cone
+// re-walk for; below it the policy sheds DP workers first.
+const minChunkWords = 8
 
 // Evaluate computes all gate values for one input vector (indexed by
 // ckt.Circuit.Inputs order). The result is indexed by gate ID.
@@ -169,8 +189,22 @@ func Sensitization(cc *engine.CompiledCircuit, vectors int, seed uint64) (*Resul
 // topological order, fanin-edge offsets and fanout-cone arena come
 // from (or are memoized on) the handle instead of being re-derived per
 // call. Results are bit-identical to AnalyzeWorkers for any worker
-// count.
+// count. Peak memory is bounded by DefaultSensBudgetBytes; use
+// AnalyzeCompiledBudget for an explicit budget.
 func AnalyzeCompiled(cc *engine.CompiledCircuit, nVectors int, rng *stats.RNG, workers int) (*Result, error) {
+	return AnalyzeCompiledBudget(cc, nVectors, rng, workers, DefaultSensBudgetBytes)
+}
+
+// AnalyzeCompiledBudget is AnalyzeCompiled with an explicit transient
+// memory budget in bytes (<= 0 means unbounded). The budget covers the
+// base-value arena, the per-edge side-input arena and all DP worker
+// scratch arenas; when they would exceed it, the vector set is
+// processed in chunks of 64-vector words through recycled arenas.
+// Because the bit-parallel DP is independent per 64-bit word and the
+// per-PO popcounts are integers summed exactly, results are
+// bit-identical to the unbounded run for every budget, worker count
+// and chunk width — only peak memory and speed change.
+func AnalyzeCompiledBudget(cc *engine.CompiledCircuit, nVectors int, rng *stats.RNG, workers int, budgetBytes int64) (*Result, error) {
 	c := cc.Circuit()
 	if nVectors <= 0 {
 		nVectors = DefaultVectors
@@ -185,39 +219,62 @@ func AnalyzeCompiled(cc *engine.CompiledCircuit, nVectors int, rng *stats.RNG, w
 	if r := nVectors % 64; r != 0 {
 		lastMask = (uint64(1) << uint(r)) - 1
 	}
+	inputs := c.Inputs()
+	edgeOff := cc.FaninEdgeOffsets()
+	nEdges := edgeOff[nGates]
 
-	// Base simulation over one flat arena, indexed gateID*nWords. The
-	// PI words consume the RNG stream in Inputs() order, so the vector
-	// set matches the historical serial implementation exactly.
-	base := make([]uint64, nGates*nWords)
-	for _, id := range c.Inputs() {
-		w := base[id*nWords : (id+1)*nWords]
+	// Pre-draw every primary-input word up front, in Inputs() order:
+	// the RNG stream is consumed exactly as the single-chunk
+	// implementation consumed it, so the vector set — and therefore
+	// every downstream statistic — is independent of the chunking.
+	piW := make([]uint64, len(inputs)*nWords)
+	for i := range inputs {
+		w := piW[i*nWords : (i+1)*nWords]
 		for k := range w {
 			w[k] = rng.Uint64()
 		}
 		w[nWords-1] &= lastMask
 	}
-	maxFanin := 0
-	for _, g := range c.Gates {
-		if len(g.Fanin) > maxFanin {
-			maxFanin = len(g.Fanin)
+
+	// Source gates: every non-input gate, in topological order.
+	sources := make([]int, 0, nGates)
+	for _, id := range order {
+		if c.Gates[id].Type != ckt.Input {
+			sources = append(sources, id) // the paper injects at gate outputs only
 		}
 	}
-	in := make([]uint64, maxFanin)
-	for _, id := range order {
-		g := c.Gates[id]
-		if g.Type == ckt.Input {
-			continue
-		}
-		w := base[id*nWords : (id+1)*nWords]
-		fin := in[:len(g.Fanin)]
-		for k := 0; k < nWords; k++ {
-			for fi, f := range g.Fanin {
-				fin[fi] = base[f*nWords+k]
+
+	// Chunk policy: the recycled arenas cost (nGates+nEdges)*8 bytes
+	// per vector word plus nGates*8 per word for each DP worker's
+	// scratch. Shed workers first (a narrow chunk re-walks every cone
+	// per chunk, which is the more expensive regression), then narrow
+	// the chunk to fit.
+	nw := par.Workers(workers)
+	if nw > len(sources) {
+		nw = len(sources)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	cw := nWords
+	if budgetBytes > 0 {
+		perWord := int64(nGates+nEdges) * 8
+		perWorkerWord := int64(nGates) * 8
+		capFor := func(nw int) int64 {
+			if d := perWord + int64(nw)*perWorkerWord; d > 0 {
+				return budgetBytes / d
 			}
-			w[k] = g.Type.EvalWord(fin)
+			return int64(nWords)
 		}
-		w[nWords-1] &= lastMask
+		for nw > 1 && capFor(nw) < minChunkWords {
+			nw--
+		}
+		if c := capFor(nw); c < int64(cw) {
+			cw = int(c)
+		}
+		if cw < 1 {
+			cw = 1
+		}
 	}
 
 	res := &Result{
@@ -234,149 +291,206 @@ func AnalyzeCompiled(cc *engine.CompiledCircuit, nVectors int, rng *stats.RNG, w
 	}
 	pijFlat := make([]float64, nGates*nPOs)
 	for id := 0; id < nGates; id++ {
-		ones := 0
-		for _, w := range base[id*nWords : (id+1)*nWords] {
-			ones += bits.OnesCount64(w)
-		}
-		p := float64(ones) / float64(nVectors)
-		res.P1[id] = p
-		res.Activity[id] = 2 * p * (1 - p)
 		res.Pij[id] = pijFlat[id*nPOs : (id+1)*nPOs]
 	}
+	p1cnt := make([]int64, nGates)
 
-	// Bit-parallel path-sensitization analysis. The paper defines
-	// P_ij as "the probability that there is at least one path
-	// sensitized from output of gate i to primary output j": a path is
-	// sensitized under a vector when every side input along it carries
-	// a non-controlling value. Per vector this is a boolean DP over
-	// the fanout cone:
-	//
-	//	sens(i)    = 1
-	//	sens(g)    = OR over fanins f of sens(f) AND sideOK(g, f)
-	//	sideOK(g,f)= all inputs of g other than f non-controlling
-	//
-	// and P_ij = Pr[sens(j)]. (Flip-based fault simulation would also
-	// count multi-path cancellation effects, under which the paper's
-	// Lemma 1 does not hold; path sensitization is the paper's model.)
-	//
-	// sideOK depends only on base values, so it is precomputed per
-	// fanin edge into a flat edge arena (gates are independent — the
-	// fill is parallel).
-	posIdx := make([]int, nGates)
-	for i, id := range order {
-		posIdx[id] = i
-	}
-	edgeOff := cc.FaninEdgeOffsets()
-	sideOK := make([]uint64, edgeOff[nGates]*nWords)
-	par.ForChunks(nGates, workers, 0, func(lo, hi int) {
-		for id := lo; id < hi; id++ {
-			g := c.Gates[id]
-			if g.Type == ckt.Input {
-				continue
-			}
-			cv, hasCV := g.Type.ControllingValue()
-			for fi := range g.Fanin {
-				w := sideOK[(edgeOff[id]+fi)*nWords : (edgeOff[id]+fi+1)*nWords]
-				for k := range w {
-					ok := ^uint64(0)
-					if hasCV {
-						for oi, f := range g.Fanin {
-							if oi == fi {
-								continue
-							}
-							if cv {
-								// Controlling value 1: others must be 0.
-								ok &= ^base[f*nWords+k]
-							} else {
-								ok &= base[f*nWords+k]
-							}
-						}
-					}
-					w[k] = ok
-				}
-				w[nWords-1] &= lastMask
-			}
-		}
-	})
-
-	// Source gates: every non-input gate, in topological order.
-	sources := make([]int, 0, nGates)
-	for _, id := range order {
-		if c.Gates[id].Type != ckt.Input {
-			sources = append(sources, id) // the paper injects at gate outputs only
+	maxFanin := 0
+	for _, g := range c.Gates {
+		if len(g.Fanin) > maxFanin {
+			maxFanin = len(g.Fanin)
 		}
 	}
+	in := make([]uint64, maxFanin)
 
-	cones := conesFor(cc, order, posIdx, sources, workers)
-
-	nw := par.Workers(workers)
-	if nw > len(sources) {
-		nw = len(sources)
-	}
-	// Each worker owns a full sensitization arena; cap the worker
-	// count so the combined scratch stays within budget on huge
-	// circuits (the serial path always fits one arena).
-	if per := nGates * nWords * 8; per > 0 {
-		if maxW := maxScratchBytes / per; nw > maxW {
-			nw = maxW
-		}
-		if nw < 1 {
-			nw = 1
-		}
-	}
+	// Recycled chunk arenas, indexed gateID*cwk (cwk = current chunk
+	// width): base values, per-fanin-edge side-input conditions, and
+	// one sensitization arena per DP worker.
+	base := make([]uint64, nGates*cw)
+	sideOK := make([]uint64, nEdges*cw)
 	scratches := make([]*dpScratch, nw)
 	for i := range scratches {
 		scratches[i] = &dpScratch{
-			sens: make([]uint64, nGates*nWords),
+			sens: make([]uint64, nGates*cw),
 			mark: make([]int, nGates),
 		}
 		for j := range scratches[i].mark {
 			scratches[i].mark[j] = -1
 		}
 	}
-	par.Each(len(sources), nw, 1, func(worker, lo, hi int) {
-		sc := scratches[worker]
-		for si := lo; si < hi; si++ {
-			fid := sources[si]
-			sc.epoch++
-			row := sc.sens[fid*nWords : (fid+1)*nWords]
-			for k := range row {
-				row[k] = ^uint64(0)
-			}
-			row[nWords-1] &= lastMask
-			sc.mark[fid] = sc.epoch
-			if cones != nil {
-				for _, id := range cones.of(si) {
-					dpGate(c.Gates[id], int(id), sc, sideOK, edgeOff, nWords)
-				}
-			} else {
-				for oi := posIdx[fid] + 1; oi < len(order); oi++ {
-					id := order[oi]
-					g := c.Gates[id]
-					if g.Type == ckt.Input {
-						continue
-					}
-					dpGate(g, id, sc, sideOK, edgeOff, nWords)
-				}
-			}
-			out := res.Pij[fid]
-			for k2, poID := range pos {
-				if poID == fid {
-					// Paper: "For primary output j, Pjj is 1."
-					out[k2] = 1
-					continue
-				}
-				if sc.mark[poID] != sc.epoch {
-					continue
-				}
-				cnt := 0
-				for _, w := range sc.sens[poID*nWords : (poID+1)*nWords] {
-					cnt += bits.OnesCount64(w)
-				}
-				out[k2] = float64(cnt) / float64(nVectors)
+
+	cones := conesFor(cc, sources, workers)
+	var walkers []*coneWalker
+	if cones == nil {
+		// Past the cone-arena budget each DP worker walks cones on the
+		// fly instead (see coneWalker); the walk is re-done per chunk,
+		// trading time for bounded memory.
+		lv := cc.Levels()
+		maxLv := 0
+		for _, l := range lv {
+			if l > maxLv {
+				maxLv = l
 			}
 		}
-	})
+		walkers = make([]*coneWalker, nw)
+		for i := range walkers {
+			walkers[i] = newConeWalker(nGates, lv, maxLv)
+		}
+	}
+
+	for w0 := 0; w0 < nWords; w0 += cw {
+		w1 := w0 + cw
+		if w1 > nWords {
+			w1 = nWords
+		}
+		cwk := w1 - w0
+		final := w1 == nWords
+
+		// Base simulation for this chunk's vector words. The PI words
+		// are copies of the pre-drawn stream, already masked, and in a
+		// non-final chunk every bit of every word is a real vector, so
+		// masking is only needed on the final chunk's last word.
+		for i, id := range inputs {
+			copy(base[id*cwk:(id+1)*cwk], piW[i*nWords+w0:i*nWords+w1])
+		}
+		for _, id := range order {
+			g := c.Gates[id]
+			if g.Type == ckt.Input {
+				continue
+			}
+			w := base[id*cwk : (id+1)*cwk]
+			fin := in[:len(g.Fanin)]
+			for k := 0; k < cwk; k++ {
+				for fi, f := range g.Fanin {
+					fin[fi] = base[f*cwk+k]
+				}
+				w[k] = g.Type.EvalWord(fin)
+			}
+			if final {
+				w[cwk-1] &= lastMask
+			}
+		}
+		for id := 0; id < nGates; id++ {
+			ones := 0
+			for _, w := range base[id*cwk : (id+1)*cwk] {
+				ones += bits.OnesCount64(w)
+			}
+			p1cnt[id] += int64(ones)
+		}
+
+		// Bit-parallel path-sensitization analysis. The paper defines
+		// P_ij as "the probability that there is at least one path
+		// sensitized from output of gate i to primary output j": a
+		// path is sensitized under a vector when every side input
+		// along it carries a non-controlling value. Per vector this is
+		// a boolean DP over the fanout cone:
+		//
+		//	sens(i)    = 1
+		//	sens(g)    = OR over fanins f of sens(f) AND sideOK(g, f)
+		//	sideOK(g,f)= all inputs of g other than f non-controlling
+		//
+		// and P_ij = Pr[sens(j)]. (Flip-based fault simulation would
+		// also count multi-path cancellation effects, under which the
+		// paper's Lemma 1 does not hold; path sensitization is the
+		// paper's model.)
+		//
+		// sideOK depends only on base values, so it is precomputed per
+		// fanin edge into a flat edge arena (gates are independent —
+		// the fill is parallel and in place, costing no extra memory
+		// per worker).
+		par.ForChunks(nGates, workers, 0, func(lo, hi int) {
+			for id := lo; id < hi; id++ {
+				g := c.Gates[id]
+				if g.Type == ckt.Input {
+					continue
+				}
+				cv, hasCV := g.Type.ControllingValue()
+				for fi := range g.Fanin {
+					w := sideOK[(edgeOff[id]+fi)*cwk : (edgeOff[id]+fi+1)*cwk]
+					for k := range w {
+						ok := ^uint64(0)
+						if hasCV {
+							for oi, f := range g.Fanin {
+								if oi == fi {
+									continue
+								}
+								if cv {
+									// Controlling value 1: others must be 0.
+									ok &= ^base[f*cwk+k]
+								} else {
+									ok &= base[f*cwk+k]
+								}
+							}
+						}
+						w[k] = ok
+					}
+					if final {
+						w[cwk-1] &= lastMask
+					}
+				}
+			}
+		})
+
+		// Per-source DP over this chunk. Popcounts accumulate into the
+		// Pij rows as exact float64 integers (≤ nVectors < 2^53); the
+		// division happens once, after the last chunk, so the result
+		// equals the whole-run popcount divided once — bit-identical
+		// to the single-chunk computation.
+		par.Each(len(sources), nw, 1, func(worker, lo, hi int) {
+			sc := scratches[worker]
+			for si := lo; si < hi; si++ {
+				fid := sources[si]
+				sc.epoch++
+				row := sc.sens[fid*cwk : (fid+1)*cwk]
+				for k := range row {
+					row[k] = ^uint64(0)
+				}
+				if final {
+					row[cwk-1] &= lastMask
+				}
+				sc.mark[fid] = sc.epoch
+				if cones != nil {
+					for _, id := range cones.of(si) {
+						dpGate(c.Gates[id], int(id), sc, sideOK, edgeOff, cwk)
+					}
+				} else {
+					for _, id := range walkers[worker].cone(c, fid) {
+						dpGate(c.Gates[id], int(id), sc, sideOK, edgeOff, cwk)
+					}
+				}
+				out := res.Pij[fid]
+				for k2, poID := range pos {
+					if poID == fid {
+						continue // P_jj set after the chunk loop
+					}
+					if sc.mark[poID] != sc.epoch {
+						continue
+					}
+					cnt := 0
+					for _, w := range sc.sens[poID*cwk : (poID+1)*cwk] {
+						cnt += bits.OnesCount64(w)
+					}
+					out[k2] += float64(cnt)
+				}
+			}
+		})
+	}
+
+	for id := 0; id < nGates; id++ {
+		p := float64(p1cnt[id]) / float64(nVectors)
+		res.P1[id] = p
+		res.Activity[id] = 2 * p * (1 - p)
+	}
+	nv := float64(nVectors)
+	for i := range pijFlat {
+		pijFlat[i] /= nv
+	}
+	for _, fid := range sources {
+		if k, ok := res.poCol[fid]; ok {
+			// Paper: "For primary output j, Pjj is 1."
+			res.Pij[fid][k] = 1
+		}
+	}
 	return res, nil
 }
 
@@ -438,9 +552,9 @@ func (b coneBox) MemoWeight() int64 {
 // memoized on the handle — the arena depends only on the netlist, so
 // every sensitization run against one handle shares it. The build is
 // deterministic in the netlist regardless of the worker count.
-func conesFor(cc *engine.CompiledCircuit, order, posIdx, sources []int, workers int) *coneSet {
+func conesFor(cc *engine.CompiledCircuit, sources []int, workers int) *coneSet {
 	v, _ := cc.Memo(conesKey{}, func() (any, error) {
-		return coneBox{precomputeCones(cc.Circuit(), order, posIdx, sources, workers)}, nil
+		return coneBox{precomputeCones(cc, sources, workers)}, nil
 	})
 	return v.(coneBox).cs
 }
@@ -455,70 +569,142 @@ type coneSet struct {
 
 func (cs *coneSet) of(i int) []int32 { return cs.gates[cs.off[i]:cs.off[i+1]] }
 
-// precomputeCones builds the cone arena with a parallel mark sweep per
-// source (counting pass, then a fill pass into the shared arena).
-// Returns nil when the arena would exceed the memory budget; callers
-// then fall back to scanning the topological suffix.
-func precomputeCones(c *ckt.Circuit, order, posIdx, sources []int, workers int) *coneSet {
+// coneWalker collects one gate's fanout cone by walking fanout edges —
+// work proportional to the cone, not to the whole netlist like the old
+// topological-suffix sweep, which is the difference between O(cone)
+// and O(gates) per source on million-gate circuits. The collected
+// gates are counting-sorted by logic level; level order is a valid
+// topological order of the cone (every fanin is at a strictly lower
+// level), and the DP result per gate depends only on its fanins'
+// results, so any topological processing order yields bit-identical
+// results. All state is recycled across calls via epoch marking.
+type coneWalker struct {
+	lv    []int   // logic level per gate (shared, read-only)
+	reach []int32 // epoch marks
+	epoch int32
+	stack []int32
+	buf   []int32 // collected cone, discovery order
+	out   []int32 // collected cone, level order
+	cnt   []int32 // counting-sort buckets, one per level
+}
+
+func newConeWalker(nGates int, lv []int, maxLv int) *coneWalker {
+	return &coneWalker{lv: lv, reach: make([]int32, nGates), cnt: make([]int32, maxLv+1)}
+}
+
+// cone returns the non-input gates strictly downstream of fid in
+// level order. The returned slice is valid until the next call.
+func (w *coneWalker) cone(c *ckt.Circuit, fid int) []int32 {
+	if w.epoch == 1<<31-1 {
+		// Epoch wrap: reset marks so stale epochs can never alias.
+		for i := range w.reach {
+			w.reach[i] = 0
+		}
+		w.epoch = 0
+	}
+	w.epoch++
+	ep := w.epoch
+	stack := append(w.stack[:0], int32(fid))
+	buf := w.buf[:0]
+	w.reach[fid] = ep
+	minLv, maxLv := int(^uint(0)>>1), -1
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range c.Gates[id].Fanout {
+			if w.reach[f] == ep {
+				continue
+			}
+			w.reach[f] = ep
+			stack = append(stack, int32(f))
+			buf = append(buf, int32(f))
+			if l := w.lv[f]; l < minLv {
+				minLv = l
+			}
+			if l := w.lv[f]; l > maxLv {
+				maxLv = l
+			}
+		}
+	}
+	w.stack, w.buf = stack, buf
+	if len(buf) == 0 {
+		return buf
+	}
+	if cap(w.out) < len(buf) {
+		w.out = make([]int32, len(buf))
+	}
+	out := w.out[:len(buf)]
+	for _, id := range buf {
+		w.cnt[w.lv[id]]++
+	}
+	sum := int32(0)
+	for l := minLv; l <= maxLv; l++ {
+		n := w.cnt[l]
+		w.cnt[l] = sum
+		sum += n
+	}
+	for _, id := range buf {
+		out[w.cnt[w.lv[id]]] = id
+		w.cnt[w.lv[id]]++
+	}
+	for l := minLv; l <= maxLv; l++ {
+		w.cnt[l] = 0
+	}
+	return out
+}
+
+// precomputeCones builds the cone arena with a parallel fanout walk
+// per source (counting pass, then a fill pass into the shared arena).
+// Returns nil when the arena would exceed the memory budget — the
+// counting pass aborts as soon as the running total crosses it, so a
+// million-gate circuit with huge cones never pays for a full count —
+// and callers then fall back to walking cones on the fly.
+func precomputeCones(cc *engine.CompiledCircuit, sources []int, workers int) *coneSet {
+	c := cc.Circuit()
 	n := len(sources)
 	if n == 0 {
 		return &coneSet{off: make([]int, 1)}
 	}
-	counts := make([]int, n)
+	lv := cc.Levels()
+	maxLv := 0
+	for _, l := range lv {
+		if l > maxLv {
+			maxLv = l
+		}
+	}
 	nw := par.Workers(workers)
-	marks := make([][]int, nw)
-	epochs := make([]int, nw)
-	for i := range marks {
-		marks[i] = make([]int, len(c.Gates))
-		for j := range marks[i] {
-			marks[i][j] = -1
-		}
+	walkers := make([]*coneWalker, nw)
+	for i := range walkers {
+		walkers[i] = newConeWalker(len(c.Gates), lv, maxLv)
 	}
-	sweep := func(worker, si int, emit []int32) int {
-		mark := marks[worker]
-		epochs[worker]++
-		epoch := epochs[worker]
-		fid := sources[si]
-		mark[fid] = epoch
-		cnt := 0
-		for oi := posIdx[fid] + 1; oi < len(order); oi++ {
-			id := order[oi]
-			g := c.Gates[id]
-			if g.Type == ckt.Input {
-				continue
-			}
-			for _, f := range g.Fanin {
-				if mark[f] == epoch {
-					mark[id] = epoch
-					if emit != nil {
-						emit[cnt] = int32(id)
-					}
-					cnt++
-					break
-				}
-			}
-		}
-		return cnt
-	}
+	counts := make([]int, n)
+	var total atomic.Int64
+	var over atomic.Bool
 	par.Each(n, nw, 0, func(worker, lo, hi int) {
+		w := walkers[worker]
 		for si := lo; si < hi; si++ {
-			counts[si] = sweep(worker, si, nil)
+			if over.Load() {
+				return
+			}
+			cn := len(w.cone(c, sources[si]))
+			counts[si] = cn
+			if total.Add(int64(cn)) > int64(maxConeEntries) {
+				over.Store(true)
+				return
+			}
 		}
 	})
-	total := 0
-	for _, cn := range counts {
-		total += cn
-	}
-	if total > maxConeEntries {
+	if over.Load() {
 		return nil
 	}
-	cs := &coneSet{off: make([]int, n+1), gates: make([]int32, total)}
+	cs := &coneSet{off: make([]int, n+1), gates: make([]int32, total.Load())}
 	for i, cn := range counts {
 		cs.off[i+1] = cs.off[i] + cn
 	}
 	par.Each(n, nw, 0, func(worker, lo, hi int) {
+		w := walkers[worker]
 		for si := lo; si < hi; si++ {
-			sweep(worker, si, cs.gates[cs.off[si]:cs.off[si+1]])
+			copy(cs.gates[cs.off[si]:cs.off[si+1]], w.cone(c, sources[si]))
 		}
 	})
 	return cs

@@ -51,6 +51,13 @@ func WriteShardMetrics(w *Writer, m *serclient.MetricsResponse) {
 	w.Gauge("serd_compiled_cache_entries", "Compiled circuits currently cached.", base, float64(cc.Entries))
 	w.Gauge("serd_compiled_cache_gates", "Gate records charged against the cache budget.", base, float64(cc.Gates))
 	w.Gauge("serd_compiled_cache_gate_budget", "Gate-record capacity evictions enforce.", base, float64(cc.Budget))
+	if ac := m.ArtifactCache; ac.Enabled {
+		w.Counter("serd_artifact_hits_total", "Compiled circuits served from the on-disk artifact store.", base, float64(ac.Hits))
+		w.Counter("serd_artifact_misses_total", "Artifact lookups that fell through to a fresh compile.", base, float64(ac.Misses))
+		w.Counter("serd_artifact_saves_total", "Compiled artifacts written to disk.", base, float64(ac.Saves))
+		w.Counter("serd_artifact_errors_total", "Corrupt or unwritable artifacts (each costs one recompile).", base, float64(ac.Errors))
+		w.Counter("serd_artifact_bytes_mapped_total", "Bytes of artifact data mapped on hits.", base, float64(ac.BytesMapped))
+	}
 	for _, kind := range sortedLatKeys(m.LatencyMS) {
 		ls := m.LatencyMS[kind]
 		kl := shardLabels(m.Shard, Label{Name: "kind", Value: kind})

@@ -1,0 +1,144 @@
+package serd
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+	"repro/serclient"
+)
+
+// artifactTestNetlist is a small inline netlist; inline submissions
+// are keyed by content hash, so the artifact written by one process
+// is found by the next one.
+const artifactTestNetlist = `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+d = NAND(a, b)
+e = NOR(b, c)
+f = XOR(d, e)
+OUTPUT(f)
+`
+
+// bootArtifactServer starts a serd instance over the given artifact
+// directory (fresh system each time, as a restarted process would
+// have).
+func bootArtifactServer(t *testing.T, dir string) (*serclient.Client, func()) {
+	t.Helper()
+	sys := ser.NewSystem(ser.CoarseCharacterization)
+	srv := New(Config{System: sys, Workers: 2, ArtifactDir: dir})
+	hs := httptest.NewServer(srv)
+	cl := serclient.New(hs.URL, hs.Client())
+	return cl, func() {
+		hs.Close()
+		srv.Close()
+	}
+}
+
+// TestArtifactWarmRestart is the acceptance check for the persistent
+// artifact store: a restarted server over a warm -artifact-dir serves
+// its first request for a known netlist from disk — artifact hits,
+// zero artifact misses, so zero recompiles — with bit-identical
+// results.
+func TestArtifactWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	req := serclient.AnalyzeRequest{Netlist: artifactTestNetlist, Name: "art", Vectors: 2000, Seed: 9}
+
+	cl, done := bootArtifactServer(t, dir)
+	cold, err := cl.Analyze(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.ArtifactCache.Enabled {
+		t.Fatal("artifact cache not reported enabled")
+	}
+	if m.ArtifactCache.Misses == 0 || m.ArtifactCache.Saves == 0 {
+		t.Fatalf("cold process: want misses and saves, got %+v", m.ArtifactCache)
+	}
+	done()
+
+	// "Restart": a new server over the same directory.
+	cl, done = bootArtifactServer(t, dir)
+	defer done()
+	ready, err := cl.Ready(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ready.Ready {
+		t.Fatalf("restarted server not ready: %+v", ready)
+	}
+	warm, err := cl.Analyze(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ArtifactCache.Hits != 1 || m.ArtifactCache.Misses != 0 {
+		t.Fatalf("warm restart must serve from the artifact (1 hit, 0 misses), got %+v", m.ArtifactCache)
+	}
+	if m.ArtifactCache.BytesMapped == 0 {
+		t.Fatalf("artifact hit reported no bytes mapped: %+v", m.ArtifactCache)
+	}
+	if cold.U != warm.U {
+		t.Fatalf("artifact-served result differs: cold U=%v, warm U=%v", cold.U, warm.U)
+	}
+}
+
+// TestArtifactCorruptionRecovers proves corruption is contained: a
+// truncated artifact is detected by checksum, counted, removed and
+// recompiled — the request still succeeds with the right result.
+func TestArtifactCorruptionRecovers(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	req := serclient.AnalyzeRequest{Netlist: artifactTestNetlist, Name: "art", Vectors: 2000, Seed: 9}
+
+	cl, done := bootArtifactServer(t, dir)
+	cold, err := cl.Analyze(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done()
+
+	files, err := filepath.Glob(filepath.Join(dir, "*.serc"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no artifacts written (err=%v)", err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cl, done = bootArtifactServer(t, dir)
+	defer done()
+	warm, err := cl.Analyze(ctx, req)
+	if err != nil {
+		t.Fatalf("request over corrupt artifact failed: %v", err)
+	}
+	if cold.U != warm.U {
+		t.Fatalf("recompiled result differs: %v vs %v", cold.U, warm.U)
+	}
+	m, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ArtifactCache.Errors == 0 || m.ArtifactCache.Hits != 0 {
+		t.Fatalf("corrupt artifact must count as error+miss, got %+v", m.ArtifactCache)
+	}
+	if m.ArtifactCache.Saves == 0 {
+		t.Fatalf("recompile must rewrite the artifact, got %+v", m.ArtifactCache)
+	}
+}

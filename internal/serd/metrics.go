@@ -116,7 +116,7 @@ func (m *metrics) recordLatency(kind string, ms float64) {
 
 // snapshot assembles the wire response; queue/library/compiled-cache
 // observables are supplied by the caller.
-func (m *metrics) snapshot(queueDepth, jobsRunning, workers int, characterizations int64, cache ser.CompiledCacheStats) serclient.MetricsResponse {
+func (m *metrics) snapshot(queueDepth, jobsRunning, workers int, characterizations int64, cache ser.CompiledCacheStats, artifactsEnabled bool, artifacts ser.ArtifactCacheStats) serclient.MetricsResponse {
 	resp := serclient.MetricsResponse{
 		UptimeS:           time.Since(m.start).Seconds(),
 		Errors:            m.errors.Load(),
@@ -137,6 +137,14 @@ func (m *metrics) snapshot(queueDepth, jobsRunning, workers int, characterizatio
 			Gates:     cache.Weight,
 			Budget:    cache.Budget,
 			HitRate:   cache.HitRate(),
+		},
+		ArtifactCache: serclient.ArtifactCacheMetrics{
+			Enabled:     artifactsEnabled,
+			Hits:        artifacts.Hits,
+			Misses:      artifacts.Misses,
+			Saves:       artifacts.Saves,
+			Errors:      artifacts.Errors,
+			BytesMapped: artifacts.BytesMapped,
 		},
 		QueueDepth:   queueDepth,
 		JobsRunning:  jobsRunning,

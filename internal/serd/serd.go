@@ -114,6 +114,16 @@ type Config struct {
 	// their canonical .bench form, so whitespace/comment/line-order
 	// permutations of one netlist share a single compiled artifact.
 	CompiledCacheGates int64
+	// ArtifactDir, when set, backs the compiled-circuit cache with a
+	// persistent on-disk artifact store (engine.ArtifactStore): every
+	// compile is saved as a versioned, checksummed artifact keyed by
+	// the netlist's content hash, and a restarted process serves its
+	// first request for a previously-seen netlist from disk without
+	// recompiling. Corrupt or truncated artifacts are detected by
+	// checksum, removed, and recompiled — they can never poison a
+	// result. If the directory cannot be opened the server logs the
+	// error and falls back to the purely in-memory cache.
+	ArtifactDir string
 	// Journal, when non-nil, makes asynchronous jobs durable: accepted
 	// submissions, state transitions and results are written through
 	// it, and New replays it so a restarted server resumes pending
@@ -231,6 +241,17 @@ func New(cfg Config) *Server {
 	if logger == nil {
 		logger = slog.Default()
 	}
+	ccache := ser.NewCompiledCache(cfg.CompiledCacheGates)
+	if cfg.ArtifactDir != "" {
+		ac, err := ser.NewCompiledCacheWithArtifacts(cfg.CompiledCacheGates, cfg.ArtifactDir)
+		if err != nil {
+			logger.Error("artifact store unavailable; compiled cache is in-memory only",
+				"dir", cfg.ArtifactDir, "err", err)
+		} else {
+			ccache = ac
+			logger.Info("compiled-circuit artifacts enabled", "dir", cfg.ArtifactDir)
+		}
+	}
 	s := &Server{
 		cfg:    cfg,
 		sys:    cfg.System,
@@ -238,7 +259,7 @@ func New(cfg Config) *Server {
 		jobs:   newJobStore(cfg.KeepJobs),
 		met:    newMetrics(),
 		mux:    http.NewServeMux(),
-		ccache: ser.NewCompiledCache(cfg.CompiledCacheGates),
+		ccache: ccache,
 		jnl:    cfg.Journal,
 		log:    logger,
 		dbg:    &debugRing{},
@@ -1123,6 +1144,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	resp := s.met.snapshot(
 		s.queue.Depth(), s.queue.Running(), s.queue.Workers(),
 		s.sys.Characterizations(), s.ccache.Stats(),
+		s.ccache.ArtifactsEnabled(), s.ccache.ArtifactStats(),
 	)
 	resp.Shard = s.cfg.ShardName
 	if r.URL.Query().Get("format") == "prometheus" {

@@ -375,6 +375,30 @@ type CompiledCacheMetrics struct {
 	Budget  int64 `json:"budget"`
 }
 
+// ArtifactCacheMetrics reports the persistent compiled-artifact store
+// backing the compiled-circuit cache when the server runs with
+// -artifact-dir: a hit means a restarted process served a netlist from
+// an on-disk artifact instead of recompiling it.
+type ArtifactCacheMetrics struct {
+	// Enabled is true when the server was started with -artifact-dir;
+	// all other fields stay zero otherwise.
+	Enabled bool `json:"enabled"`
+	// Hits counts compiled circuits loaded from disk; Misses counts
+	// lookups that fell through to a fresh compile (including every
+	// first-ever compile of a netlist).
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Saves counts artifacts written after a compile.
+	Saves int64 `json:"saves"`
+	// Errors counts corrupt/unwritable artifacts; each corrupt file is
+	// removed and costs exactly one recompile, so a nonzero value is a
+	// disk-health signal, not a correctness problem.
+	Errors int64 `json:"errors"`
+	// BytesMapped accumulates the byte sizes of every artifact mapped
+	// on a hit over the process lifetime.
+	BytesMapped int64 `json:"bytes_mapped"`
+}
+
 // MetricsResponse is the GET /metrics body of one serd process.
 //
 // Every field is process-local. In a multi-node deployment each shard
@@ -426,6 +450,9 @@ type MetricsResponse struct {
 	LibCacheHits      int64 `json:"lib_cache_hits"`
 	// CompiledCache reports the compiled-circuit cache counters.
 	CompiledCache CompiledCacheMetrics `json:"compiled_cache"`
+	// ArtifactCache reports the persistent artifact store behind the
+	// compiled-circuit cache (all-zero unless -artifact-dir is set).
+	ArtifactCache ArtifactCacheMetrics `json:"artifact_cache"`
 	// LatencyMS maps job kind ("analyze", "optimize") to a latency
 	// summary over recent jobs.
 	LatencyMS map[string]LatencySummary `json:"latency_ms"`

@@ -19,6 +19,7 @@ var wireTypes = []any{
 	AnalyzeBatchItem{}, OptimizeBatchItem{}, SusceptibilityBatchItem{},
 	JobResponse{}, HealthResponse{}, ReadyResponse{},
 	MetricsResponse{}, LatencySummary{}, CompiledCacheMetrics{},
+	ArtifactCacheMetrics{},
 	ErrorResponse{},
 	ShardInfo{}, ShardsResponse{}, ShardRegisterRequest{},
 	RouteRequest{}, RouteResponse{},
